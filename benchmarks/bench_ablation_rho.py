@@ -1,0 +1,31 @@
+"""ABL-RHO — sweep the focus parameter ρ (paper fixes 0.01 ≤ ρ ≤ 0.1).
+
+Quality/time trade-off of the elite fraction: small ρ converges fast but
+greedily, large ρ dilutes the update signal.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablations import rho_sweep
+
+
+def test_ablation_rho(benchmark, bench_seed, capsys):
+    result = run_once(
+        benchmark,
+        rho_sweep,
+        values=(0.01, 0.02, 0.05, 0.1, 0.2, 0.3),
+        size=15,
+        runs=3,
+        seed=bench_seed,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+
+    assert len(result.points) == 6
+    # The paper's recommended band should not be far off the sweep's best.
+    best = result.best_point().mean_et
+    in_band = [p for p in result.points if 0.01 <= p.knob_value <= 0.1]
+    assert min(p.mean_et for p in in_band) <= best * 1.1

@@ -1,0 +1,34 @@
+"""ABL-N — sweep the sample-size rule ``N = m·n²`` (paper: m = 2).
+
+The paper justifies ``N = 2·|V_r|²`` with one sentence (the matrix has
+``|V_r|²`` entries); the sweep quantifies the quality/time trade-off of
+that choice.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablations import samples_sweep
+
+
+def test_ablation_samples(benchmark, bench_seed, capsys):
+    result = run_once(
+        benchmark,
+        samples_sweep,
+        multipliers=(0.5, 1.0, 2.0, 4.0),
+        size=15,
+        runs=3,
+        seed=bench_seed,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+
+    assert len(result.points) == 4
+    # More samples per iteration costs more evaluations...
+    evals = [p.mean_evaluations for p in result.points]
+    assert evals[-1] > evals[0]
+    # ...and the paper's m = 2 quality is within 10% of the largest budget.
+    by_m = {p.knob_value: p for p in result.points}
+    assert by_m[2.0].mean_et <= by_m[4.0].mean_et * 1.10

@@ -1,0 +1,34 @@
+"""ABL-ZETA — sweep the Eq. (13) smoothing factor (paper: ζ = 0.3).
+
+``ζ = 1`` recovers the coarse, unsmoothed update the paper warns converges
+prematurely; small ζ slows convergence (more iterations, more mapping
+time) in exchange for quality.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablations import zeta_sweep
+
+
+def test_ablation_zeta(benchmark, bench_seed, capsys):
+    result = run_once(
+        benchmark,
+        zeta_sweep,
+        values=(0.1, 0.2, 0.3, 0.5, 0.8, 1.0),
+        size=15,
+        runs=3,
+        seed=bench_seed,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+
+    assert len(result.points) == 6
+    by_zeta = {p.knob_value: p for p in result.points}
+    # Heavier smoothing (smaller ζ) takes more iterations to commit.
+    assert by_zeta[0.1].mean_iterations >= by_zeta[1.0].mean_iterations
+    # The paper's ζ = 0.3 is competitive with the sweep's best quality.
+    best = result.best_point().mean_et
+    assert by_zeta[0.3].mean_et <= best * 1.15

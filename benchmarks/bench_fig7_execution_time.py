@@ -1,0 +1,23 @@
+"""EXP-F7 — regenerate Figure 7 (execution-time series as a bar chart)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import compute_fig7, render_series_chart
+
+
+def test_fig7_regenerate(benchmark, bench_profile, bench_seed, capsys):
+    series = run_once(benchmark, compute_fig7, bench_profile, seed=bench_seed)
+    with capsys.disabled():
+        print()
+        print(
+            render_series_chart(
+                series, title="Figure 7 (measured): execution time (units) by size"
+            )
+        )
+
+    assert set(series.values) == {"MaTCH", "FastMap-GA"}
+    # ET grows with problem size for both heuristics.
+    for vals in series.values.values():
+        assert vals[-1] > vals[0]

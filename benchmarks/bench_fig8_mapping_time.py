@@ -1,0 +1,25 @@
+"""EXP-F8 — regenerate Figure 8 (mapping-time series as a bar chart)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import compute_fig8, render_series_chart
+
+
+def test_fig8_regenerate(benchmark, bench_profile, bench_seed, capsys):
+    series = run_once(benchmark, compute_fig8, bench_profile, seed=bench_seed)
+    with capsys.disabled():
+        print()
+        print(
+            render_series_chart(
+                series, title="Figure 8 (measured): mapping time (seconds) by size"
+            )
+        )
+
+    # Figure 8's story: MaTCH's MT curve rises much more steeply.
+    match = series.values["MaTCH"]
+    ga = series.values["FastMap-GA"]
+    match_growth = match[-1] / match[0]
+    ga_growth = ga[-1] / ga[0]
+    assert match_growth > ga_growth

@@ -1,0 +1,32 @@
+"""EXP-F9 — regenerate Figure 9 (application turnaround time, ATN = ET + MT).
+
+The paper's closing argument: despite MaTCH's steeper mapping time, the
+turnaround — mapping plus executing the application once — still favors
+MaTCH because ET dominates MT.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import compute_fig9, render_series_chart
+
+
+def test_fig9_regenerate(benchmark, bench_profile, bench_seed, capsys):
+    series = run_once(benchmark, compute_fig9, bench_profile, seed=bench_seed)
+    with capsys.disabled():
+        print()
+        print(
+            render_series_chart(
+                series,
+                title="Figure 9 (measured): application turnaround time (ATN) by size",
+            )
+        )
+
+    match = series.values["MaTCH"]
+    ga = series.values["FastMap-GA"]
+    # Figure 9's claim: MaTCH's turnaround is no worse at scale — the
+    # quality advantage outweighs the mapping-time cost at the top size.
+    assert match[-1] <= ga[-1] * 1.05
+    # ATN grows with n for both.
+    assert match[-1] > match[0] and ga[-1] > ga[0]

@@ -1,0 +1,47 @@
+"""Extension studies — heterogeneity and CCR scaling sweeps.
+
+Not paper artifacts; they characterise *when* the CE mapping advantage is
+largest (DESIGN.md's extension row). Printed as tables like the ablations.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.scaling import ccr_sweep, heterogeneity_sweep
+
+
+def test_scaling_heterogeneity(benchmark, bench_seed, capsys):
+    result = run_once(
+        benchmark,
+        heterogeneity_sweep,
+        spreads=(1, 3, 5, 10, 20),
+        size=15,
+        runs=2,
+        seed=bench_seed,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+
+    assert len(result.points) == 5
+    for p in result.points:
+        assert p.match_et > 0 and p.ga_et > 0
+
+
+def test_scaling_ccr(benchmark, bench_seed, capsys):
+    result = run_once(
+        benchmark,
+        ccr_sweep,
+        multipliers=(0.25, 1.0, 4.0, 16.0),
+        size=15,
+        runs=2,
+        seed=bench_seed,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+
+    assert len(result.points) == 4
+    for p in result.points:
+        assert p.improvement > 0.5  # the GA never crushes MaTCH

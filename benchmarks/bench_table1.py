@@ -1,0 +1,27 @@
+"""EXP-T1 — regenerate Table 1 (execution-time comparison, GA vs MaTCH).
+
+Prints the measured table next to the published one and asserts the
+reproduction's shape claims: MaTCH's mapping quality is at least
+competitive at the smallest size and its advantage grows with n.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.table1 import compute_table1, render_table1
+
+
+def test_table1_regenerate(benchmark, bench_profile, bench_seed, capsys):
+    result = run_once(benchmark, compute_table1, bench_profile, seed=bench_seed)
+    with capsys.disabled():
+        print()
+        print(render_table1(result))
+
+    # Shape claims (DESIGN.md §5): the GA never beats MaTCH by much
+    # anywhere, and the improvement factor grows with problem size.
+    assert all(r > 0.9 for r in result.ratio)
+    assert result.ratio_grows_with_size
+    # Quality values are positive and finite.
+    assert all(v > 0 for v in result.et_match)
+    assert all(v > 0 for v in result.et_ga)

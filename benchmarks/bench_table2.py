@@ -1,0 +1,27 @@
+"""EXP-T2 — regenerate Table 2 (mapping-time comparison, GA vs MaTCH).
+
+The absolute seconds are hardware-relative (the paper used a 2005
+Pentium III); the reproduced claim is the shape — MaTCH's mapping time
+grows much faster with n than the GA's (``N = 2n²`` samples/iteration vs
+a fixed population), with the ratio rising steeply across the size sweep.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.table2 import compute_table2, render_table2
+
+
+def test_table2_regenerate(benchmark, bench_profile, bench_seed, capsys):
+    result = run_once(benchmark, compute_table2, bench_profile, seed=bench_seed)
+    with capsys.disabled():
+        print()
+        print(render_table2(result))
+
+    assert all(v > 0 for v in result.mt_ga)
+    assert all(v > 0 for v in result.mt_match)
+    # Table 2's shape: MaTCH's relative mapping cost rises with n.
+    assert result.ratio_grows_with_size
+    # And rises substantially: last/first ratio of the ratio row > 2.
+    assert result.ratio[-1] / result.ratio[0] > 2.0

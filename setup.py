@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package (offline installs).
+
+`pip install -e . --no-use-pep517 --no-build-isolation` uses this legacy
+path; all real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,89 @@
+"""Common interface for every mapping heuristic in the library.
+
+The experiment harness (Tables 1-3, Figures 7-9) treats heuristics
+uniformly: give a :class:`~repro.mapping.problem.MappingProblem` and a
+seed, get back a :class:`MapperResult` with the produced mapping, its
+execution time (ET, Eq. (2)) and the wall-clock mapping time (MT). MaTCH,
+FastMap-GA and every auxiliary baseline implement :class:`Mapper`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.mapping.cost_model import CostModel
+from repro.mapping.mapping import Mapping
+from repro.mapping.problem import MappingProblem
+from repro.mapping.turnaround import TurnaroundRecord
+from repro.types import SeedLike
+from repro.utils.timing import Stopwatch
+
+__all__ = ["MapperResult", "Mapper"]
+
+
+@dataclass
+class MapperResult:
+    """Outcome of one heuristic run on one problem instance."""
+
+    mapper_name: str
+    assignment: np.ndarray
+    execution_time: float  # ET: Eq. (2) cost of the produced mapping
+    mapping_time: float  # MT: wall-clock seconds the heuristic ran
+    n_evaluations: int = 0
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def mapping(self, problem: MappingProblem) -> Mapping:
+        """The result as a validated :class:`Mapping` object."""
+        return Mapping(problem, self.assignment)
+
+    def turnaround(self, *, seconds_per_unit: float = 1.0) -> TurnaroundRecord:
+        """ATN record (Fig. 9) for this run."""
+        return TurnaroundRecord(
+            heuristic=self.mapper_name,
+            execution_time=self.execution_time,
+            mapping_time=self.mapping_time,
+            seconds_per_unit=seconds_per_unit,
+        )
+
+
+class Mapper:
+    """Abstract mapping heuristic.
+
+    Subclasses implement :meth:`_solve` (returning the assignment plus
+    optional diagnostics); the public :meth:`map` adds uniform timing,
+    validation, and cost computation so MT/ET are measured identically for
+    every heuristic — a prerequisite for fair Table 2 comparisons.
+    """
+
+    #: Short name used in tables ("MaTCH", "FastMap-GA", ...).
+    name: str = "mapper"
+
+    def map(self, problem: MappingProblem, rng: SeedLike = None) -> MapperResult:
+        """Run the heuristic; returns a timed, validated result."""
+        model = CostModel(problem)
+        with Stopwatch() as sw:
+            assignment, n_evals, extras = self._solve(problem, model, rng)
+        mapping_time = sw.elapsed
+        assignment = problem.check_assignment(np.asarray(assignment, dtype=np.int64))
+        cost = model.evaluate(assignment)
+        return MapperResult(
+            mapper_name=self.name,
+            assignment=assignment,
+            execution_time=cost,
+            mapping_time=mapping_time,
+            n_evaluations=n_evals,
+            extras=extras,
+        )
+
+    # -- subclass hook ---------------------------------------------------------
+    def _solve(
+        self, problem: MappingProblem, model: CostModel, rng: SeedLike
+    ) -> tuple[np.ndarray, int, dict[str, Any]]:
+        """Produce ``(assignment, n_evaluations, extras)`` for ``problem``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,75 @@
+"""Greedy constructive mapper (min-increase list scheduling).
+
+Deterministic constructive baseline: visit tasks in decreasing
+computation-weight order (heaviest first, the classical LPT intuition) and
+assign each to the *free* resource that minimizes the partial Eq. (2)
+makespan, accounting for communication to already-placed neighbors. Runs
+in O(n² · deg) with the incremental evaluator and needs no randomness —
+useful as a fast, reproducible reference point and as a seed for local
+search.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.baselines.base import Mapper
+from repro.exceptions import ConfigurationError
+from repro.mapping.cost_model import CostModel
+from repro.mapping.problem import MappingProblem
+from repro.types import SeedLike
+
+__all__ = ["GreedyConstructiveMapper"]
+
+
+class GreedyConstructiveMapper(Mapper):
+    """Heaviest-task-first greedy assignment to the min-increase free resource."""
+
+    name = "Greedy"
+
+    def _solve(
+        self, problem: MappingProblem, model: CostModel, rng: SeedLike
+    ) -> tuple[np.ndarray, int, dict[str, Any]]:
+        if problem.n_resources < problem.n_tasks:
+            raise ConfigurationError("greedy one-to-one mapping needs n_resources >= n_tasks")
+        n = problem.n_tasks
+        W = problem.task_weights
+        w = problem.proc_weights
+        ccm = problem.comm_costs
+        adj = problem.tig.adjacency_matrix()
+
+        order = np.argsort(-W, kind="stable")  # heaviest first
+        assignment = np.full(n, -1, dtype=np.int64)
+        free = np.ones(problem.n_resources, dtype=bool)
+        exec_s = np.zeros(problem.n_resources, dtype=np.float64)
+        n_evals = 0
+
+        for t in order:
+            placed_nbrs = np.flatnonzero((adj[t] > 0) & (assignment >= 0))
+            nbr_res = assignment[placed_nbrs]
+            vols = adj[t, placed_nbrs]
+            best_r = -1
+            best_makespan = np.inf
+            for r in np.flatnonzero(free):
+                # Candidate per-resource times if t goes to r.
+                cand = exec_s.copy()
+                cand[r] += W[t] * w[r]
+                if placed_nbrs.size:
+                    link = vols * ccm[r, nbr_res]  # 0 where co-located
+                    cand[r] += link.sum()
+                    np.add.at(cand, nbr_res, vols * ccm[nbr_res, r])
+                makespan = cand.max()
+                n_evals += 1
+                if makespan < best_makespan:
+                    best_makespan = makespan
+                    best_r = int(r)
+            assignment[t] = best_r
+            free[best_r] = False
+            exec_s[best_r] += W[t] * w[best_r]
+            if placed_nbrs.size:
+                exec_s[best_r] += (vols * ccm[best_r, nbr_res]).sum()
+                np.add.at(exec_s, nbr_res, vols * ccm[nbr_res, best_r])
+
+        return assignment, n_evals, {"order": "heaviest-first"}

@@ -1,0 +1,63 @@
+"""Pure random search over one-to-one mappings.
+
+The weakest sensible baseline: draw ``n_samples`` uniformly random
+permutations, keep the best. Any optimizer that cannot beat equal-budget
+random search is not optimizing; the test suite and the ablation benches
+use this as the floor.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.baselines.base import Mapper
+from repro.exceptions import ConfigurationError
+from repro.mapping.cost_model import CostModel
+from repro.mapping.problem import MappingProblem
+from repro.types import SeedLike
+from repro.utils.rng import as_generator
+
+__all__ = ["RandomSearchMapper"]
+
+
+class RandomSearchMapper(Mapper):
+    """Best of ``n_samples`` uniformly random one-to-one mappings."""
+
+    name = "Random"
+
+    def __init__(self, n_samples: int = 1000, *, batch_size: int = 1024) -> None:
+        if n_samples < 1:
+            raise ConfigurationError(f"n_samples must be >= 1, got {n_samples}")
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        self.n_samples = n_samples
+        self.batch_size = batch_size
+
+    def _solve(
+        self, problem: MappingProblem, model: CostModel, rng: SeedLike
+    ) -> tuple[np.ndarray, int, dict[str, Any]]:
+        gen = as_generator(rng)
+        n = problem.n_tasks
+        if problem.n_resources < n:
+            raise ConfigurationError("random one-to-one search needs n_resources >= n_tasks")
+        best_x: np.ndarray | None = None
+        best_cost = np.inf
+        remaining = self.n_samples
+        while remaining > 0:
+            m = min(remaining, self.batch_size)
+            if problem.is_square:
+                batch = np.stack([gen.permutation(n) for _ in range(m)]).astype(np.int64)
+            else:
+                batch = np.stack(
+                    [gen.choice(problem.n_resources, size=n, replace=False) for _ in range(m)]
+                ).astype(np.int64)
+            costs = model.evaluate_batch(batch)
+            i = int(np.argmin(costs))
+            if costs[i] < best_cost:
+                best_cost = float(costs[i])
+                best_x = batch[i].copy()
+            remaining -= m
+        assert best_x is not None
+        return best_x, self.n_samples, {"best_cost": best_cost}

@@ -1,0 +1,87 @@
+"""Cross-entropy method library (§3): the engine MaTCH specializes.
+
+Contents:
+
+* :class:`StochasticMatrix` and the Eq. (11)/(13) update machinery;
+* :func:`sample_permutations` — the batched GenPerm sampler (Fig. 4);
+* elite quantile selection, stopping criteria, and the generic
+  :class:`CrossEntropyOptimizer` (Fig. 2) for combinatorial problems;
+* :class:`ContinuousCEOptimizer` — normal-family CE for continuous
+  multiextremal optimization;
+* :func:`estimate_rare_event` — the original rare-event-simulation form of
+  the CE method.
+"""
+
+from repro.ce.continuous import ContinuousCEConfig, ContinuousCEOptimizer, ContinuousCEResult
+from repro.ce.diagnostics import (
+    commit_iterations,
+    elite_diversity,
+    iterations_to_degeneracy,
+    mass_trajectory,
+)
+from repro.ce.genperm import (
+    genperm_exact_probabilities,
+    sample_assignments,
+    sample_permutations,
+)
+from repro.ce.maxcut import MaxCutResult, ce_max_cut, cut_value
+from repro.ce.optimizer import CEConfig, CEResult, CrossEntropyOptimizer
+from repro.ce.quantile import elite_mask, elite_threshold, select_elites
+from repro.ce.rare_event import (
+    BernoulliFamily,
+    ExponentialFamily,
+    RareEventResult,
+    estimate_rare_event,
+)
+from repro.ce.smoothing import dynamic_smoothing_factor, smooth
+from repro.ce.stochastic_matrix import StochasticMatrix, elite_counts_update
+from repro.ce.tsp import TourResult, ce_tsp, tour_length
+from repro.ce.stopping import (
+    AnyOf,
+    DegenerateMatrix,
+    GammaStagnation,
+    IterationState,
+    MaxIterations,
+    RowMaximaStable,
+    StoppingCriterion,
+)
+
+__all__ = [
+    "StochasticMatrix",
+    "MaxCutResult",
+    "TourResult",
+    "ce_tsp",
+    "tour_length",
+    "ce_max_cut",
+    "cut_value",
+    "elite_counts_update",
+    "sample_permutations",
+    "commit_iterations",
+    "elite_diversity",
+    "iterations_to_degeneracy",
+    "mass_trajectory",
+    "sample_assignments",
+    "genperm_exact_probabilities",
+    "elite_threshold",
+    "elite_mask",
+    "select_elites",
+    "smooth",
+    "dynamic_smoothing_factor",
+    "IterationState",
+    "StoppingCriterion",
+    "RowMaximaStable",
+    "GammaStagnation",
+    "MaxIterations",
+    "DegenerateMatrix",
+    "AnyOf",
+    "CEConfig",
+    "CEResult",
+    "CrossEntropyOptimizer",
+    "ContinuousCEConfig",
+    "ContinuousCEResult",
+    "ContinuousCEOptimizer",
+    "ExponentialFamily",
+    "BernoulliFamily",
+    "RareEventResult",
+    "estimate_rare_event",
+]

@@ -1,0 +1,164 @@
+"""CE for continuous multiextremal optimization (§3's broader method family).
+
+The paper introduces the CE method as "a generic and efficient tool for
+solving … continuous multiextremal optimization problems" [1, 23, 24].
+This module implements that family member — normal (Gaussian) updating —
+so the library covers the method the paper builds on, not just the one
+specialization MaTCH uses:
+
+* sample ``N`` points from independent normals ``N(μ_i, σ_i²)``;
+* take the elite ``ρ`` quantile of the objective (minimization);
+* re-fit ``μ, σ`` to the elites (the analytic CE update for the normal
+  family is exactly the elite sample mean / standard deviation);
+* smooth both (mean with ``alpha``, std with ``beta``) and iterate until
+  ``max σ`` collapses below a tolerance.
+
+The std smoothing uses a dynamic schedule by default (see
+:func:`repro.ce.smoothing.dynamic_smoothing_factor`) — the standard defence
+against premature collapse on multiextremal landscapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.ce.quantile import select_elites
+from repro.ce.smoothing import dynamic_smoothing_factor
+from repro.exceptions import ConfigurationError
+from repro.types import SeedLike
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_in_range
+
+__all__ = ["ContinuousCEConfig", "ContinuousCEResult", "ContinuousCEOptimizer"]
+
+
+@dataclass(frozen=True)
+class ContinuousCEConfig:
+    """Hyper-parameters for normal-family CE over R^d."""
+
+    n_samples: int = 100
+    rho: float = 0.1
+    alpha: float = 0.8  # mean smoothing (1 = no smoothing)
+    beta: float = 0.7  # std smoothing base for the dynamic schedule
+    dynamic_std_smoothing: bool = True
+    q: float = 5.0  # dynamic schedule exponent
+    sigma_tol: float = 1e-6
+    max_iterations: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.n_samples < 2:
+            raise ConfigurationError(f"n_samples must be >= 2, got {self.n_samples}")
+        check_in_range("rho", self.rho, 0.0, 1.0, inclusive=(False, False))
+        check_in_range("alpha", self.alpha, 0.0, 1.0, inclusive=(False, True))
+        check_in_range("beta", self.beta, 0.0, 1.0, inclusive=(False, True))
+        if self.sigma_tol <= 0:
+            raise ConfigurationError(f"sigma_tol must be > 0, got {self.sigma_tol}")
+        if self.max_iterations < 1:
+            raise ConfigurationError(f"max_iterations must be >= 1, got {self.max_iterations}")
+
+
+@dataclass
+class ContinuousCEResult:
+    """Outcome of a continuous CE run."""
+
+    best_point: np.ndarray
+    best_value: float
+    n_iterations: int
+    converged: bool
+    mean_history: list[np.ndarray] = field(default_factory=list, repr=False)
+    sigma_history: list[np.ndarray] = field(default_factory=list, repr=False)
+    best_value_history: list[float] = field(default_factory=list)
+
+
+class ContinuousCEOptimizer:
+    """Normal-updating CE minimizer over ``R^d`` with box clipping support."""
+
+    def __init__(
+        self,
+        objective: Callable[[np.ndarray], np.ndarray],
+        mean0: np.ndarray,
+        sigma0: np.ndarray,
+        config: ContinuousCEConfig = ContinuousCEConfig(),
+        *,
+        bounds: tuple[np.ndarray, np.ndarray] | None = None,
+        rng: SeedLike = None,
+    ) -> None:
+        """``objective`` maps an ``(N, d)`` array to ``(N,)`` values (minimized).
+
+        ``mean0`` / ``sigma0`` seed the sampling distribution; ``bounds``
+        optionally clips samples to ``[lo, hi]`` per dimension.
+        """
+        self.objective = objective
+        self.mean = np.asarray(mean0, dtype=np.float64).copy()
+        self.sigma = np.asarray(sigma0, dtype=np.float64).copy()
+        if self.mean.ndim != 1 or self.mean.shape != self.sigma.shape:
+            raise ConfigurationError(
+                f"mean0/sigma0 must be matching 1-D arrays, got {self.mean.shape} "
+                f"and {self.sigma.shape}"
+            )
+        if np.any(self.sigma <= 0):
+            raise ConfigurationError("sigma0 must be strictly positive")
+        self.config = config
+        self.rng = as_generator(rng)
+        if bounds is not None:
+            lo, hi = (np.asarray(b, dtype=np.float64) for b in bounds)
+            if lo.shape != self.mean.shape or hi.shape != self.mean.shape:
+                raise ConfigurationError("bounds must match the dimension of mean0")
+            if np.any(lo >= hi):
+                raise ConfigurationError("bounds must satisfy lo < hi elementwise")
+            self.bounds = (lo, hi)
+        else:
+            self.bounds = None
+
+    def run(self) -> ContinuousCEResult:
+        """Iterate normal-family CE until σ collapses or the budget ends."""
+        cfg = self.config
+        d = self.mean.shape[0]
+        best_value = np.inf
+        best_point = self.mean.copy()
+        result = ContinuousCEResult(
+            best_point=best_point, best_value=best_value, n_iterations=0, converged=False
+        )
+
+        for k in range(1, cfg.max_iterations + 1):
+            X = self.rng.normal(self.mean, self.sigma, size=(cfg.n_samples, d))
+            if self.bounds is not None:
+                np.clip(X, self.bounds[0], self.bounds[1], out=X)
+            values = np.asarray(self.objective(X), dtype=np.float64)
+            if values.shape != (cfg.n_samples,):
+                raise ConfigurationError(
+                    f"objective returned shape {values.shape}, expected ({cfg.n_samples},)"
+                )
+            _, elite_idx = select_elites(values, cfg.rho)
+            elites = X[elite_idx]
+
+            it_best = int(np.argmin(values))
+            if values[it_best] < best_value:
+                best_value = float(values[it_best])
+                best_point = X[it_best].copy()
+
+            new_mean = elites.mean(axis=0)
+            new_sigma = elites.std(axis=0, ddof=0)
+            beta_k = (
+                dynamic_smoothing_factor(k, beta=cfg.beta, q=cfg.q)
+                if cfg.dynamic_std_smoothing
+                else cfg.beta
+            )
+            self.mean = cfg.alpha * new_mean + (1 - cfg.alpha) * self.mean
+            self.sigma = beta_k * new_sigma + (1 - beta_k) * self.sigma
+
+            result.mean_history.append(self.mean.copy())
+            result.sigma_history.append(self.sigma.copy())
+            result.best_value_history.append(best_value)
+            result.n_iterations = k
+
+            if float(self.sigma.max()) < cfg.sigma_tol:
+                result.converged = True
+                break
+
+        result.best_point = best_point
+        result.best_value = best_value
+        return result

@@ -1,0 +1,98 @@
+"""Convergence diagnostics for CE runs.
+
+Quantities that explain *how* a run converged, consumed by the trace
+examples and the convergence study:
+
+* :func:`commit_iterations` — per task, the iteration at which its row's
+  argmax last changed (when the matrix "committed" that task);
+* :func:`elite_diversity` — the effective number of distinct mappings in
+  an elite set (exp of the entropy of the duplicate distribution); a
+  collapsing diversity signals the sampler has degenerated;
+* :func:`mass_trajectory` — probability mass assigned to the final decoded
+  mapping over the run's snapshots (the quantitative story of Fig. 3);
+* :func:`iterations_to_degeneracy` — first snapshot index at which mean
+  row maxima exceeded a threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ce.optimizer import CEResult
+from repro.exceptions import ValidationError
+from repro.types import AssignmentBatch
+
+__all__ = [
+    "commit_iterations",
+    "elite_diversity",
+    "mass_trajectory",
+    "iterations_to_degeneracy",
+]
+
+
+def _require_history(result: CEResult) -> list[np.ndarray]:
+    if not result.matrix_history:
+        raise ValidationError(
+            "no matrix snapshots recorded; run with track_matrices=True"
+        )
+    return result.matrix_history
+
+
+def commit_iterations(result: CEResult) -> np.ndarray:
+    """Snapshot index after which each row's argmax never changed again.
+
+    Returns an ``(n_rows,)`` int array; 0 means the row was committed from
+    the first snapshot on.
+    """
+    history = _require_history(result)
+    argmaxes = np.stack([m.argmax(axis=1) for m in history])  # (T, n)
+    final = argmaxes[-1]
+    T, n = argmaxes.shape
+    commit = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        differs = np.flatnonzero(argmaxes[:, i] != final[i])
+        commit[i] = differs[-1] + 1 if differs.size else 0
+    return commit
+
+
+def elite_diversity(elites: AssignmentBatch) -> float:
+    """Effective number of distinct mappings in an elite batch.
+
+    ``exp(H)`` of the empirical distribution over distinct rows: equals
+    the count of distinct elites when all are unique, 1.0 when all are
+    copies of one mapping.
+    """
+    E = np.asarray(elites)
+    if E.ndim != 2 or E.shape[0] == 0:
+        raise ValidationError(f"elites must be a non-empty 2-D batch, got {E.shape}")
+    _, counts = np.unique(E, axis=0, return_counts=True)
+    p = counts / counts.sum()
+    H = float(-(p * np.log(p)).sum())
+    return float(np.exp(H))
+
+
+def mass_trajectory(result: CEResult) -> np.ndarray:
+    """Mean probability the matrix assigned the final decode, per snapshot.
+
+    Starts near ``1/n_cols`` (uniform) and approaches 1.0 as the matrix
+    degenerates — the scalar summary of Fig. 3's panels.
+    """
+    history = _require_history(result)
+    final_decode = history[-1].argmax(axis=1)
+    rows = np.arange(history[0].shape[0])
+    return np.array([m[rows, final_decode].mean() for m in history])
+
+
+def iterations_to_degeneracy(result: CEResult, *, threshold: float = 0.9) -> int:
+    """First snapshot index with mean row maxima >= ``threshold``.
+
+    Returns ``-1`` if the run never reached it (useful in sweeps comparing
+    commitment speed across ζ or ρ values).
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValidationError(f"threshold must be in (0, 1], got {threshold}")
+    history = _require_history(result)
+    for k, m in enumerate(history):
+        if m.max(axis=1).mean() >= threshold:
+            return k
+    return -1

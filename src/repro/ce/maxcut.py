@@ -1,0 +1,112 @@
+"""CE for max-cut — the canonical COP of the method's literature.
+
+The paper cites Rubinstein's "The cross-entropy method and rare-events for
+maximal cut and bipartition problems" [23] as the archetype CE
+application. Implementing it here (a) demonstrates the engine's
+generality beyond mapping and (b) gives the test suite a combinatorial
+problem with *known* optima on structured graphs (complete bipartite
+graphs, small enumerable instances).
+
+Formulation: a cut is a 0/1 vector over vertices; the sampling family is
+independent Bernoulli per vertex, i.e. an ``(n, 2)`` stochastic matrix
+driven through the generic :class:`~repro.ce.optimizer.CrossEntropyOptimizer`
+with the ``"independent"`` sampler. The first vertex is pinned to side 0
+(cuts are symmetric under complement; pinning halves the space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ce.optimizer import CEConfig, CEResult, CrossEntropyOptimizer
+from repro.exceptions import ValidationError
+from repro.graphs.base import WeightedGraph
+from repro.types import SeedLike
+
+__all__ = ["MaxCutResult", "cut_value", "ce_max_cut"]
+
+
+@dataclass(frozen=True)
+class MaxCutResult:
+    """Outcome of a CE max-cut run."""
+
+    partition: np.ndarray  # 0/1 side per vertex
+    cut_value: float
+    n_iterations: int
+    n_evaluations: int
+
+
+def cut_value(graph: WeightedGraph, partition: np.ndarray) -> float:
+    """Total weight of edges crossing the cut."""
+    part = np.asarray(partition)
+    if part.shape != (graph.n_nodes,):
+        raise ValidationError(
+            f"partition must have shape ({graph.n_nodes},), got {part.shape}"
+        )
+    if graph.n_edges == 0:
+        return 0.0
+    u, v = graph.edges[:, 0], graph.edges[:, 1]
+    crossing = part[u] != part[v]
+    return float(graph.edge_weights[crossing].sum())
+
+
+def ce_max_cut(
+    graph: WeightedGraph,
+    *,
+    n_samples: int | None = None,
+    rho: float = 0.1,
+    zeta: float = 0.7,
+    max_iterations: int = 200,
+    rng: SeedLike = None,
+) -> MaxCutResult:
+    """Maximize the cut of ``graph`` with the CE method.
+
+    Each vertex's side is a Bernoulli driven by a row of the stochastic
+    matrix; elites re-fit the Bernoulli means (Eq. (11) with two columns).
+    Vertex 0 is pinned to side 0 via the initial matrix (its row starts
+    and stays degenerate because every elite agrees with it).
+    """
+    n = graph.n_nodes
+    if n < 2:
+        return MaxCutResult(
+            partition=np.zeros(max(n, 1), dtype=np.int64),
+            cut_value=0.0,
+            n_iterations=0,
+            n_evaluations=0,
+        )
+    if n_samples is None:
+        n_samples = max(50, 10 * n)
+
+    u, v = graph.edges[:, 0], graph.edges[:, 1]
+    weights = graph.edge_weights
+
+    def negative_cut(X: np.ndarray) -> np.ndarray:
+        # engine minimizes; return -cut. Vectorized over the batch.
+        if weights.size == 0:
+            return np.zeros(X.shape[0])
+        crossing = X[:, u] != X[:, v]  # (N, E)
+        return -(crossing * weights[np.newaxis, :]).sum(axis=1)
+
+    initial = np.full((n, 2), 0.5)
+    initial[0] = (1.0, 0.0)  # pin vertex 0 to side 0
+
+    cfg = CEConfig(
+        n_samples=n_samples,
+        rho=rho,
+        zeta=zeta,
+        max_iterations=max_iterations,
+    )
+    opt = CrossEntropyOptimizer(
+        negative_cut, n, 2, cfg, sampler="independent", rng=rng,
+        initial_matrix=initial,
+    )
+    result: CEResult = opt.run()
+    partition = result.best_assignment.astype(np.int64)
+    return MaxCutResult(
+        partition=partition,
+        cut_value=cut_value(graph, partition),
+        n_iterations=result.n_iterations,
+        n_evaluations=result.n_evaluations,
+    )

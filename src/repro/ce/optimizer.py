@@ -1,0 +1,273 @@
+"""Generic cross-entropy optimizer for combinatorial problems (Fig. 2 / §3).
+
+This is the reusable engine under MaTCH: it owns the CE iteration
+(sample → score → elite quantile → matrix update → stopping check) while
+remaining agnostic of *what* is being optimized. The sampling family is
+pluggable:
+
+* ``"permutation"`` — GenPerm one-to-one sampling (the MaTCH setting);
+* ``"independent"`` — unconstrained per-row categorical sampling (Eq. (8));
+* any callable ``(P, n_samples, rng) -> AssignmentBatch``.
+
+The objective is a batch function mapping an ``(N, n_rows)`` integer batch
+to ``(N,)`` costs — lower is better. The engine minimizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.ce.genperm import sample_assignments, sample_permutations
+from repro.ce.quantile import select_elites, select_top_k
+from repro.ce.stochastic_matrix import StochasticMatrix
+from repro.ce.stopping import (
+    AnyOf,
+    DegenerateMatrix,
+    GammaStagnation,
+    IterationState,
+    MaxIterations,
+    RowMaximaStable,
+    StoppingCriterion,
+)
+from repro.exceptions import ConfigurationError
+from repro.types import AssignmentBatch, BatchObjectiveFn, ProbabilityMatrix, SeedLike
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_in_range
+
+__all__ = ["CEConfig", "CEResult", "CrossEntropyOptimizer"]
+
+SamplerLike = Union[str, Callable[[ProbabilityMatrix, int, np.random.Generator], AssignmentBatch]]
+
+
+@dataclass(frozen=True)
+class CEConfig:
+    """Hyper-parameters of one CE run.
+
+    Attributes
+    ----------
+    n_samples:
+        Batch size ``N`` per iteration (the paper uses ``2·|V_r|²``).
+    rho:
+        Focus parameter; elite fraction (paper: 0.01 ≤ ρ ≤ 0.1).
+    zeta:
+        Smoothing factor of Eq. (13); 1.0 disables smoothing (coarse
+        update), the paper runs 0.3.
+    stability_window:
+        ``c`` of Eq. (12): iterations of unchanged row maxima (within
+        ``stability_tol``) required to declare convergence. ``0`` disables
+        the rule.
+    stability_tol:
+        Float tolerance for "unchanged" in the Eq. (12) check. The paper's
+        exact-equality reading only ever fires once the matrix is exactly
+        degenerate; under smoothing (ζ < 1) the maxima approach 1
+        asymptotically, so a tolerance is required in practice.
+    gamma_window:
+        The generic CE criterion (Fig. 2 step 4): stop when the elite
+        threshold ``γ`` has been unchanged this many iterations. ``0``
+        disables. This typically fires first on cost plateaus, bounding
+        mapping time without hurting quality.
+    elite_mode:
+        ``"exact_k"`` (default) keeps exactly the ``⌈ρN⌉`` best samples;
+        ``"threshold"`` keeps every sample with cost ≤ γ (the textbook
+        rule, which over-weights tied duplicates late in a run).
+    max_iterations:
+        Hard iteration budget (safety net; the adaptive criteria usually
+        fire long before).
+    track_matrices:
+        Record a snapshot of the stochastic matrix every
+        ``matrix_snapshot_every`` iterations (for Fig. 3 reproductions).
+    matrix_snapshot_every:
+        Snapshot stride when ``track_matrices`` is on.
+    """
+
+    n_samples: int
+    rho: float = 0.05
+    zeta: float = 0.3
+    stability_window: int = 5
+    stability_tol: float = 1e-6
+    gamma_window: int = 12
+    elite_mode: str = "exact_k"
+    max_iterations: int = 500
+    track_matrices: bool = False
+    matrix_snapshot_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_samples < 2:
+            raise ConfigurationError(f"n_samples must be >= 2, got {self.n_samples}")
+        check_in_range("rho", self.rho, 0.0, 1.0, inclusive=(False, False))
+        check_in_range("zeta", self.zeta, 0.0, 1.0, inclusive=(False, True))
+        if self.stability_window < 0:
+            raise ConfigurationError(
+                f"stability_window must be >= 0, got {self.stability_window}"
+            )
+        if self.stability_tol < 0:
+            raise ConfigurationError(f"stability_tol must be >= 0, got {self.stability_tol}")
+        if self.gamma_window < 0:
+            raise ConfigurationError(f"gamma_window must be >= 0, got {self.gamma_window}")
+        if self.elite_mode not in ("exact_k", "threshold"):
+            raise ConfigurationError(
+                f"elite_mode must be 'exact_k' or 'threshold', got {self.elite_mode!r}"
+            )
+        if self.max_iterations < 1:
+            raise ConfigurationError(f"max_iterations must be >= 1, got {self.max_iterations}")
+        if self.matrix_snapshot_every < 1:
+            raise ConfigurationError(
+                f"matrix_snapshot_every must be >= 1, got {self.matrix_snapshot_every}"
+            )
+
+
+@dataclass
+class CEResult:
+    """Outcome of a CE run, including per-iteration diagnostics."""
+
+    best_assignment: np.ndarray
+    best_cost: float
+    n_iterations: int
+    n_evaluations: int
+    stop_reason: str
+    gamma_history: list[float] = field(default_factory=list)
+    best_cost_history: list[float] = field(default_factory=list)
+    degeneracy_history: list[float] = field(default_factory=list)
+    entropy_history: list[float] = field(default_factory=list)
+    matrix_history: list[np.ndarray] = field(default_factory=list, repr=False)
+    final_matrix: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def converged(self) -> bool:
+        """True when an adaptive rule (not the iteration budget) fired."""
+        return "budget" not in self.stop_reason
+
+
+class CrossEntropyOptimizer:
+    """The CE engine: repeatedly sample, select elites, update, test stopping.
+
+    Parameters
+    ----------
+    objective:
+        Batch objective ``(N, n_rows) -> (N,)`` costs (minimized).
+    n_rows, n_cols:
+        Shape of the stochastic matrix (tasks × resources for MaTCH).
+    config:
+        Hyper-parameters.
+    sampler:
+        ``"permutation"``, ``"independent"``, or a callable.
+    rng:
+        Seed or generator for the whole run.
+    extra_stopping:
+        Optional additional criteria OR-ed with the defaults.
+    """
+
+    def __init__(
+        self,
+        objective: BatchObjectiveFn,
+        n_rows: int,
+        n_cols: int,
+        config: CEConfig,
+        *,
+        sampler: SamplerLike = "permutation",
+        rng: SeedLike = None,
+        extra_stopping: tuple[StoppingCriterion, ...] = (),
+        initial_matrix: ProbabilityMatrix | None = None,
+    ) -> None:
+        if n_rows < 1 or n_cols < 1:
+            raise ConfigurationError(f"matrix dims must be >= 1, got ({n_rows}, {n_cols})")
+        if sampler == "permutation" and n_rows > n_cols:
+            raise ConfigurationError(
+                "permutation sampling requires n_rows <= n_cols "
+                f"(got {n_rows} tasks, {n_cols} resources)"
+            )
+        self.objective = objective
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self.config = config
+        self.rng = as_generator(rng)
+        if callable(sampler):
+            self._sample = sampler
+        elif sampler == "permutation":
+            self._sample = sample_permutations
+        elif sampler == "independent":
+            self._sample = sample_assignments
+        else:
+            raise ConfigurationError(f"unknown sampler {sampler!r}")
+
+        criteria: list[StoppingCriterion] = [MaxIterations(config.max_iterations)]
+        if config.stability_window > 0:
+            criteria.append(
+                RowMaximaStable(config.stability_window, tol=config.stability_tol)
+            )
+        if config.gamma_window > 0:
+            criteria.append(GammaStagnation(config.gamma_window))
+        criteria.append(DegenerateMatrix())
+        criteria.extend(extra_stopping)
+        self.stopping = AnyOf(tuple(criteria))
+        self._select = select_top_k if config.elite_mode == "exact_k" else select_elites
+
+        if initial_matrix is not None:
+            self.matrix = StochasticMatrix(initial_matrix)
+            if self.matrix.shape != (n_rows, n_cols):
+                raise ConfigurationError(
+                    f"initial_matrix shape {self.matrix.shape} != ({n_rows}, {n_cols})"
+                )
+        else:
+            self.matrix = StochasticMatrix.uniform(n_rows, n_cols)
+
+    def run(self) -> CEResult:
+        """Execute the CE loop (Fig. 5 steps 2-8) and return the result."""
+        cfg = self.config
+        self.stopping.reset()
+        best_cost = np.inf
+        best_x = np.zeros(self.n_rows, dtype=np.int64)
+        result = CEResult(
+            best_assignment=best_x,
+            best_cost=best_cost,
+            n_iterations=0,
+            n_evaluations=0,
+            stop_reason="not run",
+        )
+
+        for k in range(1, cfg.max_iterations + 1):
+            X = self._sample(self.matrix.view(), cfg.n_samples, self.rng)
+            costs = np.asarray(self.objective(X), dtype=np.float64)
+            if costs.shape != (X.shape[0],):
+                raise ConfigurationError(
+                    f"objective returned shape {costs.shape}, expected ({X.shape[0]},)"
+                )
+            result.n_evaluations += X.shape[0]
+
+            gamma, elite_idx = self._select(costs, cfg.rho)
+            iter_best = int(np.argmin(costs))
+            if costs[iter_best] < best_cost:
+                best_cost = float(costs[iter_best])
+                best_x = X[iter_best].copy()
+
+            self.matrix.update_from_elites(X[elite_idx], zeta=cfg.zeta)
+
+            result.gamma_history.append(float(gamma))
+            result.best_cost_history.append(best_cost)
+            result.degeneracy_history.append(self.matrix.degeneracy())
+            result.entropy_history.append(self.matrix.entropy())
+            if cfg.track_matrices and (k - 1) % cfg.matrix_snapshot_every == 0:
+                result.matrix_history.append(self.matrix.values)
+            result.n_iterations = k
+
+            state = IterationState(
+                iteration=k, gamma=float(gamma), best_cost=best_cost, matrix=self.matrix
+            )
+            if self.stopping.update(state):
+                result.stop_reason = self.stopping.reason
+                break
+        else:  # pragma: no cover - loop always breaks via MaxIterations
+            result.stop_reason = "iteration budget exhausted"
+
+        result.best_assignment = best_x
+        result.best_cost = best_cost
+        result.final_matrix = self.matrix.values
+        if cfg.track_matrices and (
+            not result.matrix_history
+            or not np.array_equal(result.matrix_history[-1], result.final_matrix)
+        ):
+            result.matrix_history.append(result.final_matrix)
+        return result

@@ -1,0 +1,204 @@
+"""CE for rare-event simulation (RES) — the method's original home (§3).
+
+The paper grounds MaTCH in the CE method's roots: estimating
+``ℓ(γ) = P_u(S(X) ≥ γ)`` when ``ℓ`` is tiny (Eq. (4)), via an adaptively
+tilted importance-sampling density and the likelihood-ratio estimator
+(Eq. (5)/(6)). This module implements the classical multilevel algorithm
+for product families with analytic CE updates:
+
+* :class:`ExponentialFamily` — independent ``Exp(mean v_i)`` components;
+* :class:`BernoulliFamily` — independent ``Bernoulli(v_i)`` components.
+
+Both admit the closed-form tilted update
+``v_i ← Σ_k W_k I_k X_{ki} / Σ_k W_k I_k`` (the weighted elite mean), which
+is exactly the ``argmax`` of Eq. (6) for these families.
+
+:func:`estimate_rare_event` runs the two-phase scheme: adapt levels
+``γ_1 < γ_2 < … → γ`` with the elite quantile, then estimate ``ℓ`` with a
+final likelihood-ratio batch. Tests validate it against analytically
+tractable targets (e.g. ``P(Σ X_i ≥ γ)`` for i.i.d. exponentials, an
+Erlang tail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ConvergenceError
+from repro.types import SeedLike
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_in_range
+
+__all__ = [
+    "ExponentialFamily",
+    "BernoulliFamily",
+    "RareEventResult",
+    "estimate_rare_event",
+]
+
+
+class TiltableFamily(Protocol):
+    """A product sampling family with analytic CE (tilted-mean) updates."""
+
+    def sample(self, v: np.ndarray, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` i.i.d. vectors from ``f(·; v)``."""
+        ...
+
+    def log_ratio(self, x: np.ndarray, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """``log f(x; u) - log f(x; v)`` per sample (the LR exponent)."""
+        ...
+
+    def update(self, x: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Weighted-mean CE update of the parameter vector."""
+        ...
+
+
+class ExponentialFamily:
+    """Independent exponentials parameterized by their *means* ``v_i > 0``."""
+
+    def sample(self, v: np.ndarray, n: int, rng: np.random.Generator) -> np.ndarray:
+        v = np.asarray(v, dtype=np.float64)
+        return rng.exponential(v, size=(n, v.shape[0]))
+
+    def log_ratio(self, x: np.ndarray, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        u = np.asarray(u, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        # log f(x; u) = -log u - x / u  (componentwise, summed).
+        return ((np.log(v) - np.log(u)) + x * (1.0 / v - 1.0 / u)).sum(axis=1)
+
+    def update(self, x: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        wsum = weights.sum()
+        if wsum <= 0:
+            raise ConvergenceError("all importance weights vanished in CE update")
+        return (weights[:, np.newaxis] * x).sum(axis=0) / wsum
+
+
+class BernoulliFamily:
+    """Independent Bernoulli components with success probabilities ``v_i``."""
+
+    def __init__(self, *, clip: float = 1e-6) -> None:
+        if not 0 < clip < 0.5:
+            raise ConfigurationError(f"clip must be in (0, 0.5), got {clip}")
+        self.clip = clip
+
+    def sample(self, v: np.ndarray, n: int, rng: np.random.Generator) -> np.ndarray:
+        v = np.asarray(v, dtype=np.float64)
+        return (rng.random((n, v.shape[0])) < v).astype(np.float64)
+
+    def log_ratio(self, x: np.ndarray, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        u = np.clip(np.asarray(u, dtype=np.float64), self.clip, 1 - self.clip)
+        v = np.clip(np.asarray(v, dtype=np.float64), self.clip, 1 - self.clip)
+        return (
+            x * (np.log(u) - np.log(v)) + (1 - x) * (np.log1p(-u) - np.log1p(-v))
+        ).sum(axis=1)
+
+    def update(self, x: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        wsum = weights.sum()
+        if wsum <= 0:
+            raise ConvergenceError("all importance weights vanished in CE update")
+        p = (weights[:, np.newaxis] * x).sum(axis=0) / wsum
+        return np.clip(p, self.clip, 1 - self.clip)
+
+
+@dataclass
+class RareEventResult:
+    """Outcome of a CE rare-event estimation."""
+
+    probability: float
+    relative_error: float
+    gamma_levels: list[float] = field(default_factory=list)
+    n_iterations: int = 0
+    final_parameters: np.ndarray | None = field(default=None, repr=False)
+
+
+def estimate_rare_event(
+    score: Callable[[np.ndarray], np.ndarray],
+    family: TiltableFamily,
+    u: np.ndarray,
+    gamma: float,
+    *,
+    n_samples: int = 1000,
+    rho: float = 0.1,
+    max_iterations: int = 100,
+    final_samples: int | None = None,
+    rng: SeedLike = None,
+) -> RareEventResult:
+    """Estimate ``ℓ = P_u(S(X) ≥ γ)`` with the multilevel CE algorithm.
+
+    Parameters
+    ----------
+    score:
+        Batch performance function ``(N, d) -> (N,)`` (larger = rarer).
+    family:
+        The tiltable sampling family.
+    u:
+        Nominal (true) parameter vector.
+    gamma:
+        Target level.
+    n_samples:
+        Batch size per adaptation iteration.
+    rho:
+        Elite fraction: each level is the ``(1-ρ)`` sample quantile.
+    max_iterations:
+        Budget for the level-adaptation phase.
+    final_samples:
+        Size of the final LR estimation batch (default ``10 × n_samples``).
+    rng:
+        Seed or generator.
+
+    Raises
+    ------
+    ConvergenceError
+        If the levels stop making progress toward ``gamma``.
+    """
+    check_in_range("rho", rho, 0.0, 1.0, inclusive=(False, False))
+    if n_samples < 10:
+        raise ConfigurationError(f"n_samples must be >= 10, got {n_samples}")
+    gen = as_generator(rng)
+    u = np.asarray(u, dtype=np.float64)
+    v = u.copy()
+    levels: list[float] = []
+
+    for it in range(1, max_iterations + 1):
+        x = family.sample(v, n_samples, gen)
+        s = np.asarray(score(x), dtype=np.float64)
+        gamma_t = float(np.quantile(s, 1.0 - rho))
+        gamma_t = min(gamma_t, gamma)
+        levels.append(gamma_t)
+        hit = s >= gamma_t
+        if not hit.any():
+            raise ConvergenceError(f"no samples reached level {gamma_t} at iteration {it}")
+        # Likelihood ratios back to the nominal density.
+        log_w = family.log_ratio(x, u, v)
+        weights = np.where(hit, np.exp(log_w), 0.0)
+        v = family.update(x, weights)
+        if gamma_t >= gamma:
+            break
+        if it >= 3 and abs(levels[-1] - levels[-3]) < 1e-12:
+            raise ConvergenceError(
+                f"levels stalled at {levels[-1]:.6g} before reaching gamma={gamma}"
+            )
+    else:
+        raise ConvergenceError(
+            f"failed to reach gamma={gamma} in {max_iterations} iterations "
+            f"(best level {levels[-1]:.6g})"
+        )
+
+    n_final = final_samples if final_samples is not None else 10 * n_samples
+    x = family.sample(v, n_final, gen)
+    s = np.asarray(score(x), dtype=np.float64)
+    hit = s >= gamma
+    lr = np.where(hit, np.exp(family.log_ratio(x, u, v)), 0.0)
+    ell = float(lr.mean())
+    std = float(lr.std(ddof=1)) if n_final > 1 else float("inf")
+    rel_err = std / (ell * np.sqrt(n_final)) if ell > 0 else float("inf")
+    return RareEventResult(
+        probability=ell,
+        relative_error=rel_err,
+        gamma_levels=levels,
+        n_iterations=len(levels),
+        final_parameters=v,
+    )

@@ -1,0 +1,218 @@
+"""Stopping criteria for CE iterations.
+
+The paper's criterion (Eq. (12)) declares convergence when the maximal
+element of *every* row of the stochastic matrix has been unchanged for
+``c`` consecutive iterations (``c = 5``). The generic CE tutorial's
+criterion (Fig. 2, step 4) instead watches the elite threshold ``γ``.
+Both are provided, together with an iteration budget and a full-degeneracy
+test, and can be combined with :class:`AnyOf`.
+
+A criterion is an object with ``update(state) -> bool`` (True = stop) and
+``reset()``; ``state`` is the :class:`IterationState` snapshot the
+optimizer publishes each iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ce.stochastic_matrix import StochasticMatrix
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "IterationState",
+    "StoppingCriterion",
+    "RowMaximaStable",
+    "ArgmaxStable",
+    "GammaStagnation",
+    "MaxIterations",
+    "DegenerateMatrix",
+    "AnyOf",
+]
+
+
+@dataclass(frozen=True)
+class IterationState:
+    """Everything a stopping rule may inspect after one CE iteration."""
+
+    iteration: int
+    gamma: float
+    best_cost: float
+    matrix: StochasticMatrix
+
+
+class StoppingCriterion:
+    """Interface: ``update`` consumes one iteration, returns True to stop."""
+
+    def update(self, state: IterationState) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget accumulated history (called before a fresh run)."""
+
+    @property
+    def reason(self) -> str:
+        """Human-readable reason, valid after ``update`` returned True."""
+        return type(self).__name__
+
+
+class RowMaximaStable(StoppingCriterion):
+    """Eq. (12): every row maximum ``μ^i`` unchanged for ``c`` iterations.
+
+    Float-tolerant: two consecutive row-max vectors count as "unchanged"
+    when equal within ``tol``. The counter requires ``c`` *consecutive*
+    stable steps and resets on any change.
+    """
+
+    def __init__(self, c: int = 5, *, tol: float = 1e-9) -> None:
+        if c < 1:
+            raise ConfigurationError(f"c must be >= 1, got {c}")
+        if tol < 0:
+            raise ConfigurationError(f"tol must be >= 0, got {tol}")
+        self.c = c
+        self.tol = tol
+        self._prev: np.ndarray | None = None
+        self._stable = 0
+
+    def update(self, state: IterationState) -> bool:
+        mu = state.matrix.row_maxima()
+        if self._prev is not None and np.allclose(mu, self._prev, atol=self.tol, rtol=0.0):
+            self._stable += 1
+        else:
+            self._stable = 0
+        self._prev = mu
+        return self._stable >= self.c
+
+    def reset(self) -> None:
+        self._prev = None
+        self._stable = 0
+
+    @property
+    def reason(self) -> str:
+        return f"row maxima stable for {self.c} iterations (Eq. 12)"
+
+
+class ArgmaxStable(StoppingCriterion):
+    """The decoded mapping (per-row argmax) unchanged for ``c`` iterations.
+
+    A discrete, float-robust reading of Eq. (12): once every task's most
+    likely resource has been the same for ``c`` consecutive iterations the
+    matrix has committed to one mapping, even if the probabilities are
+    still creeping towards 1 under smoothing.
+    """
+
+    def __init__(self, c: int = 10) -> None:
+        if c < 1:
+            raise ConfigurationError(f"c must be >= 1, got {c}")
+        self.c = c
+        self._prev: np.ndarray | None = None
+        self._stable = 0
+
+    def update(self, state: IterationState) -> bool:
+        decoded = state.matrix.row_argmax()
+        if self._prev is not None and np.array_equal(decoded, self._prev):
+            self._stable += 1
+        else:
+            self._stable = 0
+        self._prev = decoded
+        return self._stable >= self.c
+
+    def reset(self) -> None:
+        self._prev = None
+        self._stable = 0
+
+    @property
+    def reason(self) -> str:
+        return f"decoded mapping stable for {self.c} iterations"
+
+
+class GammaStagnation(StoppingCriterion):
+    """Fig. 2 step 4: the elite threshold ``γ`` unchanged for ``k`` iterations."""
+
+    def __init__(self, k: int = 5, *, tol: float = 1e-9) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.tol = tol
+        self._prev: float | None = None
+        self._stable = 0
+
+    def update(self, state: IterationState) -> bool:
+        if self._prev is not None and abs(state.gamma - self._prev) <= self.tol:
+            self._stable += 1
+        else:
+            self._stable = 0
+        self._prev = state.gamma
+        return self._stable >= self.k
+
+    def reset(self) -> None:
+        self._prev = None
+        self._stable = 0
+
+    @property
+    def reason(self) -> str:
+        return f"elite threshold gamma stagnant for {self.k} iterations"
+
+
+class MaxIterations(StoppingCriterion):
+    """Hard iteration budget (safety net around the adaptive rules)."""
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ConfigurationError(f"limit must be >= 1, got {limit}")
+        self.limit = limit
+
+    def update(self, state: IterationState) -> bool:
+        return state.iteration >= self.limit
+
+    @property
+    def reason(self) -> str:
+        return f"iteration budget of {self.limit} exhausted"
+
+
+class DegenerateMatrix(StoppingCriterion):
+    """Stop once the matrix is (numerically) fully degenerate (Fig. 3 endpoint)."""
+
+    def __init__(self, *, tol: float = 1e-6) -> None:
+        if tol < 0:
+            raise ConfigurationError(f"tol must be >= 0, got {tol}")
+        self.tol = tol
+
+    def update(self, state: IterationState) -> bool:
+        return state.matrix.is_degenerate(tol=self.tol)
+
+    @property
+    def reason(self) -> str:
+        return "stochastic matrix degenerate"
+
+
+@dataclass
+class AnyOf(StoppingCriterion):
+    """Stop as soon as any member criterion fires; reports which one."""
+
+    criteria: tuple[StoppingCriterion, ...]
+    _fired: StoppingCriterion | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.criteria:
+            raise ConfigurationError("AnyOf needs at least one criterion")
+
+    def update(self, state: IterationState) -> bool:
+        fired = False
+        # Update every member each iteration so their histories stay warm.
+        for crit in self.criteria:
+            if crit.update(state) and not fired:
+                self._fired = crit
+                fired = True
+        return fired
+
+    def reset(self) -> None:
+        self._fired = None
+        for crit in self.criteria:
+            crit.reset()
+
+    @property
+    def reason(self) -> str:
+        return self._fired.reason if self._fired is not None else "not stopped"

@@ -1,0 +1,157 @@
+"""Command-line interface: regenerate any paper artifact from a terminal.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro table1               # regenerate Table 1 (smoke scale)
+    python -m repro table3 --scale paper # paper-scale ANOVA study
+    python -m repro all --seed 7         # every artifact
+    python -m repro solve --size 20      # run MaTCH on a fresh instance
+
+The ``repro-match`` console script installs the same entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema."""
+    parser = argparse.ArgumentParser(
+        prog="repro-match",
+        description="MaTCH reproduction harness (Sanyal & Das, IPDPS 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiment ids")
+
+    run = sub.add_parser("run", help="regenerate one experiment artifact by id")
+    run.add_argument("experiment", help="experiment id (see 'list')")
+    _add_common(run)
+
+    everything = sub.add_parser("all", help="regenerate every artifact")
+    _add_common(everything)
+
+    report = sub.add_parser(
+        "report", help="run all artifacts and render the markdown reproduction report"
+    )
+    report.add_argument(
+        "--out", default=None, help="write the report to this file (default: stdout)"
+    )
+    _add_common(report)
+
+    solve = sub.add_parser("solve", help="run MaTCH on a freshly generated instance")
+    solve.add_argument("--size", type=int, default=20, help="|V_t| = |V_r| (default 20)")
+    solve.add_argument("--rho", type=float, default=0.05, help="focus parameter")
+    solve.add_argument("--zeta", type=float, default=0.3, help="smoothing factor")
+    solve.add_argument("--seed", type=int, default=2005, help="root seed")
+
+    # Sugar: every experiment id is also a first-class subcommand.
+    from repro.experiments.registry import EXPERIMENTS
+
+    for exp_id, (desc, _) in EXPERIMENTS.items():
+        p = sub.add_parser(exp_id, help=desc)
+        _add_common(p)
+    return parser
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=2005, help="root seed (default 2005)")
+    parser.add_argument(
+        "--scale",
+        choices=("smoke", "paper"),
+        default=None,
+        help="scale profile (default: REPRO_SCALE env or 'smoke')",
+    )
+
+
+def _resolve_profile(scale: str | None):
+    from repro.experiments.spec import PAPER_PROFILE, SMOKE_PROFILE, active_profile
+
+    if scale == "paper":
+        return PAPER_PROFILE
+    if scale == "smoke":
+        return SMOKE_PROFILE
+    return active_profile()
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core import MatchConfig, MatchMapper
+    from repro.graphs import generate_paper_pair
+    from repro.mapping import MappingProblem
+    from repro.utils.tables import render_kv_block
+
+    pair = generate_paper_pair(args.size, args.seed)
+    problem = MappingProblem(pair.tig, pair.resources, require_square=True)
+    mapper = MatchMapper(MatchConfig(rho=args.rho, zeta=args.zeta))
+    result = mapper.map(problem, args.seed)
+    print(
+        render_kv_block(
+            f"MaTCH on a fresh n={args.size} instance (seed {args.seed})",
+            {
+                "execution time (ET)": result.execution_time,
+                "mapping time (MT, s)": result.mapping_time,
+                "iterations": result.extras["iterations"],
+                "evaluations": result.n_evaluations,
+                "stop reason": result.extras["stop_reason"],
+            },
+        )
+    )
+    print("\nassignment (task -> resource):")
+    print(np.array2string(result.assignment, max_line_width=100))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+
+    try:
+        if args.command == "list":
+            for exp_id in experiment_ids():
+                print(f"{exp_id:18s} {EXPERIMENTS[exp_id][0]}")
+            return 0
+        if args.command == "solve":
+            return _cmd_solve(args)
+        if args.command == "report":
+            from pathlib import Path
+
+            from repro.experiments.reporting import build_report, render_report_markdown
+
+            profile = _resolve_profile(args.scale)
+            text = render_report_markdown(build_report(profile, seed=args.seed))
+            if args.out:
+                Path(args.out).write_text(text, encoding="utf-8")
+                print(f"wrote {args.out}")
+            else:
+                print(text)
+            return 0
+        if args.command == "all":
+            profile = _resolve_profile(args.scale)
+            for exp_id in experiment_ids():
+                print(run_experiment(exp_id, profile=profile, seed=args.seed))
+                print("\n" + "#" * 72 + "\n")
+            return 0
+        exp_id = args.experiment if args.command == "run" else args.command
+        profile = _resolve_profile(args.scale)
+        print(run_experiment(exp_id, profile=profile, seed=args.seed))
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

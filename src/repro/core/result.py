@@ -1,0 +1,76 @@
+"""MaTCH run diagnostics: the CE result bound to its problem and config."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ce.optimizer import CEResult
+from repro.core.config import MatchConfig
+from repro.mapping.mapping import Mapping
+from repro.mapping.problem import MappingProblem
+
+__all__ = ["MatchResult"]
+
+
+@dataclass
+class MatchResult:
+    """Everything a MaTCH run produced beyond the bare assignment."""
+
+    problem: MappingProblem
+    config: MatchConfig
+    ce_result: CEResult
+
+    @property
+    def best_mapping(self) -> Mapping:
+        """The best mapping found, as a validated object."""
+        return Mapping(self.problem, self.ce_result.best_assignment)
+
+    @property
+    def best_cost(self) -> float:
+        """Eq. (2) execution time of the best mapping."""
+        return self.ce_result.best_cost
+
+    @property
+    def n_iterations(self) -> int:
+        """CE iterations executed."""
+        return self.ce_result.n_iterations
+
+    @property
+    def converged(self) -> bool:
+        """True when an adaptive stopping rule (not the budget) fired."""
+        return self.ce_result.converged
+
+    def decoded_mapping(self) -> Mapping:
+        """The mapping encoded by the final matrix's row argmax.
+
+        At full degeneracy this equals :attr:`best_mapping` up to ties;
+        before convergence it is the matrix's current commitment. Note the
+        row-argmax decode of a non-degenerate matrix may be many-to-one;
+        callers needing a one-to-one mapping should use
+        :attr:`best_mapping`.
+        """
+        assert self.ce_result.final_matrix is not None
+        decoded = np.argmax(self.ce_result.final_matrix, axis=1).astype(np.int64)
+        return Mapping(self.problem, decoded)
+
+    def summary(self) -> dict:
+        """JSON-ready run summary for experiment logs."""
+        return {
+            "best_cost": self.best_cost,
+            "n_iterations": self.n_iterations,
+            "n_evaluations": self.ce_result.n_evaluations,
+            "stop_reason": self.ce_result.stop_reason,
+            "converged": self.converged,
+            "final_degeneracy": (
+                self.ce_result.degeneracy_history[-1]
+                if self.ce_result.degeneracy_history
+                else None
+            ),
+            "final_entropy": (
+                self.ce_result.entropy_history[-1] if self.ce_result.entropy_history else None
+            ),
+            "rho": self.config.rho,
+            "zeta": self.config.zeta,
+        }

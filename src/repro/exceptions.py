@@ -1,0 +1,49 @@
+"""Exception hierarchy for the MaTCH reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` from misuse of numpy, etc.)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument or data structure failed validation.
+
+    Subclasses ``ValueError`` so idiomatic ``except ValueError`` call sites
+    keep working.
+    """
+
+
+class GraphError(ReproError):
+    """A graph is malformed or an operation received an incompatible graph."""
+
+
+class MappingError(ReproError):
+    """A task-to-resource mapping is invalid for the given problem instance."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative optimizer failed to converge within its iteration budget."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An algorithm configuration contains out-of-range or inconsistent values."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event platform simulator reached an inconsistent state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment specification is unknown or failed to run."""
+
+
+class SerializationError(ReproError):
+    """An object could not be serialized to, or deserialized from, disk."""

@@ -1,0 +1,117 @@
+"""Experiment harness: the paper's tables, figures and ablations as code."""
+
+from repro.experiments import paper_data
+from repro.experiments.ablations import (
+    elite_mode_sweep,
+    AblationPoint,
+    AblationResult,
+    rho_sweep,
+    samples_sweep,
+    sweep,
+    zeta_sweep,
+)
+from repro.experiments.figures import (
+    Fig3Result,
+    compute_fig3,
+    compute_fig7,
+    compute_fig8,
+    compute_fig9,
+    render_fig3,
+    render_series_chart,
+)
+from repro.experiments.convergence import ConvergencePoint, ConvergenceStudy, convergence_study
+from repro.experiments.deviation import DeviationPoint, DeviationStudy, ga_variant_study
+from repro.experiments.persistence import (
+    comparison_from_dict,
+    comparison_to_dict,
+    load_comparison,
+    save_comparison,
+)
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+from repro.experiments.reporting import (
+    ReproductionReport,
+    build_report,
+    render_report_markdown,
+)
+from repro.experiments.scaling import (
+    ScalingPoint,
+    ScalingResult,
+    ccr_sweep,
+    heterogeneity_sweep,
+)
+from repro.experiments.runner import (
+    ComparisonData,
+    RunRecord,
+    default_mappers,
+    get_comparison,
+    run_comparison,
+)
+from repro.experiments.spec import (
+    PAPER_PROFILE,
+    SMOKE_PROFILE,
+    ScaleProfile,
+    active_profile,
+)
+from repro.experiments.suite import SuiteInstance, build_suite, ccr_multipliers
+from repro.experiments.table1 import Table1Result, compute_table1, render_table1
+from repro.experiments.table2 import Table2Result, compute_table2, render_table2
+from repro.experiments.table3 import Table3Result, compute_table3, render_table3
+
+__all__ = [
+    "paper_data",
+    "ScaleProfile",
+    "SMOKE_PROFILE",
+    "PAPER_PROFILE",
+    "active_profile",
+    "SuiteInstance",
+    "build_suite",
+    "ccr_multipliers",
+    "ComparisonData",
+    "RunRecord",
+    "run_comparison",
+    "get_comparison",
+    "default_mappers",
+    "Table1Result",
+    "compute_table1",
+    "render_table1",
+    "Table2Result",
+    "compute_table2",
+    "render_table2",
+    "Table3Result",
+    "compute_table3",
+    "render_table3",
+    "Fig3Result",
+    "compute_fig3",
+    "render_fig3",
+    "compute_fig7",
+    "compute_fig8",
+    "compute_fig9",
+    "render_series_chart",
+    "AblationPoint",
+    "AblationResult",
+    "sweep",
+    "rho_sweep",
+    "zeta_sweep",
+    "samples_sweep",
+    "elite_mode_sweep",
+    "EXPERIMENTS",
+    "experiment_ids",
+    "run_experiment",
+    "comparison_to_dict",
+    "comparison_from_dict",
+    "save_comparison",
+    "load_comparison",
+    "ConvergencePoint",
+    "ConvergenceStudy",
+    "convergence_study",
+    "DeviationPoint",
+    "DeviationStudy",
+    "ga_variant_study",
+    "ReproductionReport",
+    "build_report",
+    "render_report_markdown",
+    "ScalingPoint",
+    "ScalingResult",
+    "heterogeneity_sweep",
+    "ccr_sweep",
+]

@@ -1,0 +1,116 @@
+"""Convergence study: why MaTCH's mapping time grows the way it does.
+
+Table 2 shows MT_MaTCH growing steeply with n. This study decomposes the
+growth into its three factors for each size:
+
+    MT ≈ iterations × (samples per iteration = 2n²) × per-sample cost
+
+and records commitment statistics (when rows of the stochastic matrix
+lock in) from the diagnostics module — quantitative context the paper's
+"the CE method is inherently slow" sentence lacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.ce.diagnostics import commit_iterations, mass_trajectory
+from repro.core.config import MatchConfig
+from repro.core.match import MatchMapper
+from repro.experiments.suite import build_suite
+from repro.utils.rng import RngStreams
+from repro.utils.tables import format_table
+
+__all__ = ["ConvergencePoint", "ConvergenceStudy", "convergence_study"]
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """Aggregated convergence behaviour at one problem size."""
+
+    size: int
+    mean_iterations: float
+    mean_evaluations: float
+    mean_mapping_time: float
+    mean_time_per_eval_us: float
+    mean_commit_iteration: float  # snapshot index of median row commitment
+    final_mass: float  # mass on the decode at the end (Fig. 3 endpoint)
+
+
+@dataclass(frozen=True)
+class ConvergenceStudy:
+    """The full sweep over sizes."""
+
+    sizes: tuple[int, ...]
+    runs: int
+    points: tuple[ConvergencePoint, ...]
+
+    def render(self) -> str:
+        """Text table of the decomposition."""
+        rows = [
+            [p.size, p.mean_iterations, f"{2 * p.size * p.size}",
+             p.mean_evaluations, p.mean_mapping_time,
+             p.mean_time_per_eval_us, p.mean_commit_iteration, p.final_mass]
+            for p in self.points
+        ]
+        return format_table(
+            ["n", "iters", "N=2n^2", "evals", "MT (s)", "us/eval",
+             "commit@", "final mass"],
+            rows,
+            title=f"MaTCH convergence decomposition ({self.runs} runs/size)",
+        )
+
+
+def convergence_study(
+    sizes: Sequence[int] = (10, 15, 20),
+    *,
+    runs: int = 2,
+    seed: int = 2005,
+    config: MatchConfig | None = None,
+) -> ConvergenceStudy:
+    """Run tracked MaTCH per size and aggregate the convergence factors."""
+    base = config or MatchConfig()
+    streams = RngStreams(seed=seed)
+    points = []
+    for size in sizes:
+        instance = build_suite((size,), 1, seed=seed)[size][0]
+        iters, evals, mts, commits, masses = [], [], [], [], []
+        for rep in range(runs):
+            cfg = MatchConfig(
+                rho=base.rho,
+                zeta=base.zeta,
+                n_samples=base.n_samples,
+                max_iterations=base.max_iterations,
+                gamma_window=base.gamma_window,
+                track_matrices=True,
+            )
+            mapper = MatchMapper(cfg)
+            result = mapper.map(
+                instance.problem, streams.seed_for("conv", size=size, rep=rep)
+            )
+            assert mapper.last_result is not None
+            ce = mapper.last_result.ce_result
+            iters.append(ce.n_iterations)
+            evals.append(ce.n_evaluations)
+            mts.append(result.mapping_time)
+            commits.append(float(np.median(commit_iterations(ce))))
+            masses.append(float(mass_trajectory(ce)[-1]))
+        mean_evals = float(np.mean(evals))
+        mean_mt = float(np.mean(mts))
+        points.append(
+            ConvergencePoint(
+                size=size,
+                mean_iterations=float(np.mean(iters)),
+                mean_evaluations=mean_evals,
+                mean_mapping_time=mean_mt,
+                mean_time_per_eval_us=(
+                    1e6 * mean_mt / mean_evals if mean_evals else 0.0
+                ),
+                mean_commit_iteration=float(np.mean(commits)),
+                final_mass=float(np.mean(masses)),
+            )
+        )
+    return ConvergenceStudy(sizes=tuple(sizes), runs=runs, points=tuple(points))

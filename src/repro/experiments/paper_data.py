@@ -1,0 +1,74 @@
+"""The numbers published in the paper (Tables 1-3), for side-by-side reports.
+
+Every harness prints the paper's value next to the measured one so
+EXPERIMENTS.md can record paper-vs-measured without manual transcription.
+Values are copied verbatim from the paper text.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_SIZES",
+    "TABLE1_ET_GA",
+    "TABLE1_ET_MATCH",
+    "TABLE1_RATIO",
+    "TABLE2_MT_GA",
+    "TABLE2_MT_MATCH",
+    "TABLE2_RATIO",
+    "TABLE3",
+    "TABLE3_ANOVA",
+]
+
+#: Problem sizes of the evaluation grid (§5.2).
+PAPER_SIZES: tuple[int, ...] = (10, 20, 30, 40, 50)
+
+#: Table 1 — application execution time (abstract units), FastMap-GA row.
+TABLE1_ET_GA: tuple[float, ...] = (16585, 125579, 307158, 534124, 921359)
+
+#: Table 1 — application execution time (abstract units), MaTCH row.
+TABLE1_ET_MATCH: tuple[float, ...] = (3516, 8489, 13817, 17610, 23858)
+
+#: Table 1 — published improvement factors ET_GA / ET_MaTCH.
+TABLE1_RATIO: tuple[float, ...] = (4.717, 14.793, 23.292, 30.33, 38.618)
+
+#: Table 2 — mapping time in seconds (2005 Pentium III), FastMap-GA row.
+TABLE2_MT_GA: tuple[float, ...] = (13.62, 22.25, 32.58, 42.97, 50.66)
+
+#: Table 2 — mapping time in seconds, MaTCH row.
+TABLE2_MT_MATCH: tuple[float, ...] = (13.47, 58.65, 268.32, 883.96, 1587.75)
+
+#: Table 2 — published ratios MT_MaTCH / MT_GA.
+TABLE2_RATIO: tuple[float, ...] = (0.989, 2.636, 8.23, 20.57, 31.34)
+
+#: Table 3 — per-heuristic statistics over 30 runs at n = 10. The paper's
+#: row label says "Mapping Time in seconds" but caption and magnitudes
+#: identify the quantity as the execution time of the produced mapping
+#: (cf. Table 1's 3516 at n = 10); see DESIGN.md §3.2.
+TABLE3: dict[str, dict[str, float | tuple[float, float]]] = {
+    "MaTCH": {
+        "mean": 3559,
+        "ci95": (3143, 3975),
+        "std": 207,
+        "median": 3535,
+    },
+    "FastMap-GA 100/10000": {
+        "mean": 18720,
+        "ci95": (18300, 19132),
+        "std": 1789,
+        "median": 18770,
+    },
+    "FastMap-GA 1000/1000": {
+        "mean": 16700,
+        "ci95": (16288, 17120),
+        "std": 836,
+        "median": 16730,
+    },
+}
+
+#: Table 3 — the published ANOVA verdict.
+TABLE3_ANOVA: dict[str, float | str] = {
+    "F value": 1547,
+    "P value assuming null hypothesis": "< 0.0001",
+    "runs per heuristic": 30,
+    "size": 10,
+}

@@ -1,0 +1,93 @@
+"""Persistence for experiment results.
+
+Paper-scale suite runs take many minutes; persisting the aggregated
+:class:`~repro.experiments.runner.ComparisonData` lets the figures and
+tables be re-rendered (or re-analysed) without re-running heuristics —
+``python -m repro table1`` at paper scale once, then iterate on reports
+offline. Plain JSON via :mod:`repro.utils.serialization`, with a schema
+tag and full round-trip fidelity (every individual run record included).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.exceptions import SerializationError
+from repro.experiments.runner import ComparisonData, RunRecord
+from repro.stats.comparison import SeriesBySize
+from repro.utils.serialization import dump_json, load_json
+
+__all__ = ["comparison_to_dict", "comparison_from_dict", "save_comparison", "load_comparison"]
+
+_SCHEMA = "repro.comparison/1"
+
+
+def _series_to_dict(series: SeriesBySize) -> dict:
+    return {
+        "metric": series.metric,
+        "sizes": list(series.sizes),
+        "values": {k: list(v) for k, v in series.values.items()},
+    }
+
+
+def _series_from_dict(payload: dict) -> SeriesBySize:
+    return SeriesBySize(
+        metric=payload["metric"],
+        sizes=tuple(payload["sizes"]),
+        values={k: tuple(v) for k, v in payload["values"].items()},
+    )
+
+
+def comparison_to_dict(data: ComparisonData) -> dict:
+    """Serialize a suite comparison (aggregates + per-run records)."""
+    return {
+        "schema": _SCHEMA,
+        "profile_name": data.profile_name,
+        "seed": data.seed,
+        "sizes": list(data.sizes),
+        "et_series": _series_to_dict(data.et_series),
+        "mt_series": _series_to_dict(data.mt_series),
+        "records": [
+            {
+                "heuristic": r.heuristic,
+                "size": r.size,
+                "pair_index": r.pair_index,
+                "run_index": r.run_index,
+                "execution_time": r.execution_time,
+                "mapping_time": r.mapping_time,
+                "n_evaluations": r.n_evaluations,
+            }
+            for r in data.records
+        ],
+    }
+
+
+def comparison_from_dict(payload: dict) -> ComparisonData:
+    """Rebuild a :class:`ComparisonData` from :func:`comparison_to_dict`."""
+    if not isinstance(payload, dict) or payload.get("schema") != _SCHEMA:
+        raise SerializationError(
+            f"unsupported comparison payload (schema "
+            f"{payload.get('schema') if isinstance(payload, dict) else None!r})"
+        )
+    try:
+        records = [RunRecord(**r) for r in payload["records"]]
+        return ComparisonData(
+            profile_name=payload["profile_name"],
+            seed=payload["seed"],
+            sizes=tuple(payload["sizes"]),
+            et_series=_series_from_dict(payload["et_series"]),
+            mt_series=_series_from_dict(payload["mt_series"]),
+            records=records,
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed comparison payload: {exc}") from exc
+
+
+def save_comparison(data: ComparisonData, path: str | Path) -> Path:
+    """Write a comparison to ``path`` as JSON; returns the path."""
+    return dump_json(comparison_to_dict(data), path)
+
+
+def load_comparison(path: str | Path) -> ComparisonData:
+    """Load a comparison written by :func:`save_comparison`."""
+    return comparison_from_dict(load_json(path))

@@ -1,0 +1,147 @@
+"""The experiment registry: id → regeneration callable.
+
+DESIGN.md's per-experiment index is executable: every table/figure id maps
+to a zero-argument callable returning the printable artifact. The CLI
+(``python -m repro <id>``) and integration tests consume this table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import ExperimentError
+from repro.experiments.ablations import (
+    elite_mode_sweep,
+    rho_sweep,
+    samples_sweep,
+    zeta_sweep,
+)
+from repro.experiments.convergence import convergence_study
+from repro.experiments.deviation import ga_variant_study
+from repro.experiments.scaling import ccr_sweep, heterogeneity_sweep
+from repro.experiments.figures import (
+    compute_fig3,
+    compute_fig7,
+    compute_fig8,
+    compute_fig9,
+    render_fig3,
+    render_series_chart,
+)
+from repro.experiments.spec import ScaleProfile, active_profile
+from repro.experiments.table1 import compute_table1, render_table1
+from repro.experiments.table2 import compute_table2, render_table2
+from repro.experiments.table3 import compute_table3, render_table3
+
+__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+
+def _table1(profile: ScaleProfile, seed: int) -> str:
+    return render_table1(compute_table1(profile, seed=seed))
+
+
+def _table2(profile: ScaleProfile, seed: int) -> str:
+    return render_table2(compute_table2(profile, seed=seed))
+
+
+def _table3(profile: ScaleProfile, seed: int) -> str:
+    return render_table3(compute_table3(profile, seed=seed))
+
+
+def _fig3(profile: ScaleProfile, seed: int) -> str:
+    return render_fig3(compute_fig3(seed=seed))
+
+
+def _fig7(profile: ScaleProfile, seed: int) -> str:
+    return render_series_chart(
+        compute_fig7(profile, seed=seed),
+        title="Figure 7 (measured): execution time (units) by size",
+    )
+
+
+def _fig8(profile: ScaleProfile, seed: int) -> str:
+    return render_series_chart(
+        compute_fig8(profile, seed=seed),
+        title="Figure 8 (measured): mapping time (seconds) by size",
+    )
+
+
+def _fig9(profile: ScaleProfile, seed: int) -> str:
+    return render_series_chart(
+        compute_fig9(profile, seed=seed),
+        title="Figure 9 (measured): application turnaround time (ATN) by size",
+    )
+
+
+def _abl_rho(profile: ScaleProfile, seed: int) -> str:
+    return rho_sweep(seed=seed).render()
+
+
+def _abl_zeta(profile: ScaleProfile, seed: int) -> str:
+    return zeta_sweep(seed=seed).render()
+
+
+def _abl_samples(profile: ScaleProfile, seed: int) -> str:
+    return samples_sweep(seed=seed).render()
+
+
+def _abl_elite(profile: ScaleProfile, seed: int) -> str:
+    return elite_mode_sweep(seed=seed).render()
+
+
+def _scaling_heterogeneity(profile: ScaleProfile, seed: int) -> str:
+    return heterogeneity_sweep(seed=seed).render()
+
+
+def _scaling_ccr(profile: ScaleProfile, seed: int) -> str:
+    return ccr_sweep(seed=seed).render()
+
+
+def _convergence(profile: ScaleProfile, seed: int) -> str:
+    return convergence_study(seed=seed).render()
+
+
+def _deviation_ga(profile: ScaleProfile, seed: int) -> str:
+    return ga_variant_study(seed=seed).render()
+
+
+#: id → (description, callable(profile, seed) -> printable artifact).
+EXPERIMENTS: dict[str, tuple[str, Callable[[ScaleProfile, int], str]]] = {
+    "table1": ("Table 1: ET comparison FastMap-GA vs MaTCH", _table1),
+    "table2": ("Table 2: MT comparison FastMap-GA vs MaTCH", _table2),
+    "table3": ("Table 3: ANOVA study at n=10", _table3),
+    "fig3": ("Figure 3: stochastic matrix evolution", _fig3),
+    "fig7": ("Figure 7: ET series chart", _fig7),
+    "fig8": ("Figure 8: MT series chart", _fig8),
+    "fig9": ("Figure 9: ATN series chart", _fig9),
+    "ablation-rho": ("Ablation: focus parameter rho", _abl_rho),
+    "ablation-zeta": ("Ablation: smoothing factor zeta", _abl_zeta),
+    "ablation-samples": ("Ablation: sample-size rule", _abl_samples),
+    "ablation-elite": ("Ablation: elite selection mode (DESIGN.md 3.1)", _abl_elite),
+    "scaling-heterogeneity": (
+        "Extension: platform heterogeneity sweep", _scaling_heterogeneity,
+    ),
+    "scaling-ccr": ("Extension: CCR sweep", _scaling_ccr),
+    "convergence": ("Extension: MaTCH convergence decomposition", _convergence),
+    "deviation-ga": (
+        "Deviation study: GA variants vs the published Table 1 magnitudes",
+        _deviation_ga,
+    ),
+}
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(
+    exp_id: str, *, profile: ScaleProfile | None = None, seed: int = 2005
+) -> str:
+    """Regenerate one artifact by id; raises :class:`ExperimentError` on typos."""
+    if exp_id not in EXPERIMENTS:
+        raise ExperimentError(
+            f"unknown experiment {exp_id!r}; available: {', '.join(experiment_ids())}"
+        )
+    profile = profile if profile is not None else active_profile()
+    _, fn = EXPERIMENTS[exp_id]
+    return fn(profile, seed)

@@ -1,0 +1,174 @@
+"""Suite runners: execute heuristics over the problem suite and aggregate.
+
+The paper's measurement protocol (§5.3): every reported number is the
+average over 5 independent runs of the heuristic on each TIG/resource pair,
+then averaged across the pairs of that size. :func:`run_comparison`
+implements exactly that protocol for any set of heuristics and returns the
+ET and MT series (Tables 1-2 / Figures 7-9 all derive from this one
+computation; it is memoized per (profile, seed) so regenerating several
+artifacts does not re-run the heuristics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.base import Mapper
+from repro.baselines.ga import FastMapGA, GAConfig
+from repro.core.config import MatchConfig
+from repro.core.match import MatchMapper
+from repro.experiments.spec import ScaleProfile
+from repro.experiments.suite import SuiteInstance, build_suite
+from repro.stats.comparison import SeriesBySize
+from repro.utils.rng import RngStreams
+
+__all__ = [
+    "RunRecord",
+    "ComparisonData",
+    "run_comparison",
+    "get_comparison",
+    "default_mappers",
+    "run_instance",
+]
+
+MapperFactory = Callable[[int], Mapper]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One heuristic run on one suite instance."""
+
+    heuristic: str
+    size: int
+    pair_index: int
+    run_index: int
+    execution_time: float
+    mapping_time: float
+    n_evaluations: int
+
+
+@dataclass
+class ComparisonData:
+    """Aggregated suite results: the source of Tables 1-2 and Figs 7-9."""
+
+    profile_name: str
+    seed: int
+    sizes: tuple[int, ...]
+    et_series: SeriesBySize
+    mt_series: SeriesBySize
+    records: list[RunRecord] = field(default_factory=list, repr=False)
+
+    def atn_series(self, *, seconds_per_unit: float = 1.0) -> SeriesBySize:
+        """Fig. 9's ATN = ET·(s/unit) + MT series."""
+        scaled_et = SeriesBySize(
+            metric="ET(s)",
+            sizes=self.et_series.sizes,
+            values={
+                k: tuple(v * seconds_per_unit for v in vals)
+                for k, vals in self.et_series.values.items()
+            },
+        )
+        return scaled_et.combined_with(self.mt_series, metric="ATN (s)")
+
+
+def default_mappers(profile: ScaleProfile) -> dict[str, MapperFactory]:
+    """The paper's two heuristics at the profile's parameters."""
+
+    def make_match(size: int) -> Mapper:
+        return MatchMapper(MatchConfig(max_iterations=profile.match_max_iterations))
+
+    def make_ga(size: int) -> Mapper:
+        return FastMapGA(
+            GAConfig(
+                population_size=profile.ga_population,
+                generations=profile.ga_generations,
+            )
+        )
+
+    return {"MaTCH": make_match, "FastMap-GA": make_ga}
+
+
+def run_instance(
+    mapper: Mapper, instance: SuiteInstance, rng_seed: int
+) -> tuple[float, float, int]:
+    """Run one heuristic once; returns (ET, MT, evaluations)."""
+    result = mapper.map(instance.problem, rng_seed)
+    return result.execution_time, result.mapping_time, result.n_evaluations
+
+
+def run_comparison(
+    profile: ScaleProfile,
+    *,
+    seed: int = 2005,
+    mappers: dict[str, MapperFactory] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> ComparisonData:
+    """Execute the full §5.3 measurement protocol.
+
+    For every size, pair, heuristic and repetition: run, record ET/MT;
+    report the mean over (pairs × repetitions) per size.
+    """
+    mappers = mappers if mappers is not None else default_mappers(profile)
+    suite = build_suite(profile.sizes, profile.n_pairs, seed=seed)
+    streams = RngStreams(seed=seed)
+    records: list[RunRecord] = []
+
+    for size in profile.sizes:
+        for instance in suite[size]:
+            for name, factory in mappers.items():
+                for run in range(profile.runs_per_pair):
+                    if progress is not None:
+                        progress(
+                            f"{name} size={size} pair={instance.pair_index} run={run}"
+                        )
+                    mapper = factory(size)
+                    run_seed = streams.seed_for(
+                        "run", heuristic=name, size=size,
+                        pair=instance.pair_index, rep=run,
+                    )
+                    et, mt, evals = run_instance(mapper, instance, run_seed)
+                    records.append(
+                        RunRecord(
+                            heuristic=name,
+                            size=size,
+                            pair_index=instance.pair_index,
+                            run_index=run,
+                            execution_time=et,
+                            mapping_time=mt,
+                            n_evaluations=evals,
+                        )
+                    )
+
+    def mean_series(metric: str, get: Callable[[RunRecord], float]) -> SeriesBySize:
+        values: dict[str, tuple[float, ...]] = {}
+        for name in mappers:
+            per_size = []
+            for size in profile.sizes:
+                sel = [get(r) for r in records if r.heuristic == name and r.size == size]
+                per_size.append(float(np.mean(sel)))
+            values[name] = tuple(per_size)
+        return SeriesBySize(metric=metric, sizes=tuple(profile.sizes), values=values)
+
+    return ComparisonData(
+        profile_name=profile.name,
+        seed=seed,
+        sizes=tuple(profile.sizes),
+        et_series=mean_series("ET (units)", lambda r: r.execution_time),
+        mt_series=mean_series("MT (s)", lambda r: r.mapping_time),
+        records=records,
+    )
+
+
+# -- memoized access (tables + figures share one computation) -------------------
+_CACHE: dict[tuple[str, int], ComparisonData] = {}
+
+
+def get_comparison(profile: ScaleProfile, *, seed: int = 2005) -> ComparisonData:
+    """Memoized :func:`run_comparison` keyed on ``(profile.name, seed)``."""
+    key = (profile.name, seed)
+    if key not in _CACHE:
+        _CACHE[key] = run_comparison(profile, seed=seed)
+    return _CACHE[key]

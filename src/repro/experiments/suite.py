@@ -1,0 +1,81 @@
+"""The §5.2 synthetic problem suite.
+
+Five TIG/resource pairs per size "with varying computation to communication
+ratio": we realize the variation with CCR multipliers spread around 1 on a
+log scale, one per pair, so pair 0 is strongly communication-bound and the
+last pair strongly computation-bound. All graphs follow the paper's weight
+ranges (see :mod:`repro.graphs.generators`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.graphs.generators import GraphPair, generate_paper_pair
+from repro.mapping.problem import MappingProblem
+from repro.utils.rng import RngStreams
+
+__all__ = ["SuiteInstance", "build_suite", "ccr_multipliers"]
+
+
+def ccr_multipliers(n_pairs: int) -> tuple[float, ...]:
+    """Log-spaced CCR multipliers centred on 1 (e.g. 5 pairs → 1/4 … 4)."""
+    if n_pairs < 1:
+        raise ConfigurationError(f"n_pairs must be >= 1, got {n_pairs}")
+    if n_pairs == 1:
+        return (1.0,)
+    exponents = np.linspace(-2.0, 2.0, n_pairs)
+    return tuple(float(2.0**e) for e in exponents)
+
+
+@dataclass(frozen=True)
+class SuiteInstance:
+    """One problem of the suite: the graph pair plus its ready problem object."""
+
+    size: int
+    pair_index: int
+    ccr_scale: float
+    graphs: GraphPair
+    problem: MappingProblem
+
+
+def build_suite(
+    sizes: tuple[int, ...],
+    n_pairs: int,
+    *,
+    seed: int = 2005,
+) -> dict[int, list[SuiteInstance]]:
+    """Generate the full evaluation suite, deterministic in ``seed``.
+
+    Returns ``{size: [SuiteInstance, ...]}`` with ``n_pairs`` instances per
+    size. Instance RNG streams are derived per (size, pair) so adding sizes
+    or pairs never reshuffles existing instances.
+    """
+    streams = RngStreams(seed=seed)
+    multipliers = ccr_multipliers(n_pairs)
+    suite: dict[int, list[SuiteInstance]] = {}
+    for size in sizes:
+        instances = []
+        for p, ccr in enumerate(multipliers):
+            gen = streams.get("suite", size=size, pair=p)
+            # §5.2 generates the system graphs randomly (like the TIGs), so
+            # the suite uses sparse random resource topologies; multi-hop
+            # pairs are costed by the shortest-path closure.
+            pair = generate_paper_pair(
+                size,
+                gen,
+                ccr_scale=ccr,
+                topology="sparse",
+                seed_label=f"size{size}-pair{p}",
+            )
+            problem = MappingProblem(pair.tig, pair.resources, require_square=True)
+            instances.append(
+                SuiteInstance(
+                    size=size, pair_index=p, ccr_scale=ccr, graphs=pair, problem=problem
+                )
+            )
+        suite[size] = instances
+    return suite

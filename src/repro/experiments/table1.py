@@ -1,0 +1,84 @@
+"""EXP-T1 — Table 1: execution-time comparison, FastMap-GA vs MaTCH.
+
+Regenerates the paper's Table 1 layout (one column per size, rows
+``ET_GA``, ``ET_MaTCH``, ``ET_GA / ET_MaTCH``) from a fresh suite run and
+prints the published values alongside for the reproduction log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import paper_data
+from repro.experiments.runner import ComparisonData, get_comparison
+from repro.experiments.spec import ScaleProfile, active_profile
+from repro.utils.tables import format_table
+
+__all__ = ["Table1Result", "compute_table1", "render_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Measured Table 1 rows."""
+
+    sizes: tuple[int, ...]
+    et_ga: tuple[float, ...]
+    et_match: tuple[float, ...]
+    ratio: tuple[float, ...]
+
+    @property
+    def match_wins_everywhere(self) -> bool:
+        """The paper's headline claim: MaTCH beats the GA at every size."""
+        return all(r > 1.0 for r in self.ratio)
+
+    @property
+    def ratio_grows_with_size(self) -> bool:
+        """The paper's trend: the improvement factor rises with n."""
+        return self.ratio[-1] > self.ratio[0]
+
+
+def compute_table1(
+    profile: ScaleProfile | None = None, *, seed: int = 2005
+) -> Table1Result:
+    """Run (or reuse) the suite comparison and extract the Table 1 rows."""
+    profile = profile if profile is not None else active_profile()
+    data: ComparisonData = get_comparison(profile, seed=seed)
+    et = data.et_series
+    ratio = et.ratio_row("FastMap-GA", "MaTCH")
+    return Table1Result(
+        sizes=et.sizes,
+        et_ga=et.values["FastMap-GA"],
+        et_match=et.values["MaTCH"],
+        ratio=ratio,
+    )
+
+
+def render_table1(
+    result: Table1Result, *, include_paper: bool = True
+) -> str:
+    """Paper-layout text rendering, optionally with the published rows."""
+    headers = ["|V_r| = |V_t|", *[str(s) for s in result.sizes]]
+    rows: list[list] = [
+        ["ET_GA (units)", *result.et_ga],
+        ["ET_MaTCH (units)", *result.et_match],
+        ["ET_GA / ET_MaTCH", *result.ratio],
+    ]
+    out = format_table(
+        headers, rows, title="Table 1 (measured): execution times, FastMap-GA vs MaTCH"
+    )
+    if include_paper:
+        paper_rows: list[list] = []
+        common = [s for s in result.sizes if s in paper_data.PAPER_SIZES]
+        if common:
+            idx = [paper_data.PAPER_SIZES.index(s) for s in common]
+            paper_rows = [
+                ["ET_GA (paper)", *[paper_data.TABLE1_ET_GA[i] for i in idx]],
+                ["ET_MaTCH (paper)", *[paper_data.TABLE1_ET_MATCH[i] for i in idx]],
+                ["ratio (paper)", *[paper_data.TABLE1_RATIO[i] for i in idx]],
+            ]
+            out += "\n\n" + format_table(
+                ["|V_r| = |V_t|", *[str(s) for s in common]],
+                paper_rows,
+                title="Table 1 (published)",
+            )
+    return out

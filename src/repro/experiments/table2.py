@@ -1,0 +1,79 @@
+"""EXP-T2 — Table 2: mapping-time (wall-clock) comparison.
+
+Same suite run as Table 1 (memoized); reports the mean wall-clock seconds
+each heuristic spent producing its mapping, plus the ``MT_MaTCH / MT_GA``
+ratio row. Absolute values are hardware-relative (the paper timed a 2005
+Pentium III); the reproduced claim is the *shape*: MaTCH's MT grows much
+faster with n than the GA's (sample size ``N = 2n²`` vs. a fixed
+population), with the ratio crossing 1 at small n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import paper_data
+from repro.experiments.runner import get_comparison
+from repro.experiments.spec import ScaleProfile, active_profile
+from repro.utils.tables import format_table
+
+__all__ = ["Table2Result", "compute_table2", "render_table2"]
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Measured Table 2 rows."""
+
+    sizes: tuple[int, ...]
+    mt_ga: tuple[float, ...]
+    mt_match: tuple[float, ...]
+    ratio: tuple[float, ...]  # MT_MaTCH / MT_GA (paper orientation)
+
+    @property
+    def ratio_grows_with_size(self) -> bool:
+        """The paper's trend: MaTCH's relative mapping cost rises with n."""
+        return self.ratio[-1] > self.ratio[0]
+
+
+def compute_table2(
+    profile: ScaleProfile | None = None, *, seed: int = 2005
+) -> Table2Result:
+    """Run (or reuse) the suite comparison and extract the Table 2 rows."""
+    profile = profile if profile is not None else active_profile()
+    data = get_comparison(profile, seed=seed)
+    mt = data.mt_series
+    ratio = mt.ratio_row("MaTCH", "FastMap-GA")
+    return Table2Result(
+        sizes=mt.sizes,
+        mt_ga=mt.values["FastMap-GA"],
+        mt_match=mt.values["MaTCH"],
+        ratio=ratio,
+    )
+
+
+def render_table2(result: Table2Result, *, include_paper: bool = True) -> str:
+    """Paper-layout text rendering, optionally with the published rows."""
+    headers = ["|V_r| = |V_t|", *[str(s) for s in result.sizes]]
+    rows: list[list] = [
+        ["MT_GA (s)", *result.mt_ga],
+        ["MT_MaTCH (s)", *result.mt_match],
+        ["MT_MaTCH / MT_GA", *result.ratio],
+    ]
+    out = format_table(
+        headers, rows, title="Table 2 (measured): mapping times, FastMap-GA vs MaTCH"
+    )
+    if include_paper:
+        common = [s for s in result.sizes if s in paper_data.PAPER_SIZES]
+        if common:
+            idx = [paper_data.PAPER_SIZES.index(s) for s in common]
+            paper_rows = [
+                ["MT_GA (paper, s)", *[paper_data.TABLE2_MT_GA[i] for i in idx]],
+                ["MT_MaTCH (paper, s)", *[paper_data.TABLE2_MT_MATCH[i] for i in idx]],
+                ["ratio (paper)", *[paper_data.TABLE2_RATIO[i] for i in idx]],
+            ]
+            out += "\n\n" + format_table(
+                ["|V_r| = |V_t|", *[str(s) for s in common]],
+                paper_rows,
+                title="Table 2 (published; 2005 Pentium III wall-clock)",
+            )
+    return out

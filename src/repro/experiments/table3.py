@@ -1,0 +1,131 @@
+"""EXP-T3 — Table 3: the ANOVA significance study.
+
+Protocol (§5.3): run MaTCH and two FastMap-GA configurations —
+population/generations 100/10000 and 1000/1000 — thirty independent times
+each on a ``|V_r| = |V_t| = 10`` instance; report mean, 95% CI, standard
+deviation and median of the produced mappings' execution times, then a
+one-way ANOVA on the three groups. The paper finds F = 1547, p < 0.0001;
+the reproduced claim is the verdict (F ≫ 1, p ≪ 0.05), not the F value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.ga import FastMapGA, GAConfig
+from repro.core.config import MatchConfig
+from repro.core.match import MatchMapper
+from repro.experiments import paper_data
+from repro.experiments.spec import ScaleProfile, active_profile
+from repro.experiments.suite import build_suite
+from repro.stats.anova import AnovaResult, one_way_anova
+from repro.stats.descriptive import SampleSummary, summarize_sample
+from repro.utils.rng import RngStreams
+from repro.utils.tables import format_table, render_kv_block
+
+__all__ = ["Table3Result", "compute_table3", "render_table3"]
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Measured Table 3: per-heuristic summaries plus the ANOVA verdict."""
+
+    size: int
+    runs: int
+    summaries: tuple[SampleSummary, ...]
+    anova: AnovaResult
+    samples: dict[str, tuple[float, ...]]
+
+
+def compute_table3(
+    profile: ScaleProfile | None = None, *, seed: int = 2005
+) -> Table3Result:
+    """Run the three-heuristic ANOVA study at n = 10."""
+    profile = profile if profile is not None else active_profile()
+    size = 10
+    instance = build_suite((size,), 1, seed=seed)[size][0]
+    streams = RngStreams(seed=seed)
+
+    (pop_a, gen_a), (pop_b, gen_b) = profile.anova_ga_configs
+    heuristics = {
+        "MaTCH": lambda: MatchMapper(
+            MatchConfig(max_iterations=profile.match_max_iterations)
+        ),
+        f"FastMap-GA {pop_a}/{gen_a}": lambda: FastMapGA(
+            GAConfig(population_size=pop_a, generations=gen_a)
+        ),
+        f"FastMap-GA {pop_b}/{gen_b}": lambda: FastMapGA(
+            GAConfig(population_size=pop_b, generations=gen_b)
+        ),
+    }
+
+    samples: dict[str, tuple[float, ...]] = {}
+    for name, factory in heuristics.items():
+        values = []
+        for rep in range(profile.anova_runs):
+            run_seed = streams.seed_for("anova", heuristic=name, rep=rep)
+            result = factory().map(instance.problem, run_seed)
+            values.append(result.execution_time)
+        samples[name] = tuple(values)
+
+    summaries = tuple(
+        summarize_sample(vals, label=name) for name, vals in samples.items()
+    )
+    anova = one_way_anova(list(samples.values()))
+    return Table3Result(
+        size=size,
+        runs=profile.anova_runs,
+        summaries=summaries,
+        anova=anova,
+        samples=samples,
+    )
+
+
+def render_table3(result: Table3Result, *, include_paper: bool = True) -> str:
+    """Paper-layout text rendering with the ANOVA block."""
+    headers = ["Parameter", *[s.label for s in result.summaries]]
+    rows: list[list] = [
+        ["Absolute Mean of ET (units)", *[s.mean for s in result.summaries]],
+        [
+            "95% CI for Mean",
+            *[f"{s.ci_low:.0f}-{s.ci_high:.0f}" for s in result.summaries],
+        ],
+        ["Standard Deviation", *[s.std for s in result.summaries]],
+        ["Median", *[s.median for s in result.summaries]],
+    ]
+    out = format_table(
+        headers,
+        rows,
+        title=(
+            f"Table 3 (measured): ET statistics over {result.runs} runs, "
+            f"|V_r| = |V_t| = {result.size}"
+        ),
+    )
+    out += "\n\n" + render_kv_block(
+        "ANOVA (measured)",
+        {
+            "F value": result.anova.f_value,
+            "P value assuming null hypothesis": result.anova.p_value,
+            "df (between, within)": f"({result.anova.df_between}, {result.anova.df_within})",
+            "significant at alpha=0.0001": result.anova.p_value < 1e-4,
+        },
+    )
+    if include_paper:
+        paper_rows = [
+            [param, *[paper_data.TABLE3[h][key] if key != "ci95"
+                      else "{}-{}".format(*paper_data.TABLE3[h]["ci95"])
+                      for h in paper_data.TABLE3]]
+            for param, key in [
+                ("Mean (paper)", "mean"),
+                ("95% CI (paper)", "ci95"),
+                ("Std (paper)", "std"),
+                ("Median (paper)", "median"),
+            ]
+        ]
+        out += "\n\n" + format_table(
+            ["Parameter", *paper_data.TABLE3.keys()],
+            paper_rows,
+            title="Table 3 (published)",
+        )
+        out += "\n\n" + render_kv_block("ANOVA (published)", dict(paper_data.TABLE3_ANOVA))
+    return out

@@ -1,0 +1,195 @@
+"""Synthetic problem generators reproducing the paper's §5.2 setting.
+
+The simulation suite in the paper:
+
+* ``|V_t| = |V_r| = n`` with ``n ∈ {10, 20, 30, 40, 50}``;
+* TIG node weights uniform in ``{1..10}``, TIG edge weights uniform in
+  ``{50..100}``, edges randomized with high- and low-density regions;
+* resource node weights uniform in ``{1..5}``, link weights uniform in
+  ``{10..20}``;
+* five TIG/resource pairs per size with varying computation-to-
+  communication ratio (CCR).
+
+:func:`generate_tig` and :func:`generate_resource_graph` build one graph
+each; :func:`generate_paper_pair` builds a matched pair;
+:func:`paper_suite` builds the whole §5.2 grid of instances. CCR is varied
+by scaling the sampled TIG node weights (computation) relative to the edge
+weights (communication) with the ``ccr_scale`` multiplier, keeping the
+weight *ranges* the paper specifies at ``ccr_scale = 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.graphs.random_graphs import ensure_connected_edges, gnp_edges, two_block_edges
+from repro.graphs.resource_graph import ResourceGraph
+from repro.graphs.task_graph import TaskInteractionGraph
+from repro.types import SeedLike
+from repro.utils.rng import as_generator, spawn_generators
+
+__all__ = [
+    "PAPER_SIZES",
+    "PAPER_TIG_NODE_WEIGHTS",
+    "PAPER_TIG_EDGE_WEIGHTS",
+    "PAPER_RESOURCE_NODE_WEIGHTS",
+    "PAPER_RESOURCE_EDGE_WEIGHTS",
+    "generate_tig",
+    "generate_resource_graph",
+    "generate_paper_pair",
+    "GraphPair",
+]
+
+#: Problem sizes used throughout the paper's evaluation (§5.2).
+PAPER_SIZES: tuple[int, ...] = (10, 20, 30, 40, 50)
+
+#: TIG computation weight range ``W_t ~ U{1..10}`` (§5.2).
+PAPER_TIG_NODE_WEIGHTS: tuple[int, int] = (1, 10)
+
+#: TIG communication weight range ``C ~ U{50..100}`` (§5.2).
+PAPER_TIG_EDGE_WEIGHTS: tuple[int, int] = (50, 100)
+
+#: Resource processing weight range ``w_s ~ U{1..5}`` (§5.2).
+PAPER_RESOURCE_NODE_WEIGHTS: tuple[int, int] = (1, 5)
+
+#: Resource link weight range ``c ~ U{10..20}`` (§5.2).
+PAPER_RESOURCE_EDGE_WEIGHTS: tuple[int, int] = (10, 20)
+
+
+def _uniform_int_weights(
+    gen: np.random.Generator, size: int, rng_range: tuple[int, int]
+) -> np.ndarray:
+    lo, hi = rng_range
+    if lo > hi or lo < 0:
+        raise ValidationError(f"invalid weight range {rng_range}")
+    return gen.integers(lo, hi + 1, size=size).astype(np.float64)
+
+
+def generate_tig(
+    n_tasks: int,
+    rng: SeedLike = None,
+    *,
+    node_weight_range: tuple[int, int] = PAPER_TIG_NODE_WEIGHTS,
+    edge_weight_range: tuple[int, int] = PAPER_TIG_EDGE_WEIGHTS,
+    density_model: str = "two_block",
+    p_dense: float = 0.6,
+    p_sparse: float = 0.15,
+    p_uniform: float = 0.3,
+    ccr_scale: float = 1.0,
+    connected: bool = True,
+    name: str = "",
+) -> TaskInteractionGraph:
+    """Generate a §5.2-style synthetic Task Interaction Graph.
+
+    Parameters
+    ----------
+    n_tasks:
+        Number of tasks ``|V_t|``.
+    rng:
+        Seed or generator.
+    node_weight_range, edge_weight_range:
+        Inclusive integer sampling ranges for ``W_t`` and ``C^{t,a}``.
+    density_model:
+        ``"two_block"`` (paper's high/low-density regions) or ``"uniform"``
+        (plain G(n, p) with ``p_uniform``).
+    p_dense, p_sparse:
+        Edge probabilities of the two-block model.
+    p_uniform:
+        Edge probability of the uniform model.
+    ccr_scale:
+        Multiplier applied to computation weights to sweep the suite's
+        computation-to-communication ratio (>1 = more compute-bound).
+    connected:
+        Union a random spanning tree so the application is one coupled
+        computation.
+    name:
+        Optional graph label.
+    """
+    if n_tasks < 1:
+        raise ValidationError(f"n_tasks must be >= 1, got {n_tasks}")
+    if ccr_scale <= 0:
+        raise ValidationError(f"ccr_scale must be > 0, got {ccr_scale}")
+    gen = as_generator(rng)
+    if density_model == "two_block":
+        edges = two_block_edges(n_tasks, p_dense, p_sparse, gen)
+    elif density_model == "uniform":
+        edges = gnp_edges(n_tasks, p_uniform, gen)
+    else:
+        raise ValidationError(f"unknown density_model {density_model!r}")
+    if connected:
+        edges = ensure_connected_edges(n_tasks, edges, gen)
+    node_w = _uniform_int_weights(gen, n_tasks, node_weight_range) * ccr_scale
+    edge_w = _uniform_int_weights(gen, edges.shape[0], edge_weight_range)
+    return TaskInteractionGraph(node_w, edges, edge_w, name=name or f"tig-{n_tasks}")
+
+
+def generate_resource_graph(
+    n_resources: int,
+    rng: SeedLike = None,
+    *,
+    node_weight_range: tuple[int, int] = PAPER_RESOURCE_NODE_WEIGHTS,
+    edge_weight_range: tuple[int, int] = PAPER_RESOURCE_EDGE_WEIGHTS,
+    topology: str = "complete",
+    p_link: float = 0.5,
+    name: str = "",
+) -> ResourceGraph:
+    """Generate a §5.2-style heterogeneous resource graph.
+
+    ``topology="complete"`` (the default, matching the paper's implicit
+    any-pair communication in Eq. (1)) links every resource pair directly;
+    ``topology="sparse"`` keeps each link with probability ``p_link`` (plus
+    a spanning tree for connectivity) and relies on the shortest-path
+    closure in :meth:`ResourceGraph.comm_cost_matrix`.
+    """
+    if n_resources < 1:
+        raise ValidationError(f"n_resources must be >= 1, got {n_resources}")
+    gen = as_generator(rng)
+    if topology == "complete":
+        iu, iv = np.triu_indices(n_resources, k=1)
+        edges = np.stack([iu, iv], axis=1).astype(np.int64)
+    elif topology == "sparse":
+        edges = gnp_edges(n_resources, p_link, gen)
+        edges = ensure_connected_edges(n_resources, edges, gen)
+    else:
+        raise ValidationError(f"unknown topology {topology!r}")
+    node_w = _uniform_int_weights(gen, n_resources, node_weight_range)
+    edge_w = _uniform_int_weights(gen, edges.shape[0], edge_weight_range)
+    return ResourceGraph(node_w, edges, edge_w, name=name or f"resources-{n_resources}")
+
+
+@dataclass(frozen=True)
+class GraphPair:
+    """A matched TIG/resource-graph pair plus its generation metadata."""
+
+    tig: TaskInteractionGraph
+    resources: ResourceGraph
+    size: int
+    ccr_scale: float
+    seed_label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.tig.n_nodes != self.resources.n_nodes:
+            raise ValidationError(
+                f"paper setting requires |V_t| == |V_r|; got "
+                f"{self.tig.n_nodes} tasks and {self.resources.n_nodes} resources"
+            )
+
+
+def generate_paper_pair(
+    size: int,
+    rng: SeedLike = None,
+    *,
+    ccr_scale: float = 1.0,
+    topology: str = "complete",
+    seed_label: str = "",
+) -> GraphPair:
+    """Generate one matched ``|V_t| = |V_r| = size`` problem pair per §5.2."""
+    tig_gen, res_gen = spawn_generators(rng, 2)
+    tig = generate_tig(size, tig_gen, ccr_scale=ccr_scale)
+    resources = generate_resource_graph(size, res_gen, topology=topology)
+    return GraphPair(
+        tig=tig, resources=resources, size=size, ccr_scale=ccr_scale, seed_label=seed_label
+    )

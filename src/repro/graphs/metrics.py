@@ -1,0 +1,65 @@
+"""Descriptive graph metrics used in experiment reports and sanity checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.base import WeightedGraph
+from repro.graphs.task_graph import TaskInteractionGraph
+
+__all__ = ["GraphSummary", "summarize_graph", "load_imbalance_lower_bound"]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Compact description of one graph for experiment logs."""
+
+    name: str
+    n_nodes: int
+    n_edges: int
+    density: float
+    node_weight_mean: float
+    node_weight_min: float
+    node_weight_max: float
+    edge_weight_mean: float
+    degree_mean: float
+    degree_max: int
+    connected: bool
+
+
+def summarize_graph(graph: WeightedGraph) -> GraphSummary:
+    """Compute a :class:`GraphSummary` for any weighted graph."""
+    deg = graph.degrees()
+    ew = graph.edge_weights
+    return GraphSummary(
+        name=graph.name,
+        n_nodes=graph.n_nodes,
+        n_edges=graph.n_edges,
+        density=graph.density(),
+        node_weight_mean=float(graph.node_weights.mean()),
+        node_weight_min=float(graph.node_weights.min()),
+        node_weight_max=float(graph.node_weights.max()),
+        edge_weight_mean=float(ew.mean()) if ew.size else 0.0,
+        degree_mean=float(deg.mean()),
+        degree_max=int(deg.max()) if deg.size else 0,
+        connected=graph.is_connected(),
+    )
+
+
+def load_imbalance_lower_bound(tig: TaskInteractionGraph, min_proc_weight: float) -> float:
+    """A trivial lower bound on Eq. (2) for any mapping.
+
+    The busiest resource must host at least the heaviest single task, and
+    total computation must be paid somewhere; with the cheapest processing
+    weight ``min_proc_weight`` this gives
+    ``max(W_max, ΣW / n) * min_proc_weight`` ignoring all communication —
+    a coarse but sound floor useful for sanity-checking optimizer output
+    (no heuristic may ever report a cost below it).
+    """
+    if min_proc_weight <= 0:
+        raise ValueError(f"min_proc_weight must be > 0, got {min_proc_weight}")
+    w = tig.computation_weights
+    per_node_floor = max(float(w.max()), float(w.sum()) / tig.n_tasks)
+    return per_node_floor * min_proc_weight

@@ -1,0 +1,63 @@
+"""Task Interaction Graph (TIG) — the application model of §2.
+
+A TIG vertex is one overset grid (or, generally, one data-parallel task);
+its weight ``W_t`` is the amount of computation (number of grid points).
+An edge ``(v_t, v_a)`` with weight ``C^{t,a}`` models the data exchanged per
+step between overlapping grids (number of overlapping grid points).
+
+``TaskInteractionGraph`` is a thin, semantically-named subclass of
+:class:`~repro.graphs.base.WeightedGraph` with TIG-specific conveniences:
+the computation/communication decomposition used to report the suite's
+CCR (computation-to-communication ratio), and an exact ``task`` vocabulary
+in error messages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.base import WeightedGraph
+
+__all__ = ["TaskInteractionGraph"]
+
+
+class TaskInteractionGraph(WeightedGraph):
+    """Undirected weighted graph of interacting data-parallel tasks."""
+
+    @property
+    def n_tasks(self) -> int:
+        """Number of tasks (alias of :attr:`n_nodes`)."""
+        return self.n_nodes
+
+    @property
+    def computation_weights(self) -> np.ndarray:
+        """Per-task computation weights ``W_t`` (alias of :attr:`node_weights`)."""
+        return self.node_weights
+
+    @property
+    def communication_weights(self) -> np.ndarray:
+        """Per-interaction communication volumes ``C^{t,a}`` (alias of edge weights)."""
+        return self.edge_weights
+
+    def total_computation(self) -> float:
+        """Sum of all task computation weights."""
+        return float(self.node_weights.sum())
+
+    def total_communication(self) -> float:
+        """Sum of all interaction volumes (each undirected edge counted once)."""
+        return float(self.edge_weights.sum())
+
+    def computation_to_communication_ratio(self) -> float:
+        """Suite-level CCR ``ΣW / ΣC`` (``inf`` for an edgeless TIG).
+
+        §5.2 generates five graph suites "with varying computation to
+        communication ratio"; this is the knob being varied.
+        """
+        comm = self.total_communication()
+        if comm == 0:
+            return float("inf")
+        return self.total_computation() / comm
+
+    def interaction_volume(self, task: int) -> float:
+        """Total data volume task ``task`` exchanges with all neighbors."""
+        return float(self.weighted_degrees()[task])

@@ -1,0 +1,34 @@
+"""Mapping core: problem instances, the Eq. (1)/(2) cost model, mappings."""
+
+from repro.mapping.analysis import MappingAnalysis, analyze_mapping
+from repro.mapping.bounds import (
+    combined_lower_bound,
+    communication_lower_bound,
+    compute_lower_bound,
+    sorted_matching_bound,
+)
+from repro.mapping.cost_model import (
+    CostModel,
+    evaluate_reference,
+    per_resource_times_reference,
+)
+from repro.mapping.incremental import IncrementalEvaluator
+from repro.mapping.mapping import Mapping
+from repro.mapping.problem import MappingProblem
+from repro.mapping.turnaround import TurnaroundRecord
+
+__all__ = [
+    "MappingProblem",
+    "MappingAnalysis",
+    "analyze_mapping",
+    "combined_lower_bound",
+    "communication_lower_bound",
+    "compute_lower_bound",
+    "sorted_matching_bound",
+    "Mapping",
+    "CostModel",
+    "evaluate_reference",
+    "per_resource_times_reference",
+    "IncrementalEvaluator",
+    "TurnaroundRecord",
+]

@@ -1,0 +1,113 @@
+"""Mapping quality analysis and reporting.
+
+Turns a produced mapping into the quantities a practitioner reads before
+trusting it: per-resource load table, compute/communication split, load
+imbalance, the gap to the instance's lower bound, and the co-location
+structure (which heavy interactions were placed on cheap links).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mapping.bounds import combined_lower_bound
+from repro.mapping.cost_model import CostModel
+from repro.mapping.problem import MappingProblem
+from repro.types import AssignmentVector
+from repro.utils.tables import format_table
+
+__all__ = ["MappingAnalysis", "analyze_mapping"]
+
+
+@dataclass(frozen=True)
+class MappingAnalysis:
+    """All derived quality measures of one mapping."""
+
+    execution_time: float
+    lower_bound: float
+    per_resource_compute: np.ndarray
+    per_resource_comm: np.ndarray
+    busiest_resource: int
+    imbalance: float  # max / mean of per-resource totals
+    comm_fraction: float  # communication share of total work
+    edge_link_costs: np.ndarray  # per-TIG-edge unit link cost paid
+
+    @property
+    def optimality_gap(self) -> float:
+        """``ET / lower_bound`` — 1.0 would be provably optimal.
+
+        The bound is loose in general, so a gap of 2-4× is normal; the
+        measure is for *comparing* mappings on the same instance.
+        """
+        if self.lower_bound <= 0:
+            return float("inf")
+        return self.execution_time / self.lower_bound
+
+    def render(self) -> str:
+        """Printable per-resource load table plus summary lines."""
+        totals = self.per_resource_compute + self.per_resource_comm
+        rows = []
+        for r in range(totals.shape[0]):
+            marker = " <- busiest" if r == self.busiest_resource else ""
+            rows.append(
+                [f"r{r}{marker}", self.per_resource_compute[r],
+                 self.per_resource_comm[r], totals[r]]
+            )
+        table = format_table(
+            ["resource", "compute", "comm", "total"],
+            rows,
+            title="Per-resource execution times (Eq. 1)",
+        )
+        gap = (
+            f"(gap {self.optimality_gap:.2f}x)"
+            if self.lower_bound > 0
+            else "(n/a for many-to-one instances)"
+        )
+        summary = (
+            f"\nET (Eq. 2)      : {self.execution_time:,.1f}\n"
+            f"lower bound     : {self.lower_bound:,.1f} {gap}\n"
+            f"imbalance       : {self.imbalance:.3f} (max/mean)\n"
+            f"comm share      : {self.comm_fraction:.1%} of total work"
+        )
+        return table + summary
+
+
+def analyze_mapping(
+    problem: MappingProblem, assignment: AssignmentVector
+) -> MappingAnalysis:
+    """Compute the full quality analysis of ``assignment`` on ``problem``."""
+    x = problem.check_assignment(np.asarray(assignment, dtype=np.int64))
+    model = CostModel(problem)
+    n_r = problem.n_resources
+
+    comp = np.bincount(
+        x, weights=problem.task_weights * problem.proc_weights[x], minlength=n_r
+    )
+    comm = np.zeros(n_r)
+    if problem.edges.size:
+        s = x[problem.edges[:, 0]]
+        b = x[problem.edges[:, 1]]
+        link = problem.edge_weights * problem.comm_costs[s, b]
+        comm += np.bincount(s, weights=link, minlength=n_r)
+        comm += np.bincount(b, weights=link, minlength=n_r)
+        edge_link_costs = problem.comm_costs[s, b]
+    else:
+        edge_link_costs = np.empty(0)
+
+    totals = comp + comm
+    et = float(totals.max())
+    total_work = float(totals.sum())
+    lb = combined_lower_bound(problem) if problem.n_tasks <= problem.n_resources else 0.0
+
+    return MappingAnalysis(
+        execution_time=et,
+        lower_bound=lb,
+        per_resource_compute=comp,
+        per_resource_comm=comm,
+        busiest_resource=int(np.argmax(totals)),
+        imbalance=float(totals.max() / totals.mean()) if totals.mean() > 0 else 1.0,
+        comm_fraction=float(comm.sum() / total_work) if total_work > 0 else 0.0,
+        edge_link_costs=edge_link_costs,
+    )

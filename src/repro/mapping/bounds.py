@@ -1,0 +1,100 @@
+"""Lower bounds on the Eq. (2) execution time of any one-to-one mapping.
+
+No heuristic can report a cost below these, which makes them powerful
+sanity oracles in tests and useful context in reports ("MaTCH is within
+x% of the compute bound"). Three bounds, each valid for every one-to-one
+mapping:
+
+* **compute bound** — a perfectly balanced, communication-free schedule:
+  the busiest resource hosts at least the average computation priced at
+  the cheapest processing weight, and at least one task pays its own
+  weight times the cheapest weight;
+* **single-task bound** — pairing the heaviest tasks with the cheapest
+  resources optimally (sorted products): some resource must pay at least
+  the *minimum over assignments* of its own compute term, bounded by the
+  sorted-product matching;
+* **communication bound** — under a one-to-one mapping every TIG edge is
+  remote, paying at least ``C^{t,a} · c_min`` on both endpoint resources;
+  the total communication charge is therefore at least
+  ``2 · ΣC · c_min`` spread over ``n_r`` resources.
+
+``combined_lower_bound`` takes the max of all of them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.mapping.problem import MappingProblem
+
+__all__ = [
+    "compute_lower_bound",
+    "sorted_matching_bound",
+    "communication_lower_bound",
+    "combined_lower_bound",
+]
+
+
+def _off_diag_min(ccm: np.ndarray) -> float:
+    n = ccm.shape[0]
+    if n < 2:
+        return 0.0
+    mask = ~np.eye(n, dtype=bool)
+    return float(ccm[mask].min())
+
+
+def compute_lower_bound(problem: MappingProblem) -> float:
+    """Balanced, communication-free floor on the busiest resource's load."""
+    W = problem.task_weights
+    w_min = float(problem.proc_weights.min())
+    if W.size == 0:
+        return 0.0
+    per_resource_avg = float(W.sum()) / problem.n_resources
+    heaviest_task = float(W.max())
+    return max(per_resource_avg, heaviest_task) * w_min
+
+
+def sorted_matching_bound(problem: MappingProblem) -> float:
+    """Best-case compute pairing: heavy tasks on cheap resources.
+
+    For any one-to-one mapping, the maximum of ``W_t · w_{x(t)}`` over
+    tasks is minimized by pairing the sorted task weights (descending)
+    with the sorted processing weights (ascending) — the classic
+    rearrangement argument. The resulting max product lower-bounds
+    every mapping's busiest-resource compute term, hence Eq. (2).
+    """
+    if problem.n_tasks > problem.n_resources:
+        raise ValidationError("sorted matching bound requires n_tasks <= n_resources")
+    W = np.sort(problem.task_weights)[::-1]
+    w = np.sort(problem.proc_weights)[: problem.n_tasks]
+    products = W * w
+    return float(products.max()) if products.size else 0.0
+
+
+def communication_lower_bound(problem: MappingProblem) -> float:
+    """Floor from unavoidable communication under one-to-one mappings.
+
+    Every edge is remote (endpoints never share a resource), charging at
+    least ``C · c_min`` to each endpoint resource; total charge
+    ``>= 2 ΣC c_min`` over ``n_r`` resources, so the busiest pays at least
+    the average.
+    """
+    if problem.edge_weights.size == 0:
+        return 0.0
+    c_min = _off_diag_min(problem.comm_costs)
+    total = 2.0 * float(problem.edge_weights.sum()) * c_min
+    return total / problem.n_resources
+
+
+def combined_lower_bound(problem: MappingProblem) -> float:
+    """Max of all applicable bounds (each valid alone; the max is too).
+
+    Note compute and communication floors may NOT be summed in general —
+    the resource paying the most communication need not be the one paying
+    the most computation — so the combination is a max, not a sum.
+    """
+    bounds = [compute_lower_bound(problem), communication_lower_bound(problem)]
+    if problem.n_tasks <= problem.n_resources:
+        bounds.append(sorted_matching_bound(problem))
+    return max(bounds)

@@ -1,0 +1,81 @@
+"""The :class:`Mapping` value object: one concrete task→resource assignment.
+
+Optimizers internally shuffle raw assignment vectors for speed; at their
+API boundary they return a :class:`Mapping`, which pins the vector to its
+problem, validates it once, caches its cost, and offers the inverse views
+(which tasks a resource hosts) that examples and reports need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MappingError
+from repro.mapping.cost_model import CostModel
+from repro.mapping.problem import MappingProblem
+from repro.types import AssignmentVector
+
+__all__ = ["Mapping"]
+
+
+class Mapping:
+    """An immutable task→resource assignment for a specific problem."""
+
+    __slots__ = ("problem", "_assignment", "_cost")
+
+    def __init__(self, problem: MappingProblem, assignment: AssignmentVector) -> None:
+        self.problem = problem
+        arr = problem.check_assignment(np.asarray(assignment, dtype=np.int64))
+        arr = arr.copy()
+        arr.setflags(write=False)
+        self._assignment = arr
+        self._cost: float | None = None
+
+    # -- views -----------------------------------------------------------------
+    @property
+    def assignment(self) -> np.ndarray:
+        """Read-only assignment vector; ``assignment[t]`` is task t's resource."""
+        return self._assignment
+
+    def resource_of(self, task: int) -> int:
+        """Resource index hosting ``task``."""
+        if not 0 <= task < self.problem.n_tasks:
+            raise MappingError(f"task {task} out of range [0, {self.problem.n_tasks - 1}]")
+        return int(self._assignment[task])
+
+    def tasks_on(self, resource: int) -> np.ndarray:
+        """Sorted task indices mapped to ``resource``."""
+        if not 0 <= resource < self.problem.n_resources:
+            raise MappingError(
+                f"resource {resource} out of range [0, {self.problem.n_resources - 1}]"
+            )
+        return np.flatnonzero(self._assignment == resource)
+
+    def is_one_to_one(self) -> bool:
+        """True iff no two tasks share a resource."""
+        return self.problem.is_one_to_one(self._assignment)
+
+    # -- cost -----------------------------------------------------------------
+    def cost(self, model: CostModel | None = None) -> float:
+        """Application execution time Eq. (2); cached after first call."""
+        if self._cost is None:
+            model = model if model is not None else CostModel(self.problem)
+            if model.problem is not self.problem:
+                raise MappingError("cost model belongs to a different problem instance")
+            self._cost = model.evaluate(self._assignment)
+        return self._cost
+
+    # -- dunder ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Mapping):
+            return NotImplemented
+        return self.problem is other.problem and np.array_equal(
+            self._assignment, other._assignment
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.problem), self._assignment.tobytes()))
+
+    def __repr__(self) -> str:
+        cost = f", cost={self._cost:.6g}" if self._cost is not None else ""
+        return f"Mapping(n_tasks={self.problem.n_tasks}{cost})"

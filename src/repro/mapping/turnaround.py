@@ -1,0 +1,43 @@
+"""Application turnaround time (ATN) accounting — §5.3 / Figure 9.
+
+The paper combines the two costs of scheduling into a single figure of
+merit: ``ATN = ET + MT`` where ET is the application execution time of the
+produced mapping (Eq. (2), abstract units) and MT is the wall-clock seconds
+the heuristic itself consumed. The paper implicitly treats one ET unit as
+one second when summing ("the application execution time … is a much larger
+quantity in reality"); :class:`TurnaroundRecord` makes that unit bridge an
+explicit, adjustable parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TurnaroundRecord"]
+
+
+@dataclass(frozen=True)
+class TurnaroundRecord:
+    """ET/MT pair for one heuristic run and its combined turnaround."""
+
+    heuristic: str
+    execution_time: float  # ET, abstract cost units
+    mapping_time: float  # MT, wall-clock seconds
+    seconds_per_unit: float = 1.0  # ET-unit → seconds bridge (paper: 1)
+
+    def __post_init__(self) -> None:
+        if self.execution_time < 0 or self.mapping_time < 0:
+            raise ValueError("ET and MT must be non-negative")
+        if self.seconds_per_unit <= 0:
+            raise ValueError(f"seconds_per_unit must be > 0, got {self.seconds_per_unit}")
+
+    @property
+    def turnaround(self) -> float:
+        """ATN = ET · seconds_per_unit + MT, in seconds."""
+        return self.execution_time * self.seconds_per_unit + self.mapping_time
+
+    def speedup_over(self, other: "TurnaroundRecord") -> float:
+        """How many times smaller this ATN is than ``other``'s."""
+        if self.turnaround == 0:
+            return float("inf")
+        return other.turnaround / self.turnaround

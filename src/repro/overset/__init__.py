@@ -1,0 +1,16 @@
+"""Synthetic overset-grid CFD substrate (the application domain of §2/Fig. 1)."""
+
+from repro.overset.geometry import Box, boxes_overlap
+from repro.overset.grids import ComponentGrid
+from repro.overset.scenario import OversetScenario, generate_overset_scenario
+from repro.overset.tig_builder import build_tig, scenario_report
+
+__all__ = [
+    "Box",
+    "boxes_overlap",
+    "ComponentGrid",
+    "OversetScenario",
+    "generate_overset_scenario",
+    "build_tig",
+    "scenario_report",
+]

@@ -1,0 +1,93 @@
+"""Axis-aligned 3-D geometry primitives for the synthetic overset-grid substrate.
+
+Overset-grid CFD (§2, Fig. 1) covers the space around an irregular body
+with overlapping regularly-shaped grids. We model each component grid's
+bounding region as an axis-aligned box; pairwise box intersections define
+which grids overlap and how strongly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["Box", "boxes_overlap"]
+
+
+@dataclass(frozen=True)
+class Box:
+    """A closed axis-aligned box ``[lo, hi]`` in 3-D space."""
+
+    lo: tuple[float, float, float]
+    hi: tuple[float, float, float]
+
+    def __post_init__(self) -> None:
+        lo = np.asarray(self.lo, dtype=np.float64)
+        hi = np.asarray(self.hi, dtype=np.float64)
+        if lo.shape != (3,) or hi.shape != (3,):
+            raise ValidationError("Box corners must be 3-vectors")
+        if not (np.all(np.isfinite(lo)) and np.all(np.isfinite(hi))):
+            raise ValidationError("Box corners must be finite")
+        if np.any(hi < lo):
+            raise ValidationError(f"Box has hi < lo: lo={self.lo}, hi={self.hi}")
+        # Normalise to plain tuples of floats for hashability/JSON friendliness.
+        object.__setattr__(self, "lo", tuple(float(x) for x in lo))
+        object.__setattr__(self, "hi", tuple(float(x) for x in hi))
+
+    # -- measures -----------------------------------------------------------
+    @property
+    def extents(self) -> np.ndarray:
+        """Side lengths per axis, ``hi - lo``."""
+        return np.asarray(self.hi) - np.asarray(self.lo)
+
+    @property
+    def center(self) -> np.ndarray:
+        """Geometric center of the box."""
+        return (np.asarray(self.hi) + np.asarray(self.lo)) / 2.0
+
+    def volume(self) -> float:
+        """Box volume (0 for degenerate boxes)."""
+        return float(np.prod(self.extents))
+
+    def contains_point(self, point) -> bool:
+        """True iff ``point`` lies inside or on the boundary."""
+        p = np.asarray(point, dtype=np.float64)
+        return bool(np.all(p >= np.asarray(self.lo)) and np.all(p <= np.asarray(self.hi)))
+
+    # -- set operations ------------------------------------------------------
+    def intersection(self, other: "Box") -> "Box | None":
+        """The overlap box with ``other``, or ``None`` when they are disjoint.
+
+        Boxes touching only on a face/edge/corner (zero-volume overlap)
+        return that degenerate box — overset grids need *volumetric*
+        overlap to exchange data, which callers check via ``volume() > 0``.
+        """
+        lo = np.maximum(np.asarray(self.lo), np.asarray(other.lo))
+        hi = np.minimum(np.asarray(self.hi), np.asarray(other.hi))
+        if np.any(hi < lo):
+            return None
+        return Box(tuple(lo), tuple(hi))
+
+    def union_bounds(self, other: "Box") -> "Box":
+        """The smallest box containing both (bounding-box union)."""
+        lo = np.minimum(np.asarray(self.lo), np.asarray(other.lo))
+        hi = np.maximum(np.asarray(self.hi), np.asarray(other.hi))
+        return Box(tuple(lo), tuple(hi))
+
+    def expanded(self, margin: float) -> "Box":
+        """Box grown by ``margin`` on every side (negative shrinks, clamped)."""
+        lo = np.asarray(self.lo) - margin
+        hi = np.asarray(self.hi) + margin
+        mid = (lo + hi) / 2.0
+        lo = np.minimum(lo, mid)
+        hi = np.maximum(hi, mid)
+        return Box(tuple(lo), tuple(hi))
+
+
+def boxes_overlap(a: Box, b: Box) -> bool:
+    """True iff the two boxes share positive volume (not just a boundary)."""
+    inter = a.intersection(b)
+    return inter is not None and inter.volume() > 0.0

@@ -1,0 +1,21 @@
+"""Discrete-event platform simulator validating the analytic cost model."""
+
+from repro.simulate.contention import (
+    ContentionReport,
+    ContentionSimulator,
+    contention_report,
+)
+from repro.simulate.event_queue import EventQueue
+from repro.simulate.platform_sim import PlatformSimulator, SimulationReport
+from repro.simulate.workload import IterativeWorkload, WorkloadOutcome
+
+__all__ = [
+    "EventQueue",
+    "ContentionReport",
+    "ContentionSimulator",
+    "contention_report",
+    "PlatformSimulator",
+    "SimulationReport",
+    "IterativeWorkload",
+    "WorkloadOutcome",
+]

@@ -1,0 +1,99 @@
+"""A minimal discrete-event simulation (DES) kernel.
+
+The platform simulator (:mod:`repro.simulate.platform_sim`) replays a
+mapped application on the resource graph event by event; this module is
+the generic engine underneath: a time-ordered event queue with
+deterministic tie-breaking (FIFO among simultaneous events), the standard
+"advance clock, fire callback, maybe schedule more" loop, and guards
+against the classic DES bugs (scheduling into the past, running a stopped
+simulation).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+from repro.exceptions import SimulationError
+
+__all__ = ["EventQueue"]
+
+Callback = Callable[["EventQueue"], Any]
+
+
+class EventQueue:
+    """Deterministic discrete-event engine.
+
+    Events are ``(time, insertion_seq)``-ordered: ties fire in insertion
+    order, making runs reproducible regardless of heap internals.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callback]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._fired = 0
+        self._running = False
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def n_fired(self) -> int:
+        """Number of events executed so far."""
+        return self._fired
+
+    @property
+    def n_pending(self) -> int:
+        """Number of events still scheduled."""
+        return len(self._heap)
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule_at(self, time: float, callback: Callback) -> None:
+        """Schedule ``callback`` at absolute time ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: t={time} < now={self._now}"
+            )
+        heapq.heappush(self._heap, (time, next(self._seq), callback))
+
+    def schedule_after(self, delay: float, callback: Callback) -> None:
+        """Schedule ``callback`` ``delay`` time units from now (delay >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        self.schedule_at(self._now + delay, callback)
+
+    # -- execution -------------------------------------------------------------
+    def run(self, *, until: float | None = None, max_events: int | None = None) -> float:
+        """Fire events in order until the queue drains (or a bound hits).
+
+        Returns the final simulation time. ``until`` stops the clock at a
+        horizon (events beyond it stay queued); ``max_events`` bounds the
+        number of callbacks (an infinite-loop guard).
+        """
+        if self._running:
+            raise SimulationError("run() is not re-entrant")
+        self._running = True
+        try:
+            fired_this_run = 0
+            while self._heap:
+                time, _, callback = self._heap[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                self._now = time
+                callback(self)
+                self._fired += 1
+                fired_this_run += 1
+                if max_events is not None and fired_this_run >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; possible event loop"
+                    )
+            return self._now
+        finally:
+            self._running = False

@@ -1,0 +1,90 @@
+"""Improvement-factor utilities for the comparison tables.
+
+Tables 1 and 2 report ratio rows (``ET_GA / ET_MaTCH`` and
+``MT_MaTCH / MT_GA``); these helpers compute them with explicit
+zero-handling and build the size-indexed series objects the table and
+figure harnesses share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping as MappingT
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["improvement_factor", "SeriesBySize", "geometric_mean"]
+
+
+def improvement_factor(baseline: float, candidate: float) -> float:
+    """``baseline / candidate`` — how many times smaller the candidate is.
+
+    ``inf`` when the candidate is zero but the baseline is not; 1.0 when
+    both are zero (no difference).
+    """
+    if baseline < 0 or candidate < 0:
+        raise ValidationError("improvement factors need non-negative inputs")
+    if candidate == 0:
+        return 1.0 if baseline == 0 else float("inf")
+    return baseline / candidate
+
+
+@dataclass(frozen=True)
+class SeriesBySize:
+    """A metric measured per problem size for several heuristics.
+
+    The common shape of Tables 1-2 and Figures 7-9: ``values[name]`` is
+    the metric sequence aligned with ``sizes``.
+    """
+
+    metric: str
+    sizes: tuple[int, ...]
+    values: MappingT[str, tuple[float, ...]]
+
+    def __post_init__(self) -> None:
+        for name, vals in self.values.items():
+            if len(vals) != len(self.sizes):
+                raise ValidationError(
+                    f"series {name!r} has {len(vals)} values for {len(self.sizes)} sizes"
+                )
+
+    def ratio_row(self, numerator: str, denominator: str) -> tuple[float, ...]:
+        """Element-wise improvement factors ``numerator / denominator``."""
+        if numerator not in self.values or denominator not in self.values:
+            raise ValidationError(
+                f"unknown series; have {sorted(self.values)}, "
+                f"asked for {numerator!r}/{denominator!r}"
+            )
+        num = self.values[numerator]
+        den = self.values[denominator]
+        return tuple(improvement_factor(a, b) for a, b in zip(num, den))
+
+    def combined_with(self, other: "SeriesBySize", metric: str) -> "SeriesBySize":
+        """Element-wise sum with another aligned series (ET + MT → ATN)."""
+        if other.sizes != self.sizes:
+            raise ValidationError("cannot combine series with different size axes")
+        common = set(self.values) & set(other.values)
+        if not common:
+            raise ValidationError("series share no heuristic names")
+        summed = {
+            name: tuple(
+                a + b for a, b in zip(self.values[name], other.values[name])
+            )
+            for name in sorted(common)
+        }
+        return SeriesBySize(metric=metric, sizes=self.sizes, values=summed)
+
+    def as_rows(self) -> list[list]:
+        """Rows (one per heuristic) for :func:`repro.utils.tables.format_table`."""
+        return [[name, *vals] for name, vals in sorted(self.values.items())]
+
+
+def geometric_mean(factors: Sequence[float]) -> float:
+    """Geometric mean of improvement factors (ignores non-finite entries)."""
+    arr = np.asarray([f for f in factors if np.isfinite(f) and f > 0], dtype=np.float64)
+    if arr.size == 0:
+        raise ValidationError("no finite positive factors to average")
+    return float(np.exp(np.log(arr).mean()))

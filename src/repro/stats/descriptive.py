@@ -1,0 +1,73 @@
+"""Descriptive statistics with confidence intervals — the Table 3 row set.
+
+Table 3 reports, per heuristic: absolute mean, a 95% confidence interval
+for the mean, standard deviation and median over 30 independent runs.
+:func:`summarize_sample` computes exactly those (CI via Student's t, the
+correct small-sample interval for n = 30).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.stats.distributions import student_t_ppf
+
+__all__ = ["SampleSummary", "summarize_sample"]
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Mean/CI/std/median summary of one sample of run outcomes."""
+
+    label: str
+    n: int
+    mean: float
+    std: float  # sample standard deviation (ddof=1)
+    sem: float  # standard error of the mean
+    ci_low: float
+    ci_high: float
+    median: float
+    confidence: float = 0.95
+
+    def as_row(self) -> list:
+        """Row cells in Table 3's order."""
+        return [self.label, self.mean, f"{self.ci_low:.0f}-{self.ci_high:.0f}",
+                self.std, self.median]
+
+
+def summarize_sample(
+    values, *, label: str = "", confidence: float = 0.95
+) -> SampleSummary:
+    """Summarize a 1-D sample with a t-based CI for the mean.
+
+    Requires at least two observations (the CI is undefined for one).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size < 2:
+        raise ValidationError(
+            f"sample must be 1-D with >= 2 observations, got shape {arr.shape}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError("sample contains non-finite values")
+    if not 0.0 < confidence < 1.0:
+        raise ValidationError(f"confidence must be in (0, 1), got {confidence}")
+    n = arr.size
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1))
+    sem = std / np.sqrt(n)
+    t_crit = student_t_ppf(0.5 + confidence / 2.0, n - 1)
+    half = t_crit * sem
+    return SampleSummary(
+        label=label,
+        n=n,
+        mean=mean,
+        std=std,
+        sem=float(sem),
+        ci_low=mean - half,
+        ci_high=mean + half,
+        median=float(np.median(arr)),
+        confidence=confidence,
+    )

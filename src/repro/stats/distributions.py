@@ -1,0 +1,139 @@
+"""Probability distributions needed by the ANOVA study — from scratch.
+
+The Table 3 reproduction needs the F-distribution survival function (the
+ANOVA p-value) and Student's t quantiles (the 95% confidence intervals).
+Both reduce to the *regularized incomplete beta function* ``I_x(a, b)``,
+implemented here with the standard continued-fraction expansion (modified
+Lentz algorithm, cf. Numerical Recipes §6.4) — no scipy dependency in the
+library proper. The test suite cross-validates every function against
+``scipy.stats`` to tight tolerances.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ValidationError
+
+__all__ = ["log_beta", "betainc_regularized", "f_sf", "student_t_sf", "student_t_ppf"]
+
+_MAX_ITER = 300
+_EPS = 3e-14
+_FPMIN = 1e-300
+
+
+def log_beta(a: float, b: float) -> float:
+    """``log B(a, b)`` via log-gamma."""
+    if a <= 0 or b <= 0:
+        raise ValidationError(f"beta parameters must be > 0, got a={a}, b={b}")
+    return math.lgamma(a) + math.lgamma(b) - math.lgamma(a + b)
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta (modified Lentz)."""
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < _FPMIN:
+        d = _FPMIN
+    d = 1.0 / d
+    h = d
+    for m in range(1, _MAX_ITER + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _FPMIN:
+            d = _FPMIN
+        c = 1.0 + aa / c
+        if abs(c) < _FPMIN:
+            c = _FPMIN
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _FPMIN:
+            d = _FPMIN
+        c = 1.0 + aa / c
+        if abs(c) < _FPMIN:
+            c = _FPMIN
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPS:
+            return h
+    raise ValidationError(f"betacf failed to converge for a={a}, b={b}, x={x}")
+
+
+def betainc_regularized(a: float, b: float, x: float) -> float:
+    """Regularized incomplete beta ``I_x(a, b)`` for ``x`` in [0, 1]."""
+    if a <= 0 or b <= 0:
+        raise ValidationError(f"beta parameters must be > 0, got a={a}, b={b}")
+    if not 0.0 <= x <= 1.0:
+        raise ValidationError(f"x must be in [0, 1], got {x}")
+    if x == 0.0:
+        return 0.0
+    if x == 1.0:
+        return 1.0
+    ln_front = a * math.log(x) + b * math.log1p(-x) - log_beta(a, b)
+    front = math.exp(ln_front)
+    # Use the expansion on the side where it converges fastest.
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def f_sf(f_value: float, dfn: float, dfd: float) -> float:
+    """Survival function ``P(F > f)`` of the F(dfn, dfd) distribution."""
+    if dfn <= 0 or dfd <= 0:
+        raise ValidationError(f"degrees of freedom must be > 0, got ({dfn}, {dfd})")
+    if f_value <= 0:
+        return 1.0
+    x = dfd / (dfd + dfn * f_value)
+    return betainc_regularized(dfd / 2.0, dfn / 2.0, x)
+
+
+def student_t_sf(t_value: float, df: float) -> float:
+    """One-sided survival ``P(T > t)`` of Student's t with ``df`` dof."""
+    if df <= 0:
+        raise ValidationError(f"df must be > 0, got {df}")
+    x = df / (df + t_value * t_value)
+    tail = 0.5 * betainc_regularized(df / 2.0, 0.5, x)
+    return tail if t_value >= 0 else 1.0 - tail
+
+
+def student_t_ppf(p: float, df: float, *, tol: float = 1e-12) -> float:
+    """Quantile of Student's t: the ``t`` with ``P(T <= t) = p``.
+
+    Bisection on the monotone CDF — plenty fast for the handful of
+    confidence-interval lookups the harness performs.
+    """
+    if df <= 0:
+        raise ValidationError(f"df must be > 0, got {df}")
+    if not 0.0 < p < 1.0:
+        raise ValidationError(f"p must be in (0, 1), got {p}")
+    if abs(p - 0.5) < 1e-15:
+        return 0.0
+
+    def cdf(t: float) -> float:
+        return 1.0 - student_t_sf(t, df)
+
+    lo, hi = -1.0, 1.0
+    while cdf(lo) > p:
+        lo *= 2.0
+        if lo < -1e10:
+            raise ValidationError("t quantile bracket failed (lo)")
+    while cdf(hi) < p:
+        hi *= 2.0
+        if hi > 1e10:
+            raise ValidationError("t quantile bracket failed (hi)")
+    for _ in range(400):
+        mid = 0.5 * (lo + hi)
+        if cdf(mid) < p:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol * max(1.0, abs(mid)):
+            break
+    return 0.5 * (lo + hi)

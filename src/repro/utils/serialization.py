@@ -1,0 +1,76 @@
+"""JSON (de)serialization helpers for graphs, configs and experiment results.
+
+All persistent artifacts in the library are plain JSON: human-diffable,
+dependency-free, and stable across Python versions. Numpy scalars/arrays are
+converted to native lists on the way out; loaders validate the payloads and
+raise :class:`~repro.exceptions.SerializationError` with context on failure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+
+__all__ = ["to_jsonable", "dump_json", "load_json"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-serializable primitives.
+
+    Handles numpy scalars and arrays, dataclasses, paths, sets (sorted to a
+    list for determinism), and nested containers. Raises
+    :class:`SerializationError` for types with no sensible JSON form.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, Path):
+        return str(obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        try:
+            return [to_jsonable(v) for v in sorted(obj)]
+        except TypeError:
+            return [to_jsonable(v) for v in obj]
+    raise SerializationError(f"cannot serialize object of type {type(obj).__name__}")
+
+
+def dump_json(obj: Any, path: str | Path, *, indent: int = 2) -> Path:
+    """Serialize ``obj`` to ``path`` as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        payload = json.dumps(to_jsonable(obj), indent=indent, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"failed to encode JSON for {path}: {exc}") from exc
+    path.write_text(payload + "\n", encoding="utf-8")
+    return path
+
+
+def load_json(path: str | Path) -> Any:
+    """Load JSON from ``path``; wraps I/O and parse errors with context."""
+    path = Path(path)
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError as exc:
+        raise SerializationError(f"no such file: {path}") from exc
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON in {path}: {exc}") from exc

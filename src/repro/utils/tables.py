@@ -1,0 +1,95 @@
+"""Plain-text table rendering for the experiment harness.
+
+The paper's deliverables are tables (Tables 1-3) and figure *series*
+(Figures 7-9 are bar/line charts over the same data). The harness prints
+them as aligned ASCII tables so a terminal run of ``python -m repro table1``
+visually matches the paper's layout.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table", "render_kv_block", "format_number"]
+
+
+def format_number(value: Any, *, digits: int = 3) -> str:
+    """Format a cell: ints plainly, floats with ``digits`` decimals, rest via str.
+
+    Large floats (>= 1000) are rendered with thousands grouping and no
+    decimals, matching how the paper quotes execution-time units.
+    """
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}" if abs(value) >= 10000 else str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: str | None = None,
+    digits: int = 3,
+    align_first_left: bool = True,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Row cell values; formatted with :func:`format_number`.
+    title:
+        Optional title line printed above the table.
+    digits:
+        Decimal places for float cells.
+    align_first_left:
+        Left-align the first column (row labels), right-align the rest —
+        the conventional layout for numeric comparison tables.
+    """
+    str_rows = [[format_number(c, digits=digits) for c in row] for row in rows]
+    ncols = len(headers)
+    for r in str_rows:
+        if len(r) != ncols:
+            raise ValueError(f"row {r!r} has {len(r)} cells, expected {ncols}")
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in str_rows)) if str_rows else len(headers[j])
+        for j in range(ncols)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        out = []
+        for j, cell in enumerate(cells):
+            if j == 0 and align_first_left:
+                out.append(cell.ljust(widths[j]))
+            else:
+                out.append(cell.rjust(widths[j]))
+        return "  ".join(out).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(sep)))
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def render_kv_block(title: str, items: dict[str, Any], *, digits: int = 3) -> str:
+    """Render a ``key: value`` block (used for ANOVA summaries and configs)."""
+    width = max((len(k) for k in items), default=0)
+    lines = [title, "-" * max(len(title), 1)]
+    for key, value in items.items():
+        lines.append(f"{key.ljust(width)} : {format_number(value, digits=digits)}")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Argument-validation helpers raising :class:`~repro.exceptions.ValidationError`.
+
+These helpers concentrate the library's precondition checks so that error
+messages are uniform and the hot paths can call a single well-tested
+function instead of re-implementing checks ad hoc.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "check_positive",
+    "check_in_range",
+    "check_probability",
+    "check_probability_matrix",
+    "check_permutation",
+    "is_permutation",
+]
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (``> 0``, or ``>= 0`` if not strict)."""
+    if not np.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    if strict and value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    lo: float,
+    hi: float,
+    *,
+    inclusive: tuple[bool, bool] = (True, True),
+) -> float:
+    """Validate ``lo <?= value <?= hi`` with configurable endpoint inclusivity."""
+    lo_ok = value >= lo if inclusive[0] else value > lo
+    hi_ok = value <= hi if inclusive[1] else value < hi
+    if not (np.isfinite(value) and lo_ok and hi_ok):
+        lo_b = "[" if inclusive[0] else "("
+        hi_b = "]" if inclusive[1] else ")"
+        raise ValidationError(f"{name} must be in {lo_b}{lo}, {hi}{hi_b}, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` is a probability in ``[0, 1]``."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_probability_matrix(matrix: Any, *, atol: float = 1e-8) -> np.ndarray:
+    """Validate a row-stochastic matrix and return it as ``float64``.
+
+    Checks: 2-D, non-negative entries, each row sums to 1 within ``atol``.
+    """
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValidationError(f"probability matrix must be 2-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValidationError("probability matrix must be non-empty")
+    if np.any(arr < -atol):
+        raise ValidationError("probability matrix has negative entries")
+    row_sums = arr.sum(axis=1)
+    bad = np.flatnonzero(np.abs(row_sums - 1.0) > atol)
+    if bad.size:
+        raise ValidationError(
+            f"rows {bad[:5].tolist()} of probability matrix do not sum to 1 "
+            f"(sums {row_sums[bad[:5]].tolist()})"
+        )
+    return arr
+
+
+def is_permutation(x: Any, n: int | None = None) -> bool:
+    """True iff ``x`` is a permutation of ``0..len(x)-1`` (and of length ``n``)."""
+    arr = np.asarray(x)
+    if arr.ndim != 1:
+        return False
+    if n is not None and arr.shape[0] != n:
+        return False
+    m = arr.shape[0]
+    if m == 0:
+        return n in (None, 0)
+    if not np.issubdtype(arr.dtype, np.integer):
+        if not np.all(arr == np.floor(arr)):
+            return False
+        arr = arr.astype(np.int64)
+    if arr.min() != 0 or arr.max() != m - 1:
+        return False
+    seen = np.zeros(m, dtype=bool)
+    seen[arr] = True
+    return bool(seen.all())
+
+
+def check_permutation(name: str, x: Any, n: int | None = None) -> np.ndarray:
+    """Validate that ``x`` is a permutation vector; return it as ``int64``."""
+    if not is_permutation(x, n):
+        raise ValidationError(
+            f"{name} must be a permutation of 0..{(n or len(np.atleast_1d(x))) - 1}, got {x!r}"
+        )
+    return np.asarray(x, dtype=np.int64)

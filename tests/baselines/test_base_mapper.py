@@ -1,0 +1,75 @@
+"""Tests for the Mapper base class and MapperResult plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import Mapper, MapperResult
+from repro.mapping import CostModel, Mapping
+
+
+class _FixedMapper(Mapper):
+    """Test double: always returns the identity mapping."""
+
+    name = "Fixed"
+
+    def _solve(self, problem, model, rng):
+        return np.arange(problem.n_tasks), 7, {"note": "fixed"}
+
+
+class _InvalidMapper(Mapper):
+    """Test double: returns an out-of-range assignment."""
+
+    name = "Broken"
+
+    def _solve(self, problem, model, rng):
+        return np.full(problem.n_tasks, problem.n_resources + 5), 0, {}
+
+
+class TestMapperBase:
+    def test_map_times_and_scores(self, small_problem, small_model):
+        result = _FixedMapper().map(small_problem, 0)
+        assert result.mapper_name == "Fixed"
+        assert result.mapping_time >= 0
+        assert result.n_evaluations == 7
+        assert result.extras == {"note": "fixed"}
+        assert result.execution_time == pytest.approx(
+            small_model.evaluate(np.arange(12))
+        )
+
+    def test_invalid_solution_rejected(self, small_problem):
+        from repro.exceptions import MappingError
+
+        with pytest.raises(MappingError):
+            _InvalidMapper().map(small_problem, 0)
+
+    def test_base_solve_abstract(self, small_problem):
+        with pytest.raises(NotImplementedError):
+            Mapper().map(small_problem, 0)
+
+    def test_repr(self):
+        assert "Fixed" in repr(_FixedMapper())
+
+
+class TestMapperResult:
+    def test_mapping_object(self, small_problem):
+        result = _FixedMapper().map(small_problem, 0)
+        mapping = result.mapping(small_problem)
+        assert isinstance(mapping, Mapping)
+        np.testing.assert_array_equal(mapping.assignment, np.arange(12))
+
+    def test_turnaround_record(self, small_problem):
+        result = _FixedMapper().map(small_problem, 0)
+        atn = result.turnaround()
+        assert atn.heuristic == "Fixed"
+        assert atn.turnaround == pytest.approx(
+            result.execution_time + result.mapping_time
+        )
+
+    def test_turnaround_unit_bridge(self, small_problem):
+        result = _FixedMapper().map(small_problem, 0)
+        atn = result.turnaround(seconds_per_unit=0.5)
+        assert atn.turnaround == pytest.approx(
+            0.5 * result.execution_time + result.mapping_time
+        )

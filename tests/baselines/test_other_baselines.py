@@ -1,0 +1,173 @@
+"""Tests for random search, local search, simulated annealing and greedy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GreedyConstructiveMapper,
+    LocalSearchMapper,
+    RandomSearchMapper,
+    SAConfig,
+    SimulatedAnnealingMapper,
+)
+from repro.exceptions import ConfigurationError
+from repro.graphs import generate_resource_graph, generate_tig
+from repro.mapping import CostModel, IncrementalEvaluator, MappingProblem
+
+
+class TestRandomSearch:
+    def test_valid_output(self, small_problem):
+        result = RandomSearchMapper(200).map(small_problem, 0)
+        assert small_problem.is_one_to_one(result.assignment)
+        assert result.n_evaluations == 200
+
+    def test_more_samples_no_worse(self, small_problem):
+        few = RandomSearchMapper(20).map(small_problem, 1)
+        # same seed stream start; superset of draws can only improve or tie
+        many = RandomSearchMapper(2000).map(small_problem, 1)
+        assert many.execution_time <= few.execution_time
+
+    def test_batching_boundary(self, small_problem):
+        # n_samples not a multiple of batch_size exercises the tail batch
+        r = RandomSearchMapper(70, batch_size=32).map(small_problem, 2)
+        assert r.n_evaluations == 70
+
+    def test_rectangular(self):
+        tig = generate_tig(4, 0)
+        res = generate_resource_graph(7, 0)
+        problem = MappingProblem(tig, res)
+        result = RandomSearchMapper(50).map(problem, 3)
+        assert problem.is_one_to_one(result.assignment)
+
+    def test_too_few_resources(self):
+        tig = generate_tig(5, 0)
+        res = generate_resource_graph(3, 0)
+        with pytest.raises(ConfigurationError):
+            RandomSearchMapper(10).map(MappingProblem(tig, res), 0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomSearchMapper(0)
+        with pytest.raises(ConfigurationError):
+            RandomSearchMapper(10, batch_size=0)
+
+
+class TestLocalSearch:
+    def test_reaches_swap_local_optimum(self, small_problem, small_model):
+        result = LocalSearchMapper(restarts=1, strategy="steepest").map(
+            small_problem, 0
+        )
+        inc = IncrementalEvaluator(small_model, result.assignment)
+        current = inc.current_cost
+        for t1 in range(11):
+            for t2 in range(t1 + 1, 12):
+                assert inc.swap_cost(t1, t2) >= current - 1e-9
+
+    def test_first_improvement_also_local_optimum(self, small_problem, small_model):
+        result = LocalSearchMapper(restarts=1, strategy="first").map(small_problem, 1)
+        inc = IncrementalEvaluator(small_model, result.assignment)
+        current = inc.current_cost
+        assert all(
+            inc.swap_cost(t1, t2) >= current - 1e-9
+            for t1 in range(11)
+            for t2 in range(t1 + 1, 12)
+        )
+
+    def test_restarts_no_worse(self, small_problem):
+        one = LocalSearchMapper(restarts=1).map(small_problem, 2)
+        many = LocalSearchMapper(restarts=6).map(small_problem, 2)
+        assert many.execution_time <= one.execution_time + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LocalSearchMapper(restarts=0)
+        with pytest.raises(ConfigurationError):
+            LocalSearchMapper(strategy="random")
+        with pytest.raises(ConfigurationError):
+            LocalSearchMapper(max_sweeps=0)
+
+    def test_requires_square(self):
+        tig = generate_tig(4, 0)
+        res = generate_resource_graph(6, 0)
+        with pytest.raises(ConfigurationError):
+            LocalSearchMapper().map(MappingProblem(tig, res), 0)
+
+
+class TestSimulatedAnnealing:
+    def test_valid_output(self, small_problem):
+        result = SimulatedAnnealingMapper(SAConfig(n_steps=2000)).map(small_problem, 0)
+        assert small_problem.is_one_to_one(result.assignment)
+        assert 0 <= result.extras["accept_rate"] <= 1
+
+    def test_beats_single_random_start(self, small_problem, small_model):
+        result = SimulatedAnnealingMapper(SAConfig(n_steps=4000)).map(small_problem, 1)
+        rng = np.random.default_rng(1)
+        start_cost = small_model.evaluate(rng.permutation(12))
+        assert result.execution_time <= start_cost
+
+    def test_temperature_decays(self, small_problem):
+        cfg = SAConfig(n_steps=1000, cooling=0.99)
+        result = SimulatedAnnealingMapper(cfg).map(small_problem, 2)
+        assert result.extras["final_temperature"] < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SAConfig(n_steps=0)
+        with pytest.raises(ConfigurationError):
+            SAConfig(initial_acceptance=1.0)
+        with pytest.raises(ConfigurationError):
+            SAConfig(cooling=1.0)
+        with pytest.raises(ConfigurationError):
+            SAConfig(min_temperature=0.0)
+
+    def test_requires_square(self):
+        tig = generate_tig(4, 0)
+        res = generate_resource_graph(6, 0)
+        with pytest.raises(ConfigurationError):
+            SimulatedAnnealingMapper().map(MappingProblem(tig, res), 0)
+
+    def test_deterministic(self, small_problem):
+        cfg = SAConfig(n_steps=1500)
+        a = SimulatedAnnealingMapper(cfg).map(small_problem, 5)
+        b = SimulatedAnnealingMapper(cfg).map(small_problem, 5)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+
+class TestGreedy:
+    def test_valid_one_to_one(self, small_problem):
+        result = GreedyConstructiveMapper().map(small_problem, 0)
+        assert small_problem.is_one_to_one(result.assignment)
+
+    def test_deterministic_regardless_of_seed(self, small_problem):
+        a = GreedyConstructiveMapper().map(small_problem, 0)
+        b = GreedyConstructiveMapper().map(small_problem, 999)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    def test_beats_mean_random(self, small_problem, small_model):
+        result = GreedyConstructiveMapper().map(small_problem, 0)
+        rng = np.random.default_rng(0)
+        mean_random = np.mean(
+            [small_model.evaluate(rng.permutation(12)) for _ in range(100)]
+        )
+        assert result.execution_time < mean_random
+
+    def test_rectangular(self):
+        tig = generate_tig(4, 1)
+        res = generate_resource_graph(7, 1)
+        problem = MappingProblem(tig, res)
+        result = GreedyConstructiveMapper().map(problem, 0)
+        assert problem.is_one_to_one(result.assignment)
+
+    def test_too_few_resources(self):
+        tig = generate_tig(5, 0)
+        res = generate_resource_graph(3, 0)
+        with pytest.raises(ConfigurationError):
+            GreedyConstructiveMapper().map(MappingProblem(tig, res), 0)
+
+    def test_reported_cost_correct(self, small_problem, small_model):
+        result = GreedyConstructiveMapper().map(small_problem, 0)
+        assert result.execution_time == pytest.approx(
+            small_model.evaluate(result.assignment)
+        )

@@ -1,0 +1,213 @@
+"""Tests for continuous CE and rare-event CE (§3's broader method family)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as ss
+
+from repro.ce.continuous import ContinuousCEConfig, ContinuousCEOptimizer
+from repro.ce.rare_event import (
+    BernoulliFamily,
+    ExponentialFamily,
+    estimate_rare_event,
+)
+from repro.exceptions import ConfigurationError, ConvergenceError
+
+
+def sphere(center: np.ndarray):
+    def fn(X: np.ndarray) -> np.ndarray:
+        return ((X - center[np.newaxis, :]) ** 2).sum(axis=1)
+
+    return fn
+
+
+class TestContinuousCE:
+    def test_minimizes_sphere(self):
+        center = np.array([1.0, -2.0, 0.5])
+        opt = ContinuousCEOptimizer(
+            sphere(center),
+            np.zeros(3),
+            np.full(3, 3.0),
+            ContinuousCEConfig(n_samples=150, max_iterations=200),
+            rng=0,
+        )
+        res = opt.run()
+        assert res.converged
+        assert res.best_value < 1e-6
+        np.testing.assert_allclose(res.best_point, center, atol=1e-2)
+
+    def test_multiextremal_rastrigin_1d(self):
+        """CE escapes local minima of a rastrigin-like objective."""
+
+        def rastrigin(X):
+            return (X**2 - 10 * np.cos(2 * np.pi * X) + 10).sum(axis=1)
+
+        opt = ContinuousCEOptimizer(
+            rastrigin,
+            np.full(2, 3.5),  # start near a local minimum
+            np.full(2, 3.0),
+            ContinuousCEConfig(n_samples=400, rho=0.05, max_iterations=300),
+            rng=3,
+        )
+        res = opt.run()
+        assert res.best_value < 1e-3  # global optimum at 0
+
+    def test_bounds_clip_samples(self):
+        lo, hi = np.array([0.0, 0.0]), np.array([1.0, 1.0])
+        opt = ContinuousCEOptimizer(
+            sphere(np.array([5.0, 5.0])),  # optimum outside the box
+            np.full(2, 0.5),
+            np.full(2, 1.0),
+            ContinuousCEConfig(n_samples=100, max_iterations=100),
+            bounds=(lo, hi),
+            rng=1,
+        )
+        res = opt.run()
+        assert np.all(res.best_point <= 1.0 + 1e-12)
+        # best point is the nearest corner
+        np.testing.assert_allclose(res.best_point, [1.0, 1.0], atol=1e-6)
+
+    def test_histories(self):
+        opt = ContinuousCEOptimizer(
+            sphere(np.zeros(2)),
+            np.ones(2),
+            np.ones(2),
+            ContinuousCEConfig(n_samples=50, max_iterations=50),
+            rng=2,
+        )
+        res = opt.run()
+        assert len(res.mean_history) == res.n_iterations
+        assert len(res.sigma_history) == res.n_iterations
+        # sigma collapses over time
+        assert res.sigma_history[-1].max() < res.sigma_history[0].max()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ContinuousCEOptimizer(
+                sphere(np.zeros(2)), np.zeros(2), np.zeros(2)
+            )  # sigma0 not positive
+        with pytest.raises(ConfigurationError):
+            ContinuousCEOptimizer(
+                sphere(np.zeros(2)), np.zeros(2), np.ones(3)
+            )  # shape mismatch
+        with pytest.raises(ConfigurationError):
+            ContinuousCEOptimizer(
+                sphere(np.zeros(2)),
+                np.zeros(2),
+                np.ones(2),
+                bounds=(np.ones(2), np.zeros(2)),
+            )  # lo >= hi
+        with pytest.raises(ConfigurationError):
+            ContinuousCEConfig(n_samples=1)
+
+    def test_objective_shape_checked(self):
+        opt = ContinuousCEOptimizer(
+            lambda X: np.zeros(3), np.zeros(2), np.ones(2),
+            ContinuousCEConfig(n_samples=10, max_iterations=1),
+        )
+        with pytest.raises(ConfigurationError, match="objective returned"):
+            opt.run()
+
+    def test_fixed_std_smoothing(self):
+        opt = ContinuousCEOptimizer(
+            sphere(np.zeros(2)),
+            np.ones(2),
+            np.ones(2),
+            ContinuousCEConfig(
+                n_samples=100, max_iterations=100, dynamic_std_smoothing=False
+            ),
+            rng=4,
+        )
+        assert opt.run().best_value < 1e-4
+
+
+class TestRareEventExponential:
+    def test_erlang_tail(self):
+        """P(sum of 5 Exp(1) >= 20) — an Erlang(5) tail with known value."""
+        true = ss.gamma.sf(20.0, a=5, scale=1.0)
+        res = estimate_rare_event(
+            lambda x: x.sum(axis=1),
+            ExponentialFamily(),
+            np.ones(5),
+            20.0,
+            n_samples=2000,
+            rng=7,
+        )
+        assert res.probability == pytest.approx(true, rel=0.5)
+        assert res.relative_error < 0.2
+        assert res.gamma_levels[-1] == 20.0
+
+    def test_levels_monotone_increasing(self):
+        res = estimate_rare_event(
+            lambda x: x.sum(axis=1),
+            ExponentialFamily(),
+            np.ones(4),
+            18.0,
+            n_samples=1000,
+            rng=1,
+        )
+        assert all(b >= a for a, b in zip(res.gamma_levels, res.gamma_levels[1:]))
+
+    def test_easy_event_single_level(self):
+        """A non-rare event reaches gamma immediately."""
+        res = estimate_rare_event(
+            lambda x: x.sum(axis=1),
+            ExponentialFamily(),
+            np.ones(3),
+            1.0,
+            n_samples=1000,
+            rng=2,
+        )
+        assert res.n_iterations == 1
+        assert res.probability == pytest.approx(ss.gamma.sf(1.0, a=3), rel=0.2)
+
+    def test_budget_exhaustion_raises(self):
+        with pytest.raises(ConvergenceError):
+            estimate_rare_event(
+                lambda x: x.sum(axis=1),
+                ExponentialFamily(),
+                np.ones(2),
+                1e9,
+                n_samples=100,
+                max_iterations=3,
+                rng=0,
+            )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            estimate_rare_event(
+                lambda x: x.sum(axis=1), ExponentialFamily(), np.ones(2), 5.0,
+                n_samples=5,
+            )
+
+
+class TestRareEventBernoulli:
+    def test_binomial_tail(self):
+        """P(at least 18 of 20 fair coins) — exact binomial tail."""
+        true = ss.binom.sf(17, 20, 0.5)
+        res = estimate_rare_event(
+            lambda x: x.sum(axis=1),
+            BernoulliFamily(),
+            np.full(20, 0.5),
+            18.0,
+            n_samples=3000,
+            rng=11,
+        )
+        assert res.probability == pytest.approx(true, rel=0.5)
+
+    def test_parameters_tilted_towards_event(self):
+        res = estimate_rare_event(
+            lambda x: x.sum(axis=1),
+            BernoulliFamily(),
+            np.full(10, 0.3),
+            9.0,
+            n_samples=2000,
+            rng=5,
+        )
+        assert res.final_parameters is not None
+        assert res.final_parameters.mean() > 0.6  # tilted up
+
+    def test_clip_validation(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliFamily(clip=0.6)

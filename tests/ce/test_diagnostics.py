@@ -1,0 +1,107 @@
+"""Tests for CE convergence diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ce import (
+    CEConfig,
+    CrossEntropyOptimizer,
+    commit_iterations,
+    elite_diversity,
+    iterations_to_degeneracy,
+    mass_trajectory,
+)
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def tracked_run():
+    from repro.graphs import generate_paper_pair
+    from repro.mapping import CostModel, MappingProblem
+
+    pair = generate_paper_pair(8, 55)
+    model = CostModel(MappingProblem(pair.tig, pair.resources))
+    cfg = CEConfig(n_samples=128, max_iterations=80, track_matrices=True)
+    return CrossEntropyOptimizer(model.evaluate_batch, 8, 8, cfg, rng=1).run()
+
+
+@pytest.fixture(scope="module")
+def untracked_run():
+    from repro.graphs import generate_paper_pair
+    from repro.mapping import CostModel, MappingProblem
+
+    pair = generate_paper_pair(6, 56)
+    model = CostModel(MappingProblem(pair.tig, pair.resources))
+    cfg = CEConfig(n_samples=64, max_iterations=5, track_matrices=False,
+                   gamma_window=0, stability_window=0)
+    return CrossEntropyOptimizer(model.evaluate_batch, 6, 6, cfg, rng=1).run()
+
+
+class TestCommitIterations:
+    def test_shape_and_range(self, tracked_run):
+        commits = commit_iterations(tracked_run)
+        T = len(tracked_run.matrix_history)
+        assert commits.shape == (8,)
+        assert np.all((commits >= 0) & (commits < T))
+
+    def test_requires_tracking(self, untracked_run):
+        with pytest.raises(ValidationError):
+            commit_iterations(untracked_run)
+
+    def test_degenerate_from_start(self):
+        from repro.ce.optimizer import CEResult
+
+        fixed = np.eye(3)
+        result = CEResult(
+            best_assignment=np.arange(3), best_cost=1.0, n_iterations=2,
+            n_evaluations=10, stop_reason="x",
+            matrix_history=[fixed, fixed],
+        )
+        np.testing.assert_array_equal(commit_iterations(result), [0, 0, 0])
+
+
+class TestEliteDiversity:
+    def test_all_unique(self):
+        elites = np.array([[0, 1], [1, 0], [0, 0]])
+        assert elite_diversity(elites) == pytest.approx(3.0)
+
+    def test_all_identical(self):
+        elites = np.tile(np.array([2, 1, 0]), (5, 1))
+        assert elite_diversity(elites) == pytest.approx(1.0)
+
+    def test_mixed(self):
+        elites = np.array([[0, 1], [0, 1], [1, 0], [1, 0]])
+        assert elite_diversity(elites) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            elite_diversity(np.empty((0, 3), dtype=np.int64))
+
+
+class TestMassTrajectory:
+    def test_starts_low_ends_high(self, tracked_run):
+        traj = mass_trajectory(tracked_run)
+        assert traj.shape == (len(tracked_run.matrix_history),)
+        assert traj[-1] > traj[0]
+        assert traj[-1] > 0.5  # converged runs commit most of the mass
+
+    def test_bounded(self, tracked_run):
+        traj = mass_trajectory(tracked_run)
+        assert np.all((traj >= 0) & (traj <= 1 + 1e-12))
+
+
+class TestIterationsToDegeneracy:
+    def test_reached(self, tracked_run):
+        k = iterations_to_degeneracy(tracked_run, threshold=0.5)
+        assert 0 <= k < len(tracked_run.matrix_history)
+
+    def test_unreachable_threshold(self, tracked_run):
+        # threshold 1.0 with smoothing is typically not reached exactly
+        k = iterations_to_degeneracy(tracked_run, threshold=1.0)
+        assert k == -1 or tracked_run.matrix_history[k].max(axis=1).mean() >= 1.0
+
+    def test_invalid_threshold(self, tracked_run):
+        with pytest.raises(ValidationError):
+            iterations_to_degeneracy(tracked_run, threshold=0.0)

@@ -1,0 +1,86 @@
+"""Tests for CE max-cut (the canonical Rubinstein COP)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.ce import ce_max_cut, cut_value
+from repro.exceptions import ValidationError
+from repro.graphs import WeightedGraph, gnp_edges
+
+
+def complete_bipartite(a: int, b: int, weight: float = 1.0) -> WeightedGraph:
+    edges = [(i, a + j) for i in range(a) for j in range(b)]
+    return WeightedGraph(np.ones(a + b), edges, np.full(len(edges), weight))
+
+
+class TestCutValue:
+    def test_known_cut(self):
+        g = WeightedGraph([1, 1, 1], [(0, 1), (1, 2), (0, 2)], [3.0, 5.0, 7.0])
+        assert cut_value(g, np.array([0, 1, 0])) == 8.0  # edges (0,1),(1,2)
+        assert cut_value(g, np.array([0, 0, 0])) == 0.0
+
+    def test_complement_invariant(self):
+        g = WeightedGraph([1, 1, 1, 1], gnp_edges(4, 1.0, 0), np.arange(1.0, 7.0))
+        part = np.array([0, 1, 1, 0])
+        assert cut_value(g, part) == cut_value(g, 1 - part)
+
+    def test_shape_checked(self):
+        g = WeightedGraph([1, 1])
+        with pytest.raises(ValidationError):
+            cut_value(g, np.array([0]))
+
+    def test_edgeless(self):
+        assert cut_value(WeightedGraph([1, 1, 1]), np.array([0, 1, 0])) == 0.0
+
+
+class TestCeMaxCut:
+    def test_complete_bipartite_optimum(self):
+        """K_{4,4}: the optimal cut is the bipartition itself (16 edges)."""
+        g = complete_bipartite(4, 4)
+        result = ce_max_cut(g, n_samples=300, max_iterations=100, rng=0)
+        assert result.cut_value == 16.0
+        # the partition must be exactly the two sides (up to complement)
+        left = result.partition[:4]
+        right = result.partition[4:]
+        assert len(set(left.tolist())) == 1 and len(set(right.tolist())) == 1
+        assert left[0] != right[0]
+
+    def test_matches_enumeration_on_random_graph(self):
+        rng = np.random.default_rng(5)
+        n = 9
+        edges = gnp_edges(n, 0.5, 3)
+        weights = rng.uniform(1, 10, size=edges.shape[0])
+        g = WeightedGraph(np.ones(n), edges, weights)
+        # brute force over 2^(n-1) cuts
+        best = 0.0
+        for bits in itertools.product((0, 1), repeat=n - 1):
+            part = np.array((0,) + bits)
+            best = max(best, cut_value(g, part))
+        result = ce_max_cut(g, n_samples=500, max_iterations=150, rng=1)
+        assert result.cut_value == pytest.approx(best)
+
+    def test_vertex_zero_pinned(self):
+        g = complete_bipartite(3, 3)
+        result = ce_max_cut(g, n_samples=200, rng=2)
+        assert result.partition[0] == 0
+
+    def test_trivial_graphs(self):
+        assert ce_max_cut(WeightedGraph([1.0]), rng=0).cut_value == 0.0
+        g2 = WeightedGraph([1, 1], [(0, 1)], [4.0])
+        result = ce_max_cut(g2, n_samples=50, rng=0)
+        assert result.cut_value == 4.0
+
+    def test_deterministic(self):
+        g = complete_bipartite(3, 4)
+        a = ce_max_cut(g, n_samples=100, rng=7)
+        b = ce_max_cut(g, n_samples=100, rng=7)
+        np.testing.assert_array_equal(a.partition, b.partition)
+
+    def test_evaluation_accounting(self):
+        g = complete_bipartite(3, 3)
+        result = ce_max_cut(g, n_samples=64, rng=0)
+        assert result.n_evaluations == 64 * result.n_iterations

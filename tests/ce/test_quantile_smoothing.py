@@ -1,0 +1,149 @@
+"""Tests for elite selection (quantile) and smoothing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ce.quantile import elite_mask, elite_threshold, select_elites, select_top_k
+from repro.ce.smoothing import dynamic_smoothing_factor, smooth
+from repro.exceptions import ValidationError
+
+
+class TestEliteThreshold:
+    def test_basic_quantile(self):
+        costs = np.array([10.0, 1.0, 5.0, 3.0, 8.0])
+        # rho=0.4 of 5 -> k=2 -> 2nd smallest = 3
+        assert elite_threshold(costs, 0.4) == 3.0
+
+    def test_at_least_one_kept(self):
+        costs = np.array([4.0, 2.0, 9.0])
+        assert elite_threshold(costs, 0.0001) == 2.0
+
+    def test_rho_one_keeps_all(self):
+        costs = np.array([4.0, 2.0, 9.0])
+        assert elite_threshold(costs, 1.0) == 9.0
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValidationError):
+            elite_threshold(np.array([1.0]), 0.0)
+        with pytest.raises(ValidationError):
+            elite_threshold(np.array([1.0]), 1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            elite_threshold(np.array([]), 0.5)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            elite_threshold(np.array([1.0, np.nan]), 0.5)
+
+
+class TestSelectElites:
+    def test_indices_below_threshold(self):
+        costs = np.array([10.0, 1.0, 5.0, 3.0, 8.0])
+        gamma, idx = select_elites(costs, 0.4)
+        assert gamma == 3.0
+        np.testing.assert_array_equal(np.sort(idx), [1, 3])
+
+    def test_ties_included(self):
+        costs = np.array([2.0, 2.0, 2.0, 9.0])
+        gamma, idx = select_elites(costs, 0.25)
+        assert gamma == 2.0
+        assert idx.size == 3  # all ties kept
+
+    def test_mask_consistency(self):
+        costs = np.random.default_rng(0).uniform(0, 10, 50)
+        gamma, idx = select_elites(costs, 0.1)
+        np.testing.assert_array_equal(np.flatnonzero(elite_mask(costs, gamma)), idx)
+
+
+class TestSelectTopK:
+    def test_exact_count(self):
+        costs = np.array([2.0, 2.0, 2.0, 9.0])
+        gamma, idx = select_top_k(costs, 0.25)
+        assert idx.size == 1  # exactly ceil(0.25*4)
+        assert costs[idx[0]] == 2.0
+
+    def test_selects_the_best(self):
+        rng = np.random.default_rng(1)
+        costs = rng.uniform(0, 100, 40)
+        gamma, idx = select_top_k(costs, 0.1)
+        k = 4
+        assert idx.size == k
+        assert set(costs[idx]) == set(np.sort(costs)[:k])
+        assert gamma == np.sort(costs)[k - 1]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            select_top_k(np.array([]), 0.5)
+        with pytest.raises(ValidationError):
+            select_top_k(np.array([np.nan]), 0.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        rho=st.floats(min_value=0.001, max_value=1.0),
+        seed=st.integers(0, 10**6),
+    )
+    def test_property_size_and_optimality(self, n, rho, seed):
+        costs = np.random.default_rng(seed).uniform(0, 1, n)
+        gamma, idx = select_top_k(costs, rho)
+        k = max(1, int(np.ceil(rho * n)))
+        assert idx.size == k
+        assert costs[idx].max() == gamma
+        # No non-elite is strictly better than the worst elite.
+        non_elite = np.setdiff1d(np.arange(n), idx)
+        if non_elite.size:
+            assert costs[non_elite].min() >= gamma - 1e-12
+
+
+class TestSmoothing:
+    def test_convex_combination(self):
+        P = np.array([[0.5, 0.5]])
+        Q = np.array([[1.0, 0.0]])
+        np.testing.assert_allclose(smooth(P, Q, 0.3), [[0.65, 0.35]])
+
+    def test_zeta_one_returns_update(self):
+        P = np.array([[0.5, 0.5]])
+        Q = np.array([[1.0, 0.0]])
+        np.testing.assert_allclose(smooth(P, Q, 1.0), Q)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            smooth(np.ones((2, 2)) / 2, np.ones((3, 3)) / 3, 0.5)
+
+    def test_invalid_zeta(self):
+        P = np.array([[1.0]])
+        with pytest.raises(ValidationError):
+            smooth(P, P, 0.0)
+
+    def test_stochasticity_preserved(self):
+        rng = np.random.default_rng(0)
+        P = rng.dirichlet(np.ones(5), size=4)
+        Q = rng.dirichlet(np.ones(5), size=4)
+        out = smooth(P, Q, 0.4)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+
+class TestDynamicSmoothing:
+    def test_first_iteration_is_beta(self):
+        assert dynamic_smoothing_factor(1, beta=0.8) == 0.8
+
+    def test_monotone_increasing_to_beta(self):
+        vals = [dynamic_smoothing_factor(k, beta=0.8, q=5.0) for k in range(2, 50)]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+        assert vals[-1] < 0.8
+        assert dynamic_smoothing_factor(10**6, beta=0.8, q=5.0) == pytest.approx(
+            0.8, abs=1e-4
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            dynamic_smoothing_factor(0)
+        with pytest.raises(ValidationError):
+            dynamic_smoothing_factor(2, beta=0.0)
+        with pytest.raises(ValidationError):
+            dynamic_smoothing_factor(2, q=0.0)

@@ -1,0 +1,98 @@
+"""Tests for CE-TSP (the tutorial's transition-matrix family)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.ce import ce_tsp, tour_length
+from repro.exceptions import ValidationError
+
+
+def circle_instance(n: int) -> np.ndarray:
+    angles = np.linspace(0, 2 * np.pi, n, endpoint=False)
+    pts = np.stack([np.cos(angles), np.sin(angles)], axis=1)
+    return np.linalg.norm(pts[:, None, :] - pts[None, :, :], axis=2)
+
+
+def random_instance(n: int, seed: int) -> np.ndarray:
+    pts = np.random.default_rng(seed).random((n, 2))
+    return np.linalg.norm(pts[:, None, :] - pts[None, :, :], axis=2)
+
+
+class TestTourLength:
+    def test_square_tour(self):
+        d = circle_instance(4)
+        assert tour_length(d, np.array([0, 1, 2, 3])) == pytest.approx(
+            4 * np.sqrt(2)
+        )
+
+    def test_rotation_invariant(self):
+        d = random_instance(6, 0)
+        t = np.array([0, 3, 1, 5, 2, 4])
+        assert tour_length(d, t) == pytest.approx(tour_length(d, np.roll(t, 2)))
+
+    def test_reversal_invariant(self):
+        d = random_instance(6, 1)
+        t = np.array([0, 3, 1, 5, 2, 4])
+        assert tour_length(d, t) == pytest.approx(tour_length(d, t[::-1].copy()))
+
+    def test_invalid_tour(self):
+        d = circle_instance(4)
+        with pytest.raises(ValidationError):
+            tour_length(d, np.array([0, 1, 2, 2]))
+
+    def test_non_square_matrix(self):
+        with pytest.raises(ValidationError):
+            tour_length(np.zeros((2, 3)), np.array([0, 1]))
+
+
+class TestCeTsp:
+    def test_circle_optimum(self):
+        """Points on a circle: the optimum visits them in angular order."""
+        d = circle_instance(10)
+        result = ce_tsp(d, rng=0)
+        assert result.length == pytest.approx(tour_length(d, np.arange(10)))
+
+    def test_matches_enumeration_small(self):
+        d = random_instance(7, 3)
+        best = min(
+            tour_length(d, np.array((0,) + p))
+            for p in itertools.permutations(range(1, 7))
+        )
+        result = ce_tsp(d, rng=1)
+        assert result.length == pytest.approx(best)
+
+    def test_tour_valid_and_starts_at_zero(self):
+        d = random_instance(9, 5)
+        result = ce_tsp(d, n_samples=300, max_iterations=60, rng=2)
+        assert result.tour[0] == 0
+        assert sorted(result.tour.tolist()) == list(range(9))
+        assert result.length == pytest.approx(tour_length(d, result.tour))
+
+    def test_trivial_sizes(self):
+        assert ce_tsp(np.zeros((1, 1)), rng=0).length == 0.0
+
+    def test_asymmetric_rejected(self):
+        d = random_instance(5, 0)
+        d[0, 1] += 1.0
+        with pytest.raises(ValidationError, match="symmetric"):
+            ce_tsp(d)
+
+    def test_deterministic(self):
+        d = random_instance(8, 7)
+        a = ce_tsp(d, n_samples=200, max_iterations=40, rng=9)
+        b = ce_tsp(d, n_samples=200, max_iterations=40, rng=9)
+        np.testing.assert_array_equal(a.tour, b.tour)
+
+    def test_beats_equal_budget_random_tours(self):
+        d = random_instance(12, 11)
+        result = ce_tsp(d, n_samples=400, max_iterations=80, rng=3)
+        rng = np.random.default_rng(0)
+        rand_best = min(
+            tour_length(d, np.concatenate([[0], rng.permutation(np.arange(1, 12))]))
+            for _ in range(min(result.n_evaluations, 20000))
+        )
+        assert result.length <= rand_best + 1e-9

@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite.
+
+Conventions:
+
+* every test that uses randomness derives it from an explicit seed, so the
+  whole suite is deterministic;
+* ``small_problem`` / ``tiny_problem`` are the workhorse instances: big
+  enough to have structure, small enough to keep the suite fast;
+* ``known_problem`` is a hand-built 3-task/3-resource instance whose costs
+  are verified by hand in ``tests/mapping/test_cost_model.py`` and reused
+  anywhere an exactly-known optimum helps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    ResourceGraph,
+    TaskInteractionGraph,
+    generate_paper_pair,
+)
+from repro.mapping import CostModel, MappingProblem
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_pair():
+    """A 12-node paper-style TIG/resource pair (session-cached)."""
+    return generate_paper_pair(12, 777)
+
+
+@pytest.fixture(scope="session")
+def small_problem(small_pair) -> MappingProblem:
+    """A 12-task/12-resource problem instance."""
+    return MappingProblem(small_pair.tig, small_pair.resources, require_square=True)
+
+
+@pytest.fixture(scope="session")
+def small_model(small_problem) -> CostModel:
+    """Cost model of :func:`small_problem`."""
+    return CostModel(small_problem)
+
+
+@pytest.fixture(scope="session")
+def tiny_pair():
+    """A 6-node pair for the slowest exhaustive checks."""
+    return generate_paper_pair(6, 778)
+
+
+@pytest.fixture(scope="session")
+def tiny_problem(tiny_pair) -> MappingProblem:
+    """A 6-task/6-resource problem (720 permutations — enumerable)."""
+    return MappingProblem(tiny_pair.tig, tiny_pair.resources, require_square=True)
+
+
+@pytest.fixture(scope="session")
+def known_problem() -> MappingProblem:
+    """Hand-built 3×3 instance with hand-checkable Eq. (1)/(2) costs.
+
+    TIG: tasks 0-1-2 in a path; weights W = [2, 3, 1];
+    edges (0,1) C=10, (1,2) C=20.
+    Resources: complete triangle; w = [1, 2, 4];
+    links (0,1) c=5, (0,2) c=1, (1,2) c=3.
+    """
+    tig = TaskInteractionGraph(
+        [2.0, 3.0, 1.0], [(0, 1), (1, 2)], [10.0, 20.0], name="known-tig"
+    )
+    res = ResourceGraph(
+        [1.0, 2.0, 4.0],
+        [(0, 1), (0, 2), (1, 2)],
+        [5.0, 1.0, 3.0],
+        name="known-res",
+    )
+    return MappingProblem(tig, res, require_square=True)

@@ -1,0 +1,144 @@
+"""Tests for the MaTCH heuristic (Fig. 5) and its result objects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MatchConfig, MatchMapper, match_map, paper_sample_size
+from repro.exceptions import ConfigurationError
+from repro.graphs import generate_resource_graph, generate_tig
+from repro.mapping import MappingProblem
+
+
+class TestMatchConfig:
+    def test_paper_sample_size_rule(self):
+        assert paper_sample_size(10) == 200
+        assert paper_sample_size(50) == 5000
+
+    def test_paper_sample_size_invalid(self):
+        with pytest.raises(ConfigurationError):
+            paper_sample_size(0)
+
+    def test_defaults_match_paper(self):
+        cfg = MatchConfig()
+        assert cfg.rho == 0.05  # inside the paper's [0.01, 0.1]
+        assert cfg.zeta == 0.3  # §5.2
+        assert cfg.stability_window == 5  # Eq. (12) c
+        assert cfg.n_samples is None  # -> 2 n^2
+
+    def test_ce_config_materialization(self):
+        ce = MatchConfig().ce_config(10)
+        assert ce.n_samples == 200
+        assert ce.rho == 0.05 and ce.zeta == 0.3
+
+    def test_explicit_n_samples_wins(self):
+        ce = MatchConfig(n_samples=64).ce_config(10)
+        assert ce.n_samples == 64
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            MatchConfig(rho=0.0)
+        with pytest.raises(ValueError):
+            MatchConfig(zeta=1.5)
+        with pytest.raises(ConfigurationError):
+            MatchConfig(n_samples=1)
+
+
+class TestMatchMapper:
+    def test_produces_valid_one_to_one(self, small_problem):
+        result = MatchMapper(MatchConfig(n_samples=100, max_iterations=60)).map(
+            small_problem, 1
+        )
+        assert small_problem.is_one_to_one(result.assignment)
+        assert result.mapper_name == "MaTCH"
+        assert result.mapping_time > 0
+        assert result.execution_time > 0
+
+    def test_beats_mean_random(self, small_problem, small_model):
+        result = MatchMapper(MatchConfig(n_samples=200, max_iterations=100)).map(
+            small_problem, 3
+        )
+        rng = np.random.default_rng(0)
+        random_mean = np.mean(
+            [small_model.evaluate(rng.permutation(12)) for _ in range(200)]
+        )
+        assert result.execution_time < random_mean
+
+    def test_deterministic(self, small_problem):
+        a = MatchMapper(MatchConfig(n_samples=100, max_iterations=40)).map(
+            small_problem, 7
+        )
+        b = MatchMapper(MatchConfig(n_samples=100, max_iterations=40)).map(
+            small_problem, 7
+        )
+        assert a.execution_time == b.execution_time
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    def test_extras_populated(self, small_problem):
+        result = MatchMapper(MatchConfig(n_samples=100, max_iterations=40)).map(
+            small_problem, 2
+        )
+        assert result.extras["iterations"] >= 1
+        assert result.extras["n_samples_per_iteration"] == 100
+        assert "stop_reason" in result.extras
+        assert 0 < result.extras["final_degeneracy"] <= 1.0
+
+    def test_rectangular_wide_platform(self):
+        """More resources than tasks: still valid one-to-one."""
+        tig = generate_tig(5, 0)
+        res = generate_resource_graph(9, 0)
+        problem = MappingProblem(tig, res)
+        result = MatchMapper(MatchConfig(n_samples=80, max_iterations=40)).map(
+            problem, 4
+        )
+        assert problem.is_one_to_one(result.assignment)
+
+    def test_narrow_platform_rejected(self):
+        tig = generate_tig(6, 0)
+        res = generate_resource_graph(4, 0)
+        problem = MappingProblem(tig, res)
+        with pytest.raises(ConfigurationError, match="n_resources >= n_tasks"):
+            MatchMapper().map(problem, 0)
+
+    def test_reported_cost_matches_assignment(self, small_problem, small_model):
+        result = MatchMapper(MatchConfig(n_samples=100, max_iterations=40)).map(
+            small_problem, 9
+        )
+        assert result.execution_time == pytest.approx(
+            small_model.evaluate(result.assignment)
+        )
+
+
+class TestMatchResult:
+    def test_last_result_diagnostics(self, small_problem):
+        mapper = MatchMapper(MatchConfig(n_samples=100, max_iterations=50))
+        mapped = mapper.map(small_problem, 5)
+        mr = mapper.last_result
+        assert mr is not None
+        assert mr.best_cost == mapped.execution_time
+        assert mr.n_iterations == mapped.extras["iterations"]
+        assert mr.best_mapping.is_one_to_one()
+
+    def test_match_map_convenience(self, small_problem):
+        mapped, diag = match_map(
+            small_problem, MatchConfig(n_samples=100, max_iterations=40), 3
+        )
+        assert mapped.execution_time == diag.best_cost
+        summary = diag.summary()
+        assert summary["rho"] == 0.05
+        assert summary["n_evaluations"] == mapped.n_evaluations
+
+    def test_decoded_mapping_close_to_best_at_convergence(self, small_problem):
+        mapper = MatchMapper(
+            MatchConfig(n_samples=200, max_iterations=200, gamma_window=30)
+        )
+        mapper.map(small_problem, 8)
+        mr = mapper.last_result
+        assert mr is not None
+        decoded = mr.decoded_mapping()
+        # With a near-degenerate matrix the decode is close in cost.
+        from repro.mapping import CostModel
+
+        model = CostModel(small_problem)
+        assert decoded.cost(model) <= mr.best_cost * 1.5

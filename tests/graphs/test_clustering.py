@@ -1,0 +1,142 @@
+"""Tests for TIG clustering (the hierarchical FastMap substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.graphs import (
+    TaskInteractionGraph,
+    build_cluster_graph,
+    generate_tig,
+    heavy_edge_clustering,
+)
+
+
+def two_communities(n_half: int = 4, internal: float = 100.0, cross: float = 1.0):
+    """Two cliques joined by one weak edge — an obvious 2-clustering."""
+    n = 2 * n_half
+    edges, weights = [], []
+    for block in (range(n_half), range(n_half, n)):
+        block = list(block)
+        for i_idx, u in enumerate(block):
+            for v in block[i_idx + 1:]:
+                edges.append((u, v))
+                weights.append(internal)
+    edges.append((0, n_half))
+    weights.append(cross)
+    return TaskInteractionGraph(np.ones(n), edges, weights)
+
+
+class TestHeavyEdgeClustering:
+    def test_recovers_planted_communities(self):
+        tig = two_communities()
+        result = heavy_edge_clustering(tig, 2)
+        labels = result.labels
+        assert len(set(labels[:4].tolist())) == 1
+        assert len(set(labels[4:].tolist())) == 1
+        assert labels[0] != labels[4]
+        assert result.cut_volume == 1.0
+        assert result.coverage > 0.99
+
+    def test_labels_contiguous(self):
+        tig = generate_tig(15, 3)
+        result = heavy_edge_clustering(tig, 4)
+        assert set(result.labels.tolist()) == {0, 1, 2, 3}
+
+    def test_k_equals_n_identity(self):
+        tig = generate_tig(8, 1)
+        result = heavy_edge_clustering(tig, 8)
+        assert set(result.labels.tolist()) == set(range(8))
+        assert result.cut_volume == tig.total_communication()
+
+    def test_k_one_everything_together(self):
+        tig = generate_tig(8, 1)
+        result = heavy_edge_clustering(tig, 1)
+        assert np.all(result.labels == 0)
+        assert result.cut_volume == 0.0
+        assert result.coverage == 1.0
+
+    def test_disconnected_tig_handled(self):
+        tig = TaskInteractionGraph(
+            np.ones(4), [(0, 1), (2, 3)], [5.0, 5.0]
+        )
+        result = heavy_edge_clustering(tig, 2)
+        assert result.n_clusters == 2
+        # the components end up as the clusters
+        assert result.labels[0] == result.labels[1]
+        assert result.labels[2] == result.labels[3]
+
+    def test_edgeless_tig(self):
+        tig = TaskInteractionGraph(np.ones(5))
+        result = heavy_edge_clustering(tig, 2)
+        assert set(result.labels.tolist()) == {0, 1}
+
+    def test_validation(self):
+        tig = generate_tig(5, 0)
+        with pytest.raises(ValidationError):
+            heavy_edge_clustering(tig, 0)
+        with pytest.raises(ValidationError):
+            heavy_edge_clustering(tig, 6)
+        with pytest.raises(ValidationError):
+            heavy_edge_clustering(tig, 2, balance_exponent=-1)
+
+    def test_volume_accounting(self):
+        tig = generate_tig(12, 5)
+        result = heavy_edge_clustering(tig, 3)
+        assert result.internal_volume + result.cut_volume == pytest.approx(
+            tig.total_communication()
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=20),
+        seed=st.integers(min_value=0, max_value=10**6),
+        k_frac=st.floats(min_value=0.1, max_value=1.0),
+    )
+    def test_property_valid_partition(self, n, seed, k_frac):
+        tig = generate_tig(n, seed)
+        k = max(1, int(k_frac * n))
+        result = heavy_edge_clustering(tig, k)
+        assert result.labels.shape == (n,)
+        assert set(result.labels.tolist()) == set(range(k))
+        assert 0.0 <= result.coverage <= 1.0
+
+
+class TestBuildClusterGraph:
+    def test_weights_aggregated(self):
+        tig = two_communities()
+        result = heavy_edge_clustering(tig, 2)
+        cg = build_cluster_graph(tig, result.labels, 2)
+        assert cg.n_nodes == 2
+        np.testing.assert_allclose(np.sort(cg.node_weights), [4.0, 4.0])
+        assert cg.n_edges == 1
+        assert cg.edge_weights[0] == 1.0  # the weak cross edge
+
+    def test_total_computation_preserved(self):
+        tig = generate_tig(14, 7)
+        result = heavy_edge_clustering(tig, 5)
+        cg = build_cluster_graph(tig, result.labels, 5)
+        assert cg.total_computation() == pytest.approx(tig.total_computation())
+
+    def test_cut_volume_preserved(self):
+        tig = generate_tig(14, 7)
+        result = heavy_edge_clustering(tig, 5)
+        cg = build_cluster_graph(tig, result.labels, 5)
+        assert cg.total_communication() == pytest.approx(result.cut_volume)
+
+    def test_empty_cluster_rejected(self):
+        tig = generate_tig(4, 0)
+        labels = np.zeros(4, dtype=np.int64)
+        with pytest.raises(ValidationError, match="at least one task"):
+            build_cluster_graph(tig, labels, 2)
+
+    def test_bad_labels(self):
+        tig = generate_tig(4, 0)
+        with pytest.raises(ValidationError):
+            build_cluster_graph(tig, np.zeros(3, dtype=np.int64), 1)
+        with pytest.raises(ValidationError):
+            build_cluster_graph(tig, np.full(4, 5, dtype=np.int64), 2)

@@ -1,0 +1,136 @@
+"""Tests for the §5.2 synthetic suite generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.graphs import (
+    PAPER_RESOURCE_EDGE_WEIGHTS,
+    PAPER_RESOURCE_NODE_WEIGHTS,
+    PAPER_SIZES,
+    PAPER_TIG_EDGE_WEIGHTS,
+    PAPER_TIG_NODE_WEIGHTS,
+    generate_paper_pair,
+    generate_resource_graph,
+    generate_tig,
+)
+
+
+class TestPaperConstants:
+    def test_sizes(self):
+        assert PAPER_SIZES == (10, 20, 30, 40, 50)
+
+    def test_weight_ranges(self):
+        assert PAPER_TIG_NODE_WEIGHTS == (1, 10)
+        assert PAPER_TIG_EDGE_WEIGHTS == (50, 100)
+        assert PAPER_RESOURCE_NODE_WEIGHTS == (1, 5)
+        assert PAPER_RESOURCE_EDGE_WEIGHTS == (10, 20)
+
+
+class TestGenerateTig:
+    def test_weights_in_paper_ranges(self):
+        tig = generate_tig(30, 1)
+        assert tig.node_weights.min() >= 1 and tig.node_weights.max() <= 10
+        assert tig.edge_weights.min() >= 50 and tig.edge_weights.max() <= 100
+
+    def test_connected_by_default(self):
+        for seed in range(5):
+            assert generate_tig(20, seed).is_connected()
+
+    def test_disconnect_allowed(self):
+        # with p=0 edges and no connectivity fix, graph is edgeless
+        tig = generate_tig(
+            10, 0, density_model="uniform", p_uniform=0.0, connected=False
+        )
+        assert tig.n_edges == 0
+
+    def test_ccr_scale_multiplies_node_weights(self):
+        base = generate_tig(20, 7, ccr_scale=1.0)
+        scaled = generate_tig(20, 7, ccr_scale=4.0)
+        np.testing.assert_allclose(scaled.node_weights, base.node_weights * 4.0)
+        np.testing.assert_array_equal(scaled.edges, base.edges)
+
+    def test_two_block_denser_than_uniform_sparse(self):
+        tb = generate_tig(40, 3, density_model="two_block", p_dense=0.9, p_sparse=0.05)
+        uni = generate_tig(40, 3, density_model="uniform", p_uniform=0.05)
+        assert tb.n_edges > uni.n_edges
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValidationError, match="density_model"):
+            generate_tig(10, 0, density_model="scale_free")
+
+    def test_invalid_size(self):
+        with pytest.raises(ValidationError):
+            generate_tig(0, 0)
+
+    def test_invalid_ccr(self):
+        with pytest.raises(ValidationError):
+            generate_tig(10, 0, ccr_scale=0.0)
+
+    def test_deterministic(self):
+        assert generate_tig(15, 9) == generate_tig(15, 9)
+
+    def test_default_name(self):
+        assert generate_tig(10, 0).name == "tig-10"
+
+
+class TestGenerateResourceGraph:
+    def test_complete_by_default(self):
+        rg = generate_resource_graph(12, 1)
+        assert rg.is_complete()
+
+    def test_weights_in_paper_ranges(self):
+        rg = generate_resource_graph(25, 2)
+        assert rg.node_weights.min() >= 1 and rg.node_weights.max() <= 5
+        assert rg.edge_weights.min() >= 10 and rg.edge_weights.max() <= 20
+
+    def test_sparse_connected(self):
+        for seed in range(5):
+            rg = generate_resource_graph(15, seed, topology="sparse", p_link=0.2)
+            assert rg.is_connected()
+            assert not rg.is_complete() or rg.n_nodes <= 3
+
+    def test_unknown_topology(self):
+        with pytest.raises(ValidationError, match="topology"):
+            generate_resource_graph(10, 0, topology="torus")
+
+    def test_deterministic(self):
+        assert generate_resource_graph(10, 5) == generate_resource_graph(10, 5)
+
+
+class TestGeneratePaperPair:
+    def test_sizes_match(self):
+        pair = generate_paper_pair(20, 3)
+        assert pair.tig.n_nodes == pair.resources.n_nodes == 20
+        assert pair.size == 20
+
+    def test_mismatch_rejected(self):
+        from repro.graphs import GraphPair
+
+        tig = generate_tig(5, 0)
+        res = generate_resource_graph(6, 0)
+        with pytest.raises(ValidationError, match=r"\|V_t\| == \|V_r\|"):
+            GraphPair(tig=tig, resources=res, size=5, ccr_scale=1.0)
+
+    def test_deterministic(self):
+        a = generate_paper_pair(15, 11)
+        b = generate_paper_pair(15, 11)
+        assert a.tig == b.tig and a.resources == b.resources
+
+    def test_ccr_scale_recorded(self):
+        pair = generate_paper_pair(10, 0, ccr_scale=2.0)
+        assert pair.ccr_scale == 2.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=30), seed=st.integers(0, 10**6))
+    def test_property_always_valid_problem(self, n, seed):
+        from repro.mapping import MappingProblem
+
+        pair = generate_paper_pair(n, seed)
+        problem = MappingProblem(pair.tig, pair.resources, require_square=True)
+        assert problem.n_tasks == problem.n_resources == n
+        assert np.all(np.isfinite(problem.comm_costs))

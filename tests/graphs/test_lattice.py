@@ -1,0 +1,81 @@
+"""Tests for structured stencil TIG generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graphs import grid_tig, ring_tig
+
+
+class TestGridTig:
+    def test_five_point_stencil_edge_count(self):
+        # rows*(cols-1) horizontal + (rows-1)*cols vertical
+        tig = grid_tig(3, 4)
+        assert tig.n_tasks == 12
+        assert tig.n_edges == 3 * 3 + 2 * 4
+
+    def test_nine_point_stencil_adds_diagonals(self):
+        five = grid_tig(3, 3)
+        nine = grid_tig(3, 3, diagonal=True)
+        assert nine.n_edges == five.n_edges + 2 * 2 * 2  # 2 diagonals per cell pair
+
+    def test_interior_degree(self):
+        tig = grid_tig(5, 5)
+        deg = tig.degrees()
+        # interior vertex (2,2) = index 12 has 4 neighbors
+        assert deg[12] == 4
+        # corner has 2
+        assert deg[0] == 2
+
+    def test_regular_weights(self):
+        tig = grid_tig(2, 3, compute_weight=50.0, boundary_weight=5.0)
+        assert np.all(tig.node_weights == 50.0)
+        assert np.all(tig.edge_weights == 5.0)
+
+    def test_jitter_perturbs(self):
+        a = grid_tig(3, 3, jitter=0.3, rng=1)
+        assert len(set(a.node_weights.tolist())) > 1
+
+    def test_jitter_deterministic(self):
+        a = grid_tig(3, 3, jitter=0.3, rng=7)
+        b = grid_tig(3, 3, jitter=0.3, rng=7)
+        assert a == b
+
+    def test_single_cell(self):
+        tig = grid_tig(1, 1)
+        assert tig.n_tasks == 1 and tig.n_edges == 0
+
+    def test_row_vector_grid(self):
+        tig = grid_tig(1, 5)
+        assert tig.n_edges == 4
+        assert tig.is_connected()
+
+    def test_connected(self):
+        assert grid_tig(4, 6).is_connected()
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            grid_tig(0, 3)
+        with pytest.raises(ValidationError):
+            grid_tig(2, 2, compute_weight=0.0)
+        with pytest.raises(ValidationError):
+            grid_tig(2, 2, jitter=-1)
+
+
+class TestRingTig:
+    def test_ring_edges(self):
+        tig = ring_tig(6)
+        assert tig.n_edges == 6
+        assert np.all(tig.degrees() == 2)
+        assert tig.is_connected()
+
+    def test_small_rings(self):
+        assert ring_tig(1).n_edges == 0
+        assert ring_tig(2).n_edges == 1
+        assert ring_tig(3).n_edges == 3
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ring_tig(0)

@@ -1,0 +1,114 @@
+"""Tests for graph metrics and JSON/DOT I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.graphs import (
+    ResourceGraph,
+    TaskInteractionGraph,
+    WeightedGraph,
+    generate_paper_pair,
+    generate_tig,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    load_imbalance_lower_bound,
+    save_graph,
+    summarize_graph,
+    to_dot,
+)
+from repro.mapping import CostModel, MappingProblem
+
+
+class TestSummarize:
+    def test_fields(self):
+        tig = generate_tig(20, 4)
+        s = summarize_graph(tig)
+        assert s.n_nodes == 20
+        assert s.n_edges == tig.n_edges
+        assert 0 < s.density <= 1
+        assert s.connected
+        assert s.degree_max >= s.degree_mean
+
+    def test_edgeless(self):
+        s = summarize_graph(WeightedGraph([1.0, 2.0]))
+        assert s.edge_weight_mean == 0.0 and s.degree_max == 0
+
+
+class TestLowerBound:
+    def test_no_mapping_beats_bound(self):
+        pair = generate_paper_pair(10, 21)
+        problem = MappingProblem(pair.tig, pair.resources)
+        model = CostModel(problem)
+        bound = load_imbalance_lower_bound(
+            pair.tig, float(problem.proc_weights.min())
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert model.evaluate(rng.permutation(10)) >= bound
+
+    def test_invalid_weight(self):
+        tig = generate_tig(5, 0)
+        with pytest.raises(ValueError):
+            load_imbalance_lower_bound(tig, 0.0)
+
+
+class TestGraphJson:
+    def test_round_trip_tig(self, tmp_path):
+        tig = generate_tig(12, 5)
+        path = save_graph(tig, tmp_path / "tig.json")
+        loaded = load_graph(path)
+        assert isinstance(loaded, TaskInteractionGraph)
+        assert loaded == tig
+        assert loaded.name == tig.name
+
+    def test_round_trip_resource(self, tmp_path):
+        from repro.graphs import generate_resource_graph
+
+        rg = generate_resource_graph(8, 5)
+        loaded = load_graph(save_graph(rg, tmp_path / "rg.json"))
+        assert isinstance(loaded, ResourceGraph)
+        assert loaded == rg
+
+    def test_round_trip_generic(self):
+        g = WeightedGraph([1, 2], [(0, 1)], [3.0], name="g")
+        assert graph_from_dict(graph_to_dict(g)) == g
+
+    def test_kind_discriminates(self):
+        g = WeightedGraph([1.0])
+        assert graph_to_dict(g)["kind"] == "generic"
+        assert graph_to_dict(TaskInteractionGraph([1.0]))["kind"] == "tig"
+        assert graph_to_dict(ResourceGraph([1.0]))["kind"] == "resource"
+
+    def test_bad_schema(self):
+        payload = graph_to_dict(WeightedGraph([1.0]))
+        payload["schema"] = "other/9"
+        with pytest.raises(SerializationError, match="schema"):
+            graph_from_dict(payload)
+
+    def test_bad_kind(self):
+        payload = graph_to_dict(WeightedGraph([1.0]))
+        payload["kind"] = "hypergraph"
+        with pytest.raises(SerializationError, match="kind"):
+            graph_from_dict(payload)
+
+    def test_missing_field(self):
+        with pytest.raises(SerializationError):
+            graph_from_dict({"schema": "repro.graph/1", "kind": "generic"})
+
+    def test_non_dict(self):
+        with pytest.raises(SerializationError):
+            graph_from_dict([1, 2, 3])
+
+
+class TestDot:
+    def test_contains_nodes_and_edges(self):
+        g = WeightedGraph([1.5, 2.0], [(0, 1)], [7.0])
+        dot = to_dot(g)
+        assert dot.startswith("graph G {")
+        assert "n0 -- n1" in dot
+        assert 'label="7"' in dot
+        assert dot.endswith("}")

@@ -1,0 +1,140 @@
+"""Tests for repro.graphs.random_graphs (topology models)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.graphs import WeightedGraph
+from repro.graphs.random_graphs import (
+    ensure_connected_edges,
+    gnp_edges,
+    random_geometric_edges,
+    random_spanning_tree_edges,
+    two_block_edges,
+)
+
+
+def as_graph(n: int, edges: np.ndarray) -> WeightedGraph:
+    return WeightedGraph(np.ones(n), edges, np.ones(edges.shape[0]))
+
+
+class TestGnp:
+    def test_p_zero_empty(self):
+        assert gnp_edges(10, 0.0, 1).shape == (0, 2)
+
+    def test_p_one_complete(self):
+        edges = gnp_edges(10, 1.0, 1)
+        assert edges.shape[0] == 45
+
+    def test_edges_canonical(self):
+        edges = gnp_edges(15, 0.4, 7)
+        assert np.all(edges[:, 0] < edges[:, 1])
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(gnp_edges(12, 0.3, 5), gnp_edges(12, 0.3, 5))
+
+    def test_expected_density(self):
+        # Average over seeds: density should approximate p.
+        counts = [gnp_edges(30, 0.25, s).shape[0] for s in range(30)]
+        assert abs(np.mean(counts) / (30 * 29 / 2) - 0.25) < 0.05
+
+    def test_invalid_p(self):
+        with pytest.raises(ValidationError):
+            gnp_edges(5, 1.5, 0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValidationError):
+            gnp_edges(0, 0.5, 0)
+
+
+class TestTwoBlock:
+    def test_dense_block_is_denser(self):
+        n = 40
+        counts_dense, counts_sparse = [], []
+        for s in range(10):
+            edges = two_block_edges(n, 0.8, 0.05, s)
+            k = n // 2
+            in_dense = (edges[:, 0] < k) & (edges[:, 1] < k)
+            counts_dense.append(in_dense.sum() / (k * (k - 1) / 2))
+            other_pairs = n * (n - 1) / 2 - k * (k - 1) / 2
+            counts_sparse.append((~in_dense).sum() / other_pairs)
+        assert np.mean(counts_dense) > 4 * np.mean(counts_sparse)
+
+    def test_extreme_probabilities(self):
+        edges = two_block_edges(10, 1.0, 0.0, 0)
+        k = 5
+        assert edges.shape[0] == k * (k - 1) // 2
+        assert np.all(edges < k)
+
+    def test_dense_fraction_zero(self):
+        edges = two_block_edges(10, 1.0, 0.0, 0, dense_fraction=0.0)
+        assert edges.shape[0] == 0
+
+    def test_invalid_probs(self):
+        with pytest.raises(ValidationError):
+            two_block_edges(10, -0.1, 0.5, 0)
+
+
+class TestGeometric:
+    def test_radius_controls_density(self):
+        sparse, _ = random_geometric_edges(40, 0.1, 3)
+        dense, _ = random_geometric_edges(40, 0.7, 3)
+        assert dense.shape[0] > sparse.shape[0]
+
+    def test_positions_shape(self):
+        edges, pos = random_geometric_edges(25, 0.3, 1)
+        assert pos.shape == (25, 2)
+        assert np.all((pos >= 0) & (pos <= 1))
+
+    def test_edges_respect_radius(self):
+        edges, pos = random_geometric_edges(30, 0.25, 9)
+        for u, v in edges:
+            assert np.linalg.norm(pos[u] - pos[v]) <= 0.25 + 1e-12
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValidationError):
+            random_geometric_edges(5, 0.0, 0)
+
+
+class TestSpanningTree:
+    def test_edge_count(self):
+        assert random_spanning_tree_edges(20, 0).shape[0] == 19
+
+    def test_single_node(self):
+        assert random_spanning_tree_edges(1, 0).shape == (0, 2)
+
+    def test_connects_graph(self):
+        for seed in range(5):
+            edges = random_spanning_tree_edges(15, seed)
+            assert as_graph(15, edges).is_connected()
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=40), seed=st.integers(0, 10**6))
+    def test_property_tree_spans(self, n, seed):
+        edges = random_spanning_tree_edges(n, seed)
+        g = as_graph(n, edges)
+        assert g.n_edges == n - 1
+        assert g.is_connected()
+
+
+class TestEnsureConnected:
+    def test_empty_input_becomes_tree(self):
+        edges = ensure_connected_edges(10, np.empty((0, 2), dtype=np.int64), 1)
+        assert as_graph(10, edges).is_connected()
+
+    def test_existing_edges_kept(self):
+        base = np.array([[0, 1], [2, 3]], dtype=np.int64)
+        edges = ensure_connected_edges(6, base, 2)
+        g = as_graph(6, edges)
+        assert g.is_connected()
+        assert g.has_edge(0, 1) and g.has_edge(2, 3)
+
+    def test_no_duplicates(self):
+        base = gnp_edges(12, 0.5, 3)
+        edges = ensure_connected_edges(12, base, 3)
+        # WeightedGraph constructor rejects duplicates, so this must not raise.
+        as_graph(12, edges)

@@ -1,0 +1,59 @@
+"""Tests for the mapping quality analysis report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mapping import CostModel, analyze_mapping
+
+
+class TestAnalyzeMapping:
+    def test_execution_time_matches_model(self, small_problem, small_model):
+        x = np.random.default_rng(0).permutation(12)
+        analysis = analyze_mapping(small_problem, x)
+        assert analysis.execution_time == pytest.approx(small_model.evaluate(x))
+
+    def test_decomposition_sums_to_eq1(self, small_problem, small_model):
+        x = np.random.default_rng(1).permutation(12)
+        analysis = analyze_mapping(small_problem, x)
+        np.testing.assert_allclose(
+            analysis.per_resource_compute + analysis.per_resource_comm,
+            small_model.per_resource_times(x),
+        )
+
+    def test_busiest_resource(self, small_problem):
+        x = np.random.default_rng(2).permutation(12)
+        analysis = analyze_mapping(small_problem, x)
+        totals = analysis.per_resource_compute + analysis.per_resource_comm
+        assert totals[analysis.busiest_resource] == totals.max()
+
+    def test_gap_at_least_one(self, small_problem):
+        x = np.random.default_rng(3).permutation(12)
+        analysis = analyze_mapping(small_problem, x)
+        assert analysis.optimality_gap >= 1.0
+        assert analysis.lower_bound > 0
+
+    def test_comm_fraction_in_unit_interval(self, small_problem):
+        x = np.random.default_rng(4).permutation(12)
+        analysis = analyze_mapping(small_problem, x)
+        assert 0.0 <= analysis.comm_fraction <= 1.0
+
+    def test_edge_link_costs_shape(self, small_problem):
+        x = np.arange(12)
+        analysis = analyze_mapping(small_problem, x)
+        assert analysis.edge_link_costs.shape == (small_problem.edges.shape[0],)
+        assert np.all(analysis.edge_link_costs >= 0)
+
+    def test_colocated_mapping_zero_comm(self, known_problem):
+        analysis = analyze_mapping(known_problem, np.zeros(3, dtype=np.int64))
+        assert analysis.comm_fraction == 0.0
+        np.testing.assert_allclose(analysis.per_resource_comm, 0.0)
+
+    def test_render(self, small_problem):
+        x = np.arange(12)
+        out = analyze_mapping(small_problem, x).render()
+        assert "Per-resource execution times" in out
+        assert "busiest" in out
+        assert "lower bound" in out
+        assert "comm share" in out

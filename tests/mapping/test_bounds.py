@@ -1,0 +1,128 @@
+"""Tests for the Eq. (2) lower bounds: soundness against enumeration."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.graphs import generate_paper_pair, generate_resource_graph, generate_tig
+from repro.mapping import (
+    CostModel,
+    MappingProblem,
+    combined_lower_bound,
+    communication_lower_bound,
+    compute_lower_bound,
+    sorted_matching_bound,
+)
+
+
+class TestSoundnessByEnumeration:
+    def test_no_permutation_beats_combined_bound(self, tiny_problem):
+        """Exhaustive check on 6! = 720 mappings."""
+        model = CostModel(tiny_problem)
+        bound = combined_lower_bound(tiny_problem)
+        best = min(
+            model.evaluate(np.array(p))
+            for p in itertools.permutations(range(6))
+        )
+        assert bound <= best + 1e-9
+
+    def test_known_problem_bounds(self, known_problem):
+        model = CostModel(known_problem)
+        best = min(
+            model.evaluate(np.array(p)) for p in itertools.permutations(range(3))
+        )
+        assert combined_lower_bound(known_problem) <= best
+        assert compute_lower_bound(known_problem) <= best
+        assert communication_lower_bound(known_problem) <= best
+        assert sorted_matching_bound(known_problem) <= best
+
+
+class TestIndividualBounds:
+    def test_compute_bound_heaviest_task(self):
+        # one huge task dominates the average
+        from repro.graphs import ResourceGraph, TaskInteractionGraph
+
+        tig = TaskInteractionGraph([100.0, 1.0, 1.0])
+        res = ResourceGraph([2.0, 3.0, 4.0], [(0, 1), (0, 2), (1, 2)], [1, 1, 1])
+        problem = MappingProblem(tig, res)
+        assert compute_lower_bound(problem) == pytest.approx(100.0 * 2.0)
+
+    def test_compute_bound_average_dominates(self):
+        from repro.graphs import ResourceGraph, TaskInteractionGraph
+
+        tig = TaskInteractionGraph([10.0, 10.0, 10.0])
+        res = ResourceGraph([1.0, 1.0, 1.0], [(0, 1), (0, 2), (1, 2)], [1, 1, 1])
+        problem = MappingProblem(tig, res)
+        assert compute_lower_bound(problem) == pytest.approx(10.0)
+
+    def test_sorted_matching_bound_exact_for_compute_only(self):
+        """With no communication, the bound equals the optimum."""
+        from repro.graphs import ResourceGraph, TaskInteractionGraph
+
+        tig = TaskInteractionGraph([4.0, 2.0, 1.0])
+        res = ResourceGraph([1.0, 2.0, 3.0], [(0, 1), (0, 2), (1, 2)], [1, 1, 1])
+        problem = MappingProblem(tig, res)
+        model = CostModel(problem)
+        best = min(
+            model.evaluate(np.array(p)) for p in itertools.permutations(range(3))
+        )
+        assert sorted_matching_bound(problem) == pytest.approx(best)
+
+    def test_sorted_matching_rectangular(self):
+        tig = generate_tig(3, 0)
+        res = generate_resource_graph(6, 0)
+        problem = MappingProblem(tig, res)
+        assert sorted_matching_bound(problem) > 0
+
+    def test_sorted_matching_overfull_rejected(self):
+        tig = generate_tig(5, 0)
+        res = generate_resource_graph(3, 0)
+        with pytest.raises(ValidationError):
+            sorted_matching_bound(MappingProblem(tig, res))
+
+    def test_communication_bound_zero_for_edgeless(self):
+        from repro.graphs import TaskInteractionGraph
+
+        tig = TaskInteractionGraph([1.0, 2.0])
+        res = generate_resource_graph(2, 0)
+        assert communication_lower_bound(MappingProblem(tig, res)) == 0.0
+
+    def test_communication_bound_positive_with_edges(self, small_problem):
+        assert communication_lower_bound(small_problem) > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=7),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_property_bounds_sound_under_enumeration(n, seed):
+    """For random small instances, no permutation beats the combined bound."""
+    pair = generate_paper_pair(n, seed)
+    problem = MappingProblem(pair.tig, pair.resources)
+    model = CostModel(problem)
+    bound = combined_lower_bound(problem)
+    best = min(
+        model.evaluate(np.array(p)) for p in itertools.permutations(range(n))
+    )
+    assert bound <= best + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_property_heuristics_respect_bounds(seed):
+    """MaTCH output never undercuts the lower bound (oracle test)."""
+    from repro.core import MatchConfig, MatchMapper
+
+    pair = generate_paper_pair(8, seed)
+    problem = MappingProblem(pair.tig, pair.resources)
+    result = MatchMapper(MatchConfig(n_samples=64, max_iterations=30)).map(
+        problem, seed
+    )
+    assert result.execution_time >= combined_lower_bound(problem) - 1e-9

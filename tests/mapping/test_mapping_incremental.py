@@ -1,0 +1,202 @@
+"""Tests for Mapping objects and the incremental (delta) evaluator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import MappingError
+from repro.graphs import generate_paper_pair
+from repro.mapping import (
+    CostModel,
+    IncrementalEvaluator,
+    Mapping,
+    MappingProblem,
+    TurnaroundRecord,
+)
+
+
+class TestMapping:
+    def test_cost_cached_and_correct(self, small_problem, small_model):
+        x = np.random.default_rng(0).permutation(12)
+        m = Mapping(small_problem, x)
+        assert m.cost(small_model) == small_model.evaluate(x)
+        assert m.cost() == m.cost(small_model)  # cached
+
+    def test_assignment_read_only(self, small_problem):
+        m = Mapping(small_problem, np.arange(12))
+        with pytest.raises(ValueError):
+            m.assignment[0] = 5
+
+    def test_source_mutation_does_not_leak(self, small_problem):
+        x = np.arange(12)
+        m = Mapping(small_problem, x)
+        x[0] = 7
+        assert m.assignment[0] == 0
+
+    def test_resource_of_and_tasks_on(self, small_problem):
+        x = np.arange(12)[::-1].copy()
+        m = Mapping(small_problem, x)
+        assert m.resource_of(0) == 11
+        np.testing.assert_array_equal(m.tasks_on(11), [0])
+
+    def test_bounds_checked(self, small_problem):
+        m = Mapping(small_problem, np.arange(12))
+        with pytest.raises(MappingError):
+            m.resource_of(99)
+        with pytest.raises(MappingError):
+            m.tasks_on(-1)
+
+    def test_one_to_one(self, small_problem):
+        assert Mapping(small_problem, np.arange(12)).is_one_to_one()
+        x = np.zeros(12, dtype=np.int64)
+        assert not Mapping(small_problem, x).is_one_to_one()
+
+    def test_equality_and_hash(self, small_problem):
+        a = Mapping(small_problem, np.arange(12))
+        b = Mapping(small_problem, np.arange(12))
+        assert a == b and hash(a) == hash(b)
+        c = Mapping(small_problem, np.arange(12)[::-1].copy())
+        assert a != c
+
+    def test_wrong_model_rejected(self, small_problem, known_problem):
+        m = Mapping(small_problem, np.arange(12))
+        with pytest.raises(MappingError, match="different problem"):
+            m.cost(CostModel(known_problem))
+
+    def test_repr_includes_cost_after_eval(self, small_problem):
+        m = Mapping(small_problem, np.arange(12))
+        assert "cost" not in repr(m)
+        m.cost()
+        assert "cost" in repr(m)
+
+
+class TestIncrementalSwaps:
+    def test_swap_cost_matches_full_eval(self, small_model):
+        rng = np.random.default_rng(1)
+        inc = IncrementalEvaluator(small_model, rng.permutation(12))
+        for _ in range(50):
+            t1, t2 = rng.choice(12, 2, replace=False)
+            predicted = inc.swap_cost(int(t1), int(t2))
+            x = inc.assignment
+            x[t1], x[t2] = x[t2], x[t1]
+            assert predicted == pytest.approx(small_model.evaluate(x), rel=1e-12)
+
+    def test_swap_cost_does_not_mutate(self, small_model):
+        inc = IncrementalEvaluator(small_model, np.arange(12))
+        before = inc.assignment
+        inc.swap_cost(0, 5)
+        np.testing.assert_array_equal(inc.assignment, before)
+
+    def test_apply_swap_mutates_and_tracks(self, small_model):
+        inc = IncrementalEvaluator(small_model, np.arange(12))
+        cost = inc.apply_swap(0, 5)
+        assert inc.assignment[0] == 5 and inc.assignment[5] == 0
+        assert cost == pytest.approx(small_model.evaluate(inc.assignment))
+
+    def test_swap_self_noop(self, small_model):
+        inc = IncrementalEvaluator(small_model, np.arange(12))
+        before = inc.current_cost
+        assert inc.apply_swap(3, 3) == before
+
+    def test_long_swap_chain_no_drift(self, small_model):
+        rng = np.random.default_rng(5)
+        inc = IncrementalEvaluator(small_model, rng.permutation(12))
+        for _ in range(300):
+            t1, t2 = rng.integers(0, 12, 2)
+            inc.apply_swap(int(t1), int(t2))
+        assert inc.current_cost == pytest.approx(
+            small_model.evaluate(inc.assignment), rel=1e-9
+        )
+
+    def test_bounds(self, small_model):
+        inc = IncrementalEvaluator(small_model, np.arange(12))
+        with pytest.raises(MappingError):
+            inc.swap_cost(0, 99)
+        with pytest.raises(MappingError):
+            inc.apply_move(99, 0)
+
+
+class TestIncrementalMoves:
+    def test_move_cost_matches_full_eval(self, small_model):
+        rng = np.random.default_rng(2)
+        inc = IncrementalEvaluator(small_model, rng.integers(0, 12, size=12))
+        for _ in range(50):
+            t, r = int(rng.integers(0, 12)), int(rng.integers(0, 12))
+            predicted = inc.move_cost(t, r)
+            x = inc.assignment
+            x[t] = r
+            assert predicted == pytest.approx(small_model.evaluate(x), rel=1e-12)
+
+    def test_apply_move(self, small_model):
+        inc = IncrementalEvaluator(small_model, np.zeros(12, dtype=np.int64))
+        cost = inc.apply_move(0, 7)
+        assert inc.assignment[0] == 7
+        assert cost == pytest.approx(small_model.evaluate(inc.assignment))
+
+    def test_resync_restores_invariant(self, small_model):
+        inc = IncrementalEvaluator(small_model, np.arange(12))
+        inc._exec[0] += 1234.0  # simulate drift
+        inc.resync()
+        assert inc.current_cost == pytest.approx(
+            small_model.evaluate(inc.assignment)
+        )
+
+    def test_per_resource_times_copy(self, small_model):
+        inc = IncrementalEvaluator(small_model, np.arange(12))
+        t = inc.per_resource_times
+        t[0] = -1
+        assert inc.per_resource_times[0] != -1
+
+
+class TestTurnaround:
+    def test_atn_sum(self):
+        rec = TurnaroundRecord(heuristic="x", execution_time=100.0, mapping_time=5.0)
+        assert rec.turnaround == 105.0
+
+    def test_unit_bridge(self):
+        rec = TurnaroundRecord(
+            heuristic="x", execution_time=100.0, mapping_time=5.0, seconds_per_unit=0.1
+        )
+        assert rec.turnaround == pytest.approx(15.0)
+
+    def test_speedup(self):
+        fast = TurnaroundRecord(heuristic="a", execution_time=10.0, mapping_time=0.0)
+        slow = TurnaroundRecord(heuristic="b", execution_time=100.0, mapping_time=0.0)
+        assert fast.speedup_over(slow) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TurnaroundRecord(heuristic="x", execution_time=-1.0, mapping_time=0.0)
+        with pytest.raises(ValueError):
+            TurnaroundRecord(
+                heuristic="x", execution_time=1.0, mapping_time=0.0, seconds_per_unit=0
+            )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=12),
+    seed=st.integers(min_value=0, max_value=10**6),
+    n_ops=st.integers(min_value=1, max_value=60),
+)
+def test_property_incremental_never_drifts(n, seed, n_ops):
+    """Random mixed move/swap sequences keep exec_s equal to Eq. (1)."""
+    pair = generate_paper_pair(n, seed)
+    problem = MappingProblem(pair.tig, pair.resources)
+    model = CostModel(problem)
+    rng = np.random.default_rng(seed)
+    inc = IncrementalEvaluator(model, rng.integers(0, n, size=n))
+    for _ in range(n_ops):
+        if rng.random() < 0.5:
+            inc.apply_swap(int(rng.integers(0, n)), int(rng.integers(0, n)))
+        else:
+            inc.apply_move(int(rng.integers(0, n)), int(rng.integers(0, n)))
+    np.testing.assert_allclose(
+        inc.per_resource_times,
+        model.per_resource_times(inc.assignment),
+        rtol=1e-9,
+        atol=1e-9,
+    )

@@ -1,0 +1,128 @@
+"""Tests for repro.overset.geometry (boxes and overlaps)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.overset.geometry import Box, boxes_overlap
+
+
+def unit_box(offset=(0.0, 0.0, 0.0), size=1.0) -> Box:
+    lo = tuple(float(o) for o in offset)
+    hi = tuple(float(o) + size for o in offset)
+    return Box(lo, hi)
+
+
+class TestBoxBasics:
+    def test_volume(self):
+        assert unit_box().volume() == 1.0
+        assert Box((0, 0, 0), (2, 3, 4)).volume() == 24.0
+
+    def test_degenerate_volume_zero(self):
+        assert Box((0, 0, 0), (0, 1, 1)).volume() == 0.0
+
+    def test_extents_and_center(self):
+        b = Box((0, 0, 0), (2, 4, 6))
+        np.testing.assert_array_equal(b.extents, [2, 4, 6])
+        np.testing.assert_array_equal(b.center, [1, 2, 3])
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValidationError):
+            Box((1, 0, 0), (0, 1, 1))
+
+    def test_non_3d_rejected(self):
+        with pytest.raises(ValidationError):
+            Box((0, 0), (1, 1))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            Box((0, 0, float("nan")), (1, 1, 1))
+
+    def test_contains_point(self):
+        b = unit_box()
+        assert b.contains_point([0.5, 0.5, 0.5])
+        assert b.contains_point([0, 0, 0])  # boundary inclusive
+        assert not b.contains_point([1.5, 0.5, 0.5])
+
+    def test_frozen_and_hashable(self):
+        assert hash(unit_box()) == hash(unit_box())
+
+
+class TestIntersection:
+    def test_partial_overlap(self):
+        a = unit_box()
+        b = unit_box(offset=(0.5, 0.5, 0.5))
+        inter = a.intersection(b)
+        assert inter is not None
+        assert inter.volume() == pytest.approx(0.125)
+
+    def test_disjoint_returns_none(self):
+        a = unit_box()
+        b = unit_box(offset=(2.0, 0.0, 0.0))
+        assert a.intersection(b) is None
+
+    def test_face_touching_degenerate(self):
+        a = unit_box()
+        b = unit_box(offset=(1.0, 0.0, 0.0))
+        inter = a.intersection(b)
+        assert inter is not None and inter.volume() == 0.0
+        assert not boxes_overlap(a, b)
+
+    def test_containment(self):
+        outer = Box((0, 0, 0), (10, 10, 10))
+        inner = unit_box(offset=(2, 2, 2))
+        assert outer.intersection(inner) == inner
+
+    def test_symmetric(self):
+        a = unit_box()
+        b = unit_box(offset=(0.3, 0.1, -0.2))
+        assert a.intersection(b) == b.intersection(a)
+
+
+class TestUnionExpand:
+    def test_union_bounds(self):
+        a = unit_box()
+        b = unit_box(offset=(2, 2, 2))
+        u = a.union_bounds(b)
+        assert u.lo == (0, 0, 0) and u.hi == (3, 3, 3)
+
+    def test_expanded_grows(self):
+        b = unit_box().expanded(0.5)
+        assert b.lo == (-0.5, -0.5, -0.5) and b.hi == (1.5, 1.5, 1.5)
+
+    def test_expanded_negative_clamps(self):
+        b = unit_box().expanded(-5.0)
+        assert b.volume() == 0.0  # collapsed to center, not inverted
+
+
+class TestBoxesOverlap:
+    def test_positive_volume_required(self):
+        assert boxes_overlap(unit_box(), unit_box(offset=(0.9, 0, 0)))
+        assert not boxes_overlap(unit_box(), unit_box(offset=(1.0, 0, 0)))
+
+
+coords = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    lo1=st.tuples(coords, coords, coords),
+    d1=st.tuples(*[st.floats(min_value=0.01, max_value=10)] * 3),
+    lo2=st.tuples(coords, coords, coords),
+    d2=st.tuples(*[st.floats(min_value=0.01, max_value=10)] * 3),
+)
+def test_property_intersection_volume_bounded(lo1, d1, lo2, d2):
+    """|A ∩ B| <= min(|A|, |B|) and the intersection lies inside both."""
+    a = Box(lo1, tuple(l + d for l, d in zip(lo1, d1)))
+    b = Box(lo2, tuple(l + d for l, d in zip(lo2, d2)))
+    inter = a.intersection(b)
+    if inter is None:
+        assert not boxes_overlap(a, b)
+    else:
+        assert inter.volume() <= min(a.volume(), b.volume()) + 1e-9
+        assert a.contains_point(inter.lo) and a.contains_point(inter.hi)
+        assert b.contains_point(inter.lo) and b.contains_point(inter.hi)

@@ -1,0 +1,120 @@
+"""Tests for repro.overset.grids (lattice counting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.overset.geometry import Box
+from repro.overset.grids import ComponentGrid
+
+
+def grid(lo=(0, 0, 0), hi=(1, 1, 1), h=(0.5, 0.5, 0.5)) -> ComponentGrid:
+    return ComponentGrid(region=Box(lo, hi), spacing=h)
+
+
+class TestPointCounts:
+    def test_unit_box_half_spacing(self):
+        # 3 points per axis (0, 0.5, 1.0) -> 27 total
+        g = grid()
+        np.testing.assert_array_equal(g.points_per_axis(), [3, 3, 3])
+        assert g.n_points() == 27
+
+    def test_exact_multiple_includes_endpoint(self):
+        g = grid(hi=(1, 1, 1), h=(0.25, 0.5, 1.0))
+        np.testing.assert_array_equal(g.points_per_axis(), [5, 3, 2])
+
+    def test_non_multiple_floors(self):
+        g = grid(hi=(1, 1, 1), h=(0.3, 0.3, 0.3))
+        # points at 0, .3, .6, .9 -> 4 per axis
+        np.testing.assert_array_equal(g.points_per_axis(), [4, 4, 4])
+
+    def test_degenerate_axis_single_point(self):
+        g = ComponentGrid(region=Box((0, 0, 0), (0, 1, 1)), spacing=(1, 1, 1))
+        assert g.points_per_axis()[0] == 1
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ValidationError):
+            ComponentGrid(region=Box((0, 0, 0), (1, 1, 1)), spacing=(0, 1, 1))
+
+
+class TestPointsInBox:
+    def test_full_region(self):
+        g = grid()
+        assert g.points_in_box(g.region) == g.n_points()
+
+    def test_half_region(self):
+        g = grid()  # points at 0, .5, 1 each axis
+        half = Box((0, 0, 0), (0.5, 1, 1))
+        # x in {0, .5}: 2; y,z: 3 -> 18
+        assert g.points_in_box(half) == 18
+
+    def test_disjoint_box(self):
+        g = grid()
+        assert g.points_in_box(Box((5, 5, 5), (6, 6, 6))) == 0
+
+    def test_single_point_slab(self):
+        g = grid()
+        thin = Box((0.4, 0, 0), (0.6, 1, 1))  # only x=0.5 inside
+        assert g.points_in_box(thin) == 9
+
+    def test_brute_force_agreement(self):
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            lo = rng.uniform(-2, 0, 3)
+            hi = lo + rng.uniform(0.5, 3, 3)
+            h = rng.uniform(0.1, 0.5, 3)
+            g = ComponentGrid(region=Box(tuple(lo), tuple(hi)), spacing=tuple(h))
+            blo = rng.uniform(-3, 1, 3)
+            bhi = blo + rng.uniform(0.2, 4, 3)
+            box = Box(tuple(blo), tuple(bhi))
+            # Brute-force lattice enumeration.
+            counts = []
+            for ax in range(3):
+                pts = lo[ax] + h[ax] * np.arange(g.points_per_axis()[ax])
+                counts.append(
+                    int(((pts >= blo[ax] - 1e-9) & (pts <= bhi[ax] + 1e-9)).sum())
+                )
+            assert g.points_in_box(box) == int(np.prod(counts))
+
+
+class TestOverlapPoints:
+    def test_self_overlap_full(self):
+        g = grid()
+        assert g.overlap_points(g) == g.n_points()
+
+    def test_disjoint_zero(self):
+        a = grid()
+        b = grid(lo=(5, 5, 5), hi=(6, 6, 6))
+        assert a.overlap_points(b) == 0
+
+    def test_face_touch_zero(self):
+        a = grid()
+        b = grid(lo=(1, 0, 0), hi=(2, 1, 1))
+        assert a.overlap_points(b) == 0
+
+    def test_symmetric(self):
+        a = grid(h=(0.2, 0.2, 0.2))
+        b = grid(lo=(0.5, 0.5, 0.5), hi=(1.5, 1.5, 1.5), h=(0.3, 0.3, 0.3))
+        assert a.overlap_points(b) == b.overlap_points(a)
+
+    def test_positive_when_volumes_overlap(self):
+        a = grid()
+        b = grid(lo=(0.4, 0.4, 0.4), hi=(1.4, 1.4, 1.4))
+        assert a.overlap_points(b) >= 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    shift=st.floats(min_value=-1.5, max_value=1.5),
+    h1=st.floats(min_value=0.05, max_value=0.5),
+    h2=st.floats(min_value=0.05, max_value=0.5),
+)
+def test_property_overlap_bounded_by_own_points(shift, h1, h2):
+    a = grid(h=(h1, h1, h1))
+    b = grid(lo=(shift, 0, 0), hi=(shift + 1, 1, 1), h=(h2, h2, h2))
+    w = a.overlap_points(b)
+    assert 0 <= w <= max(a.n_points(), b.n_points())

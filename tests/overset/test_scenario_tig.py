@@ -1,0 +1,118 @@
+"""Tests for overset scenario generation and TIG extraction (Fig. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.overset import (
+    OversetScenario,
+    build_tig,
+    generate_overset_scenario,
+    scenario_report,
+)
+from repro.overset.geometry import Box
+from repro.overset.grids import ComponentGrid
+
+
+class TestGenerateScenario:
+    def test_n_grids(self):
+        sc = generate_overset_scenario(7, 1)
+        assert sc.n_grids == 7
+        assert len(sc.grids) == 7
+
+    def test_invalid_n(self):
+        with pytest.raises(ValidationError):
+            generate_overset_scenario(0, 1)
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValidationError):
+            generate_overset_scenario(5, 1, grid_extent_range=(2.0, 1.0))
+        with pytest.raises(ValidationError):
+            generate_overset_scenario(5, 1, spacing_range=(0.0, 0.1))
+
+    def test_deterministic(self):
+        a = generate_overset_scenario(6, 42)
+        b = generate_overset_scenario(6, 42)
+        assert [g.region for g in a.grids] == [g.region for g in b.grids]
+
+    def test_chain_overlaps(self):
+        """Consecutive grids along the body always overlap (Fig. 1 chain)."""
+        sc = generate_overset_scenario(10, 3)
+        for i in range(9):
+            assert sc.grids[i].overlap_points(sc.grids[i + 1]) > 0
+
+    def test_total_points_positive(self):
+        assert generate_overset_scenario(5, 9).total_points() > 0
+
+    def test_body_points_shape(self):
+        sc = generate_overset_scenario(8, 0)
+        assert sc.body_points.shape == (8, 3)
+
+
+class TestBuildTig:
+    def test_connected_tig(self):
+        for seed in range(4):
+            tig = build_tig(generate_overset_scenario(8, seed))
+            assert tig.is_connected()
+
+    def test_node_weights_are_point_counts(self):
+        sc = generate_overset_scenario(5, 4)
+        tig = build_tig(sc)
+        np.testing.assert_allclose(
+            tig.node_weights, [g.n_points() for g in sc.grids]
+        )
+
+    def test_edge_weights_are_overlaps(self):
+        sc = generate_overset_scenario(6, 5)
+        tig = build_tig(sc)
+        pairs = {(i, j): w for i, j, w in sc.overlap_pairs()}
+        assert tig.n_edges == len(pairs)
+        for (u, v), w in zip(tig.edges, tig.edge_weights):
+            assert pairs[(int(u), int(v))] == w
+
+    def test_weight_scale(self):
+        sc = generate_overset_scenario(5, 6)
+        base = build_tig(sc)
+        scaled = build_tig(sc, weight_scale=100.0)
+        np.testing.assert_allclose(scaled.node_weights, base.node_weights / 100.0)
+        np.testing.assert_allclose(scaled.edge_weights, base.edge_weights / 100.0)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            build_tig(generate_overset_scenario(3, 0), weight_scale=0.0)
+
+    def test_single_grid_tig(self):
+        g = ComponentGrid(region=Box((0, 0, 0), (1, 1, 1)), spacing=(0.5, 0.5, 0.5))
+        sc = OversetScenario(grids=(g,), body_points=np.zeros((1, 3)))
+        tig = build_tig(sc)
+        assert tig.n_nodes == 1 and tig.n_edges == 0
+
+
+class TestScenarioReport:
+    def test_keys(self):
+        rep = scenario_report(generate_overset_scenario(6, 7))
+        assert rep["n_grids"] == 6
+        assert rep["tig_connected"]
+        assert rep["total_grid_points"] >= rep["max_grid_points"]
+        assert rep["min_grid_points"] <= rep["max_grid_points"]
+        assert rep["ccr"] > 0
+
+
+class TestMappingOversetEndToEnd:
+    def test_overset_tig_maps_with_match(self):
+        """The Fig. 1 pipeline: overset system → TIG → MaTCH mapping."""
+        from repro.core import MatchConfig, MatchMapper
+        from repro.graphs import generate_resource_graph
+        from repro.mapping import MappingProblem
+
+        sc = generate_overset_scenario(8, 11)
+        tig = build_tig(sc, weight_scale=1000.0)
+        resources = generate_resource_graph(8, 11)
+        problem = MappingProblem(tig, resources, require_square=True)
+        result = MatchMapper(MatchConfig(n_samples=100, max_iterations=60)).map(
+            problem, 11
+        )
+        assert problem.is_one_to_one(result.assignment)
+        assert result.execution_time > 0

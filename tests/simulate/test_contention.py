@@ -1,0 +1,127 @@
+"""Tests for the contention-aware network simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    ResourceGraph,
+    TaskInteractionGraph,
+    generate_paper_pair,
+    generate_resource_graph,
+    generate_tig,
+)
+from repro.mapping import CostModel, MappingProblem
+from repro.simulate import ContentionSimulator, contention_report
+
+
+class TestRouting:
+    def make_path_platform(self) -> ContentionSimulator:
+        # resources 0-1-2-3 in a path
+        res = ResourceGraph(
+            [1, 1, 1, 1], [(0, 1), (1, 2), (2, 3)], [5.0, 5.0, 5.0]
+        )
+        tig = generate_tig(4, 0)
+        return ContentionSimulator(MappingProblem(tig, res))
+
+    def test_direct_route(self):
+        sim = self.make_path_platform()
+        assert sim.route(0, 1) == [(0, 1)]
+
+    def test_multi_hop_route(self):
+        sim = self.make_path_platform()
+        assert sim.route(0, 3) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_self_route_empty(self):
+        sim = self.make_path_platform()
+        assert sim.route(2, 2) == []
+
+    def test_route_respects_cheapest_path(self):
+        # triangle with an expensive direct edge: route goes around
+        res = ResourceGraph(
+            [1, 1, 1], [(0, 1), (1, 2), (0, 2)], [1.0, 1.0, 100.0]
+        )
+        tig = generate_tig(3, 0)
+        sim = ContentionSimulator(MappingProblem(tig, res))
+        assert sim.route(0, 2) == [(0, 1), (1, 2)]
+
+
+class TestContendedMakespan:
+    def test_no_communication_equals_analytic(self):
+        """Colocated tasks: no transfers, both models agree exactly."""
+        tig = generate_tig(5, 1)
+        res = generate_resource_graph(5, 1)
+        problem = MappingProblem(tig, res)
+        report = contention_report(problem, np.zeros(5, dtype=np.int64))
+        assert report.n_transfers == 0
+        assert report.contended_makespan == pytest.approx(report.analytic_makespan)
+        assert report.slowdown == pytest.approx(1.0)
+
+    def test_single_edge_no_contention(self):
+        """One remote transfer: contended time equals compute + transfer."""
+        tig = TaskInteractionGraph([2.0, 3.0], [(0, 1)], [10.0])
+        res = ResourceGraph([1.0, 1.0], [(0, 1)], [4.0])
+        problem = MappingProblem(tig, res)
+        report = contention_report(problem, np.array([0, 1]))
+        # compute: r0=2, r1=3; transfer starts at max(2,3)=3, lasts 40
+        assert report.contended_makespan == pytest.approx(43.0)
+
+    def test_contention_never_faster_than_isolated_transfers(self, small_problem):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            x = rng.permutation(12)
+            report = contention_report(small_problem, x)
+            assert report.contended_makespan > 0
+            assert report.n_transfers > 0
+
+    def test_utilization_in_unit_interval(self, small_problem):
+        x = np.random.default_rng(1).permutation(12)
+        report = contention_report(small_problem, x)
+        assert 0.0 <= report.max_link_utilization <= 1.0
+
+    def test_sparse_platform_multi_hop_transfers(self):
+        tig = generate_tig(8, 2)
+        res = generate_resource_graph(8, 2, topology="sparse", p_link=0.15)
+        problem = MappingProblem(tig, res)
+        report = contention_report(problem, np.arange(8))
+        assert report.contended_makespan >= report.analytic_makespan * 0.5
+
+    def test_better_mappings_also_better_under_contention(self):
+        """MaTCH's mapping (optimized for Eq. (2)) should not be worse than
+        a random mapping under the contention model either — the analytic
+        objective is a sane proxy."""
+        from repro.core import MatchConfig, MatchMapper
+
+        pair = generate_paper_pair(10, 17)
+        problem = MappingProblem(pair.tig, pair.resources)
+        match = MatchMapper(MatchConfig(n_samples=150, max_iterations=60)).map(
+            problem, 4
+        )
+        rng = np.random.default_rng(0)
+        rand_worst = np.mean(
+            [
+                contention_report(problem, rng.permutation(10)).contended_makespan
+                for _ in range(5)
+            ]
+        )
+        good = contention_report(problem, match.assignment).contended_makespan
+        assert good <= rand_worst * 1.05
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(min_value=2, max_value=10), seed=st.integers(0, 10**6))
+def test_property_contention_at_least_analytic_compute(n, seed):
+    """The contended makespan can never undercut the pure-compute part of
+    the analytic model (phase 1 is identical in both)."""
+    pair = generate_paper_pair(n, seed)
+    problem = MappingProblem(pair.tig, pair.resources)
+    x = np.random.default_rng(seed).permutation(n)
+    report = contention_report(problem, x)
+    comp = np.bincount(
+        x, weights=problem.task_weights * problem.proc_weights[x],
+        minlength=n,
+    )
+    assert report.contended_makespan >= comp.max() - 1e-9

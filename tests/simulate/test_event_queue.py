@@ -1,0 +1,112 @@
+"""Tests for the DES kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulate import EventQueue
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule_at(3.0, lambda _q: fired.append("c"))
+        q.schedule_at(1.0, lambda _q: fired.append("a"))
+        q.schedule_at(2.0, lambda _q: fired.append("b"))
+        q.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        q = EventQueue()
+        fired = []
+        for label in "abc":
+            q.schedule_at(5.0, lambda _q, lab=label: fired.append(lab))
+        q.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_schedule_after(self):
+        q = EventQueue()
+        times = []
+        q.schedule_after(2.0, lambda eq: times.append(eq.now))
+        q.run()
+        assert times == [2.0]
+
+    def test_past_scheduling_rejected(self):
+        q = EventQueue()
+        q.schedule_at(5.0, lambda eq: eq.schedule_at(1.0, lambda _: None))
+        with pytest.raises(SimulationError, match="past"):
+            q.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().schedule_after(-1.0, lambda _q: None)
+
+
+class TestExecution:
+    def test_clock_advances(self):
+        q = EventQueue()
+        q.schedule_at(7.5, lambda _q: None)
+        assert q.run() == 7.5
+        assert q.now == 7.5
+
+    def test_events_can_schedule_events(self):
+        q = EventQueue()
+        fired = []
+
+        def chain(eq: EventQueue) -> None:
+            fired.append(eq.now)
+            if eq.now < 3:
+                eq.schedule_after(1.0, chain)
+
+        q.schedule_at(0.0, chain)
+        q.run()
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+
+    def test_until_horizon(self):
+        q = EventQueue()
+        fired = []
+        q.schedule_at(1.0, lambda _q: fired.append(1))
+        q.schedule_at(10.0, lambda _q: fired.append(10))
+        t = q.run(until=5.0)
+        assert fired == [1] and t == 5.0
+        assert q.n_pending == 1
+        q.run()
+        assert fired == [1, 10]
+
+    def test_max_events_guard(self):
+        q = EventQueue()
+
+        def loop(eq: EventQueue) -> None:
+            eq.schedule_after(0.0, loop)
+
+        q.schedule_at(0.0, loop)
+        with pytest.raises(SimulationError, match="event loop"):
+            q.run(max_events=100)
+
+    def test_counters(self):
+        q = EventQueue()
+        for t in range(5):
+            q.schedule_at(float(t), lambda _q: None)
+        assert q.n_pending == 5
+        q.run()
+        assert q.n_fired == 5 and q.n_pending == 0
+
+    def test_not_reentrant(self):
+        q = EventQueue()
+        errors = []
+
+        def recurse(eq: EventQueue) -> None:
+            try:
+                eq.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        q.schedule_at(0.0, recurse)
+        q.run()
+        assert errors and "re-entrant" in str(errors[0])
+
+    def test_empty_run_returns_now(self):
+        q = EventQueue()
+        assert q.run() == 0.0

@@ -1,0 +1,118 @@
+"""Tests for the platform DES: operational semantics must equal Eq. (1)/(2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.graphs import generate_paper_pair
+from repro.mapping import CostModel, MappingProblem
+from repro.simulate import IterativeWorkload, PlatformSimulator
+
+
+class TestSingleStep:
+    def test_makespan_equals_analytic_cost(self, small_problem, small_model):
+        """The central integration invariant: DES replay == Eq. (2)."""
+        sim = PlatformSimulator(small_problem)
+        rng = np.random.default_rng(0)
+        for _ in range(15):
+            x = rng.permutation(12)
+            report = sim.simulate(x)
+            assert report.makespan == pytest.approx(small_model.evaluate(x), rel=1e-12)
+
+    def test_per_resource_finish_equals_eq1(self, small_problem, small_model):
+        x = np.random.default_rng(1).permutation(12)
+        report = PlatformSimulator(small_problem).simulate(x)
+        np.testing.assert_allclose(
+            report.per_resource_finish, small_model.per_resource_times(x)
+        )
+
+    def test_non_bijective_assignments(self, small_problem, small_model):
+        rng = np.random.default_rng(2)
+        sim = PlatformSimulator(small_problem)
+        for _ in range(10):
+            x = rng.integers(0, 12, size=12)
+            assert sim.simulate(x).makespan == pytest.approx(small_model.evaluate(x))
+
+    def test_busiest_resource(self, small_problem, small_model):
+        x = np.random.default_rng(3).permutation(12)
+        report = PlatformSimulator(small_problem).simulate(x)
+        assert report.per_resource_finish[report.busiest_resource] == report.makespan
+
+    def test_transfers_counted(self, known_problem):
+        report = PlatformSimulator(known_problem).simulate(np.array([0, 1, 2]))
+        assert report.n_transfers == 2  # both TIG edges are remote
+
+    def test_colocated_tasks_no_transfers(self, known_problem):
+        report = PlatformSimulator(known_problem).simulate(np.array([0, 0, 0]))
+        assert report.n_transfers == 0
+
+    def test_idle_fractions(self, small_problem):
+        x = np.random.default_rng(4).permutation(12)
+        report = PlatformSimulator(small_problem).simulate(x)
+        idle = report.idle_fractions()
+        assert idle.min() == 0.0  # the busiest resource is never idle
+        assert np.all((idle >= 0) & (idle <= 1))
+
+    def test_events_fired(self, small_problem):
+        x = np.arange(12)
+        report = PlatformSimulator(small_problem).simulate(x)
+        assert report.n_events > 12  # compute completions + transfers
+
+
+class TestMultiStep:
+    def test_n_steps_scales_makespan(self, small_problem, small_model):
+        x = np.random.default_rng(5).permutation(12)
+        single = small_model.evaluate(x)
+        report = PlatformSimulator(small_problem).simulate(x, n_steps=4)
+        assert report.makespan == pytest.approx(4 * single)
+        assert report.n_steps == 4
+        assert report.step_makespans == pytest.approx([single] * 4)
+
+    def test_invalid_steps(self, small_problem):
+        with pytest.raises(SimulationError):
+            PlatformSimulator(small_problem).simulate(np.arange(12), n_steps=0)
+
+
+class TestIterativeWorkload:
+    def test_static_workload_matches_simulator(self, small_problem, small_model):
+        x = np.random.default_rng(6).permutation(12)
+        wl = IterativeWorkload(small_problem, n_steps=5)
+        outcome = wl.run(x)
+        assert outcome.total_time == pytest.approx(5 * small_model.evaluate(x))
+        assert outcome.mean_step == pytest.approx(small_model.evaluate(x))
+
+    def test_drifting_workload_changes_steps(self, small_problem):
+        wl = IterativeWorkload(small_problem, n_steps=6, drift=0.3, rng=7)
+        outcome = wl.run(np.arange(12))
+        assert len(set(outcome.step_makespans)) > 1  # weights drifted
+
+    def test_drift_zero_steps_identical(self, small_problem):
+        wl = IterativeWorkload(small_problem, n_steps=3, drift=0.0)
+        outcome = wl.run(np.arange(12))
+        assert len(set(outcome.step_makespans)) == 1
+
+    def test_validation(self, small_problem):
+        with pytest.raises(SimulationError):
+            IterativeWorkload(small_problem, n_steps=0)
+        with pytest.raises(SimulationError):
+            IterativeWorkload(small_problem, drift=-0.5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_property_des_equals_cost_model(n, seed):
+    """For random instances and assignments, the operational semantics of
+    the simulator and the analytic Eq. (2) agree exactly."""
+    pair = generate_paper_pair(n, seed)
+    problem = MappingProblem(pair.tig, pair.resources)
+    model = CostModel(problem)
+    sim = PlatformSimulator(problem)
+    x = np.random.default_rng(seed).integers(0, n, size=n)
+    assert sim.simulate(x).makespan == pytest.approx(model.evaluate(x), rel=1e-12)

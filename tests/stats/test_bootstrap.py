@@ -1,0 +1,82 @@
+"""Tests for bootstrap confidence intervals and the permutation mean test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.stats import bootstrap_ci, bootstrap_mean_difference
+
+
+class TestBootstrapCI:
+    def test_interval_brackets_statistic(self):
+        data = np.random.default_rng(0).normal(10, 2, size=50)
+        ci = bootstrap_ci(data, rng=1)
+        assert ci.low <= ci.statistic <= ci.high
+        assert ci.statistic == pytest.approx(data.mean())
+
+    def test_coverage_of_true_mean(self):
+        """Over many datasets, the 95% CI should contain the true mean
+        roughly 95% of the time (checked loosely)."""
+        rng = np.random.default_rng(3)
+        hits = 0
+        trials = 60
+        for _ in range(trials):
+            data = rng.normal(5.0, 1.0, size=30)
+            ci = bootstrap_ci(data, n_resamples=400, rng=rng)
+            hits += ci.contains(5.0)
+        assert hits / trials > 0.85
+
+    def test_wider_for_higher_confidence(self):
+        data = np.random.default_rng(1).normal(0, 1, size=40)
+        narrow = bootstrap_ci(data, confidence=0.80, rng=2)
+        wide = bootstrap_ci(data, confidence=0.99, rng=2)
+        assert (wide.high - wide.low) > (narrow.high - narrow.low)
+
+    def test_custom_statistic(self):
+        data = np.array([1.0, 2.0, 3.0, 100.0])
+        ci = bootstrap_ci(data, statistic=np.median, rng=0)
+        assert ci.statistic == pytest.approx(np.median(data))
+
+    def test_deterministic(self):
+        data = np.random.default_rng(2).normal(0, 1, 25)
+        a = bootstrap_ci(data, rng=7)
+        b = bootstrap_ci(data, rng=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            bootstrap_ci([1.0])
+        with pytest.raises(ValidationError):
+            bootstrap_ci([1.0, 2.0], confidence=1.0)
+        with pytest.raises(ValidationError):
+            bootstrap_ci([1.0, 2.0], n_resamples=5)
+
+
+class TestBootstrapMeanDifference:
+    def test_identical_distributions_high_p(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 1, 40)
+        b = rng.normal(0, 1, 40)
+        p = bootstrap_mean_difference(a, b, n_resamples=1000, rng=1)
+        assert p > 0.05
+
+    def test_separated_distributions_low_p(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, 40)
+        b = rng.normal(5, 1, 40)
+        p = bootstrap_mean_difference(a, b, n_resamples=1000, rng=2)
+        assert p < 0.01
+
+    def test_p_value_in_unit_interval(self):
+        a = [1.0, 2.0, 3.0]
+        b = [1.5, 2.5, 3.5]
+        p = bootstrap_mean_difference(a, b, n_resamples=200, rng=0)
+        assert 0.0 < p <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            bootstrap_mean_difference([1.0], [1.0, 2.0])
+        with pytest.raises(ValidationError):
+            bootstrap_mean_difference([1.0, 2.0], [1.0, 2.0], n_resamples=2)

@@ -1,0 +1,84 @@
+"""Tests for improvement factors and the SeriesBySize container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.stats.comparison import SeriesBySize, geometric_mean, improvement_factor
+
+
+class TestImprovementFactor:
+    def test_basic_ratio(self):
+        assert improvement_factor(100.0, 25.0) == 4.0
+
+    def test_paper_table1_ratio(self):
+        # the published n=50 row: 921359 / 23858 = 38.618...
+        assert improvement_factor(921359, 23858) == pytest.approx(38.618, abs=1e-3)
+
+    def test_zero_candidate(self):
+        assert improvement_factor(5.0, 0.0) == float("inf")
+        assert improvement_factor(0.0, 0.0) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            improvement_factor(-1.0, 2.0)
+
+
+class TestSeriesBySize:
+    def make(self) -> SeriesBySize:
+        return SeriesBySize(
+            metric="ET",
+            sizes=(10, 20),
+            values={"GA": (100.0, 400.0), "MaTCH": (50.0, 100.0)},
+        )
+
+    def test_length_validation(self):
+        with pytest.raises(ValidationError):
+            SeriesBySize(metric="x", sizes=(10, 20), values={"a": (1.0,)})
+
+    def test_ratio_row(self):
+        assert self.make().ratio_row("GA", "MaTCH") == (2.0, 4.0)
+
+    def test_ratio_unknown_series(self):
+        with pytest.raises(ValidationError, match="unknown series"):
+            self.make().ratio_row("GA", "nope")
+
+    def test_combined_with(self):
+        et = self.make()
+        mt = SeriesBySize(
+            metric="MT", sizes=(10, 20), values={"GA": (1.0, 2.0), "MaTCH": (3.0, 4.0)}
+        )
+        atn = et.combined_with(mt, metric="ATN")
+        assert atn.values["GA"] == (101.0, 402.0)
+        assert atn.values["MaTCH"] == (53.0, 104.0)
+        assert atn.metric == "ATN"
+
+    def test_combined_mismatched_sizes(self):
+        other = SeriesBySize(metric="MT", sizes=(10,), values={"GA": (1.0,)})
+        with pytest.raises(ValidationError, match="size axes"):
+            self.make().combined_with(other, metric="x")
+
+    def test_combined_no_common_names(self):
+        other = SeriesBySize(
+            metric="MT", sizes=(10, 20), values={"Other": (1.0, 2.0)}
+        )
+        with pytest.raises(ValidationError, match="no heuristic"):
+            self.make().combined_with(other, metric="x")
+
+    def test_as_rows_sorted(self):
+        rows = self.make().as_rows()
+        assert rows[0][0] == "GA" and rows[1][0] == "MaTCH"
+        assert rows[0][1:] == [100.0, 400.0]
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_ignores_non_finite(self):
+        assert geometric_mean([2.0, float("inf"), 8.0]) == pytest.approx(4.0)
+
+    def test_all_invalid_rejected(self):
+        with pytest.raises(ValidationError):
+            geometric_mean([float("inf"), 0.0])

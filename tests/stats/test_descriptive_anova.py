@@ -1,0 +1,132 @@
+"""Tests for descriptive statistics and one-way ANOVA (Table 3 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as ss
+
+from repro.exceptions import ValidationError
+from repro.stats import one_way_anova, summarize_sample
+
+
+class TestSummarizeSample:
+    def test_matches_scipy_ci(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(100, 15, size=30)
+        s = summarize_sample(data, label="x")
+        lo, hi = ss.t.interval(0.95, 29, loc=data.mean(), scale=ss.sem(data))
+        assert s.ci_low == pytest.approx(lo, rel=1e-10)
+        assert s.ci_high == pytest.approx(hi, rel=1e-10)
+        assert s.std == pytest.approx(data.std(ddof=1))
+        assert s.median == pytest.approx(np.median(data))
+        assert s.n == 30
+
+    def test_ci_contains_mean(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0])
+        s = summarize_sample(data)
+        assert s.ci_low < s.mean < s.ci_high
+
+    def test_wider_confidence_wider_interval(self):
+        data = np.random.default_rng(1).normal(0, 1, 20)
+        s95 = summarize_sample(data, confidence=0.95)
+        s99 = summarize_sample(data, confidence=0.99)
+        assert (s99.ci_high - s99.ci_low) > (s95.ci_high - s95.ci_low)
+
+    def test_as_row_format(self):
+        s = summarize_sample([1.0, 2.0, 3.0], label="MaTCH")
+        row = s.as_row()
+        assert row[0] == "MaTCH"
+        assert "-" in row[2]  # CI rendered as "lo-hi"
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            summarize_sample([1.0])  # too few
+        with pytest.raises(ValidationError):
+            summarize_sample([1.0, np.inf])
+        with pytest.raises(ValidationError):
+            summarize_sample([1.0, 2.0], confidence=1.0)
+
+
+class TestOneWayAnova:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        groups = [rng.normal(10, 1, 30), rng.normal(12, 1, 30), rng.normal(10.5, 1, 30)]
+        mine = one_way_anova(groups)
+        theirs = ss.f_oneway(*groups)
+        assert mine.f_value == pytest.approx(theirs.statistic, rel=1e-10)
+        assert mine.p_value == pytest.approx(theirs.pvalue, rel=1e-8)
+        assert mine.df_between == 2 and mine.df_within == 87
+
+    def test_unbalanced_groups(self):
+        rng = np.random.default_rng(1)
+        groups = [rng.normal(0, 1, 10), rng.normal(1, 1, 25), rng.normal(2, 1, 40)]
+        mine = one_way_anova(groups)
+        theirs = ss.f_oneway(*groups)
+        assert mine.f_value == pytest.approx(theirs.statistic, rel=1e-10)
+
+    def test_identical_means_f_small(self):
+        rng = np.random.default_rng(2)
+        groups = [rng.normal(5, 1, 50) for _ in range(3)]
+        result = one_way_anova(groups)
+        assert result.p_value > 0.01
+        assert not result.significant(0.01)
+
+    def test_separated_groups_significant(self):
+        rng = np.random.default_rng(3)
+        groups = [rng.normal(mu, 0.5, 30) for mu in (0, 10, 20)]
+        result = one_way_anova(groups)
+        assert result.f_value > 100
+        assert result.significant(1e-4)
+
+    def test_decomposition_identity(self):
+        """SSB + SSW == total sum of squares."""
+        rng = np.random.default_rng(4)
+        groups = [rng.normal(mu, 2, 15) for mu in (1, 3)]
+        res = one_way_anova(groups)
+        total = np.concatenate(groups)
+        sst = ((total - total.mean()) ** 2).sum()
+        assert res.ss_between + res.ss_within == pytest.approx(sst)
+
+    def test_group_means_recorded(self):
+        res = one_way_anova([[1.0, 2.0], [5.0, 7.0]])
+        assert res.group_means == (1.5, 6.0)
+        assert res.grand_mean == pytest.approx(3.75)
+
+    def test_constant_groups_different_means(self):
+        res = one_way_anova([[1.0, 1.0], [2.0, 2.0]])
+        assert res.f_value == float("inf") and res.p_value == 0.0
+
+    def test_fully_degenerate_rejected(self):
+        with pytest.raises(ValidationError, match="degenerate"):
+            one_way_anova([[3.0, 3.0], [3.0, 3.0]])
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            one_way_anova([[1.0, 2.0]])  # one group
+        with pytest.raises(ValidationError):
+            one_way_anova([[1.0], [2.0, 3.0]])  # too small a group
+        with pytest.raises(ValidationError):
+            one_way_anova([[1.0, np.nan], [2.0, 3.0]])
+        with pytest.raises(ValidationError):
+            one_way_anova([[1.0, 2.0], [2.0, 3.0]]).significant(alpha=0.0)
+
+    def test_as_dict(self):
+        d = one_way_anova([[1.0, 2.0], [5.0, 7.0]]).as_dict()
+        assert "F value" in d and "P value assuming null hypothesis" in d
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        k=st.integers(min_value=2, max_value=5),
+        n=st.integers(min_value=3, max_value=40),
+    )
+    def test_property_matches_scipy(self, seed, k, n):
+        rng = np.random.default_rng(seed)
+        groups = [rng.normal(rng.uniform(-2, 2), 1.0, n) for _ in range(k)]
+        mine = one_way_anova(groups)
+        theirs = ss.f_oneway(*groups)
+        assert mine.f_value == pytest.approx(theirs.statistic, rel=1e-9)
+        assert mine.p_value == pytest.approx(theirs.pvalue, rel=1e-6, abs=1e-12)

@@ -1,0 +1,126 @@
+"""Tests for the from-scratch distributions, cross-validated against scipy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import special as sp
+from scipy import stats as ss
+
+from repro.exceptions import ValidationError
+from repro.stats.distributions import (
+    betainc_regularized,
+    f_sf,
+    log_beta,
+    student_t_ppf,
+    student_t_sf,
+)
+
+
+class TestLogBeta:
+    def test_symmetric(self):
+        assert log_beta(2.5, 3.5) == pytest.approx(log_beta(3.5, 2.5))
+
+    def test_matches_scipy(self):
+        for a, b in [(1, 1), (0.5, 0.5), (10, 3), (100, 100)]:
+            assert log_beta(a, b) == pytest.approx(sp.betaln(a, b), rel=1e-12)
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            log_beta(0.0, 1.0)
+
+
+class TestBetaInc:
+    @pytest.mark.parametrize(
+        "a,b,x",
+        [
+            (2.5, 3.1, 0.4),
+            (0.5, 0.5, 0.9),
+            (10, 2, 0.05),
+            (15, 15, 0.5),
+            (1, 1, 0.25),
+            (50, 0.5, 0.99),
+        ],
+    )
+    def test_matches_scipy(self, a, b, x):
+        assert betainc_regularized(a, b, x) == pytest.approx(
+            sp.betainc(a, b, x), abs=1e-13
+        )
+
+    def test_endpoints(self):
+        assert betainc_regularized(2, 3, 0.0) == 0.0
+        assert betainc_regularized(2, 3, 1.0) == 1.0
+
+    def test_complement_identity(self):
+        a, b, x = 3.2, 1.7, 0.35
+        assert betainc_regularized(a, b, x) + betainc_regularized(
+            b, a, 1 - x
+        ) == pytest.approx(1.0, abs=1e-12)
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            betainc_regularized(2, 3, 1.5)
+        with pytest.raises(ValidationError):
+            betainc_regularized(-1, 3, 0.5)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        a=st.floats(min_value=0.1, max_value=80),
+        b=st.floats(min_value=0.1, max_value=80),
+        x=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_property_matches_scipy(self, a, b, x):
+        assert betainc_regularized(a, b, x) == pytest.approx(
+            sp.betainc(a, b, x), abs=1e-10
+        )
+
+
+class TestFSf:
+    @pytest.mark.parametrize(
+        "f,d1,d2",
+        [(1547.0, 2, 87), (3.2, 4, 40), (0.5, 1, 10), (1.0, 10, 10), (25.0, 3, 5)],
+    )
+    def test_matches_scipy(self, f, d1, d2):
+        assert f_sf(f, d1, d2) == pytest.approx(ss.f.sf(f, d1, d2), rel=1e-10)
+
+    def test_nonpositive_f_is_one(self):
+        assert f_sf(0.0, 2, 10) == 1.0
+        assert f_sf(-3.0, 2, 10) == 1.0
+
+    def test_monotone_decreasing(self):
+        vals = [f_sf(f, 3, 30) for f in (0.5, 1.0, 2.0, 5.0, 20.0)]
+        assert all(b < a for a, b in zip(vals, vals[1:]))
+
+    def test_paper_f_value_significant(self):
+        """The published F = 1547 with (2, 87) dof is astronomically
+        significant — p far below 0.0001."""
+        assert f_sf(1547.0, 2, 87) < 1e-4
+
+    def test_invalid_dof(self):
+        with pytest.raises(ValidationError):
+            f_sf(1.0, 0, 5)
+
+
+class TestStudentT:
+    @pytest.mark.parametrize("t,df", [(2.045, 29), (0.0, 5), (-1.7, 12), (4.0, 2)])
+    def test_sf_matches_scipy(self, t, df):
+        assert student_t_sf(t, df) == pytest.approx(ss.t.sf(t, df), abs=1e-12)
+
+    @pytest.mark.parametrize("p,df", [(0.975, 29), (0.9, 5), (0.025, 29), (0.6, 3)])
+    def test_ppf_matches_scipy(self, p, df):
+        assert student_t_ppf(p, df) == pytest.approx(ss.t.ppf(p, df), abs=1e-8)
+
+    def test_ppf_median_zero(self):
+        assert student_t_ppf(0.5, 7) == 0.0
+
+    def test_ppf_sf_round_trip(self):
+        t = student_t_ppf(0.93, 11)
+        assert 1.0 - student_t_sf(t, 11) == pytest.approx(0.93, abs=1e-9)
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            student_t_ppf(0.0, 5)
+        with pytest.raises(ValidationError):
+            student_t_sf(1.0, 0)

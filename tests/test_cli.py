@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command(self):
+        args = build_parser().parse_args(["run", "table1", "--seed", "9"])
+        assert args.command == "run"
+        assert args.experiment == "table1" and args.seed == 9
+
+    def test_experiment_sugar_commands(self):
+        args = build_parser().parse_args(["table2", "--scale", "paper"])
+        assert args.command == "table2" and args.scale == "paper"
+
+    def test_solve_command(self):
+        args = build_parser().parse_args(["solve", "--size", "8"])
+        assert args.command == "solve" and args.size == 8
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig9" in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["run", "table42"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_solve_small(self, capsys):
+        assert main(["solve", "--size", "6", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "execution time (ET)" in out
+        assert "assignment" in out
+
+    def test_fig3_runs(self, capsys):
+        # fig3 is profile-independent and fast at n=10
+        assert main(["fig3", "--seed", "3"]) == 0
+        assert "Figure 3 (measured)" in capsys.readouterr().out

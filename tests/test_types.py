@@ -1,0 +1,38 @@
+"""Tests for the shared type coercion helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.types import as_assignment, as_assignment_batch
+
+
+class TestAsAssignment:
+    def test_list_coerced(self):
+        out = as_assignment([1, 2, 0])
+        assert out.dtype == np.int64
+        np.testing.assert_array_equal(out, [1, 2, 0])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            as_assignment([[0, 1]])
+
+    def test_float_integral_truncation(self):
+        # numpy semantics: float dtype cast, not validated here
+        out = as_assignment(np.array([1.0, 2.0]))
+        assert out.dtype == np.int64
+
+
+class TestAsAssignmentBatch:
+    def test_2d_passthrough(self):
+        out = as_assignment_batch(np.zeros((3, 4), dtype=np.int32))
+        assert out.shape == (3, 4) and out.dtype == np.int64
+
+    def test_1d_promoted_to_row(self):
+        out = as_assignment_batch([1, 2, 3])
+        assert out.shape == (1, 3)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            as_assignment_batch(np.zeros((2, 2, 2), dtype=np.int64))

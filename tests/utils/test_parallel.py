@@ -1,0 +1,61 @@
+"""Tests for the parallel map utility."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.parallel import default_worker_count, parallel_map
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def failing(x: int) -> int:
+    if x == 3:
+        raise RuntimeError("boom")
+    return x
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(square, range(6), n_workers=1) == [0, 1, 4, 9, 16, 25]
+
+    def test_serial_accepts_lambdas(self):
+        # the serial path has no pickling requirement
+        assert parallel_map(lambda x: x + 1, [1, 2], n_workers=1) == [2, 3]
+
+    def test_parallel_path_ordered(self):
+        result = parallel_map(square, range(8), n_workers=2)
+        assert result == [x * x for x in range(8)]
+
+    def test_parallel_equals_serial(self):
+        items = list(range(12))
+        assert parallel_map(square, items, n_workers=2) == parallel_map(
+            square, items, n_workers=1
+        )
+
+    def test_empty_items(self):
+        assert parallel_map(square, [], n_workers=2) == []
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(square, [5], n_workers=4) == [25]
+
+    def test_exception_propagates_serial(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_map(failing, [1, 2, 3], n_workers=1)
+
+    def test_exception_propagates_parallel(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_map(failing, [1, 2, 3, 4], n_workers=2)
+
+    def test_chunksize_validation(self):
+        with pytest.raises(ValidationError):
+            parallel_map(square, [1], chunksize=0)
+
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1
+        assert default_worker_count() <= max(1, (os.cpu_count() or 1))

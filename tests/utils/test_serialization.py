@@ -1,0 +1,77 @@
+"""Tests for repro.utils.serialization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.utils.serialization import dump_json, load_json, to_jsonable
+
+
+@dataclass
+class _Point:
+    x: int
+    arr: np.ndarray
+
+
+class TestToJsonable:
+    def test_primitives_unchanged(self):
+        for v in (None, True, 3, 2.5, "s"):
+            assert to_jsonable(v) == v
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(5)) == 5
+        assert to_jsonable(np.float64(2.5)) == 2.5
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_numpy_array(self):
+        assert to_jsonable(np.arange(3)) == [0, 1, 2]
+
+    def test_nested_containers(self):
+        out = to_jsonable({"a": [np.float64(1.0), (2, 3)], "b": {4}})
+        assert out == {"a": [1.0, [2, 3]], "b": [4]}
+
+    def test_dataclass(self):
+        out = to_jsonable(_Point(x=1, arr=np.array([1.5])))
+        assert out == {"x": 1, "arr": [1.5]}
+
+    def test_path(self):
+        assert to_jsonable(Path("/tmp/x")) == "/tmp/x"
+
+    def test_non_string_dict_keys_coerced(self):
+        assert to_jsonable({1: "a"}) == {"1": "a"}
+
+    def test_unserializable_raises(self):
+        with pytest.raises(SerializationError):
+            to_jsonable(object())
+
+
+class TestRoundTrip:
+    def test_dump_and_load(self, tmp_path):
+        payload = {"xs": np.arange(4), "meta": {"seed": 42}}
+        path = dump_json(payload, tmp_path / "out.json")
+        loaded = load_json(path)
+        assert loaded == {"xs": [0, 1, 2, 3], "meta": {"seed": 42}}
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = dump_json({"a": 1}, tmp_path / "deep" / "dir" / "x.json")
+        assert path.exists()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError, match="no such file"):
+            load_json(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SerializationError, match="invalid JSON"):
+            load_json(bad)
+
+    def test_output_deterministic(self, tmp_path):
+        a = dump_json({"b": 1, "a": 2}, tmp_path / "a.json").read_text()
+        b = dump_json({"a": 2, "b": 1}, tmp_path / "b.json").read_text()
+        assert a == b  # sort_keys

@@ -1,0 +1,73 @@
+"""Tests for repro.utils.tables (ASCII rendering)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import format_number, format_table, render_kv_block
+
+
+class TestFormatNumber:
+    def test_small_int_plain(self):
+        assert format_number(42) == "42"
+
+    def test_large_int_grouped(self):
+        assert format_number(123456) == "123,456"
+
+    def test_float_digits(self):
+        assert format_number(3.14159, digits=2) == "3.14"
+
+    def test_large_float_no_decimals(self):
+        assert format_number(12345.678) == "12,346"
+
+    def test_nan(self):
+        assert format_number(float("nan")) == "nan"
+
+    def test_none_and_bool(self):
+        assert format_number(None) == "None"
+        assert format_number(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_number("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["name", "v"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len({len(line) for line in lines if line}) <= 2  # consistent width
+
+    def test_title_rendered(self):
+        out = format_table(["a"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_numbers_right_aligned(self):
+        out = format_table(["k", "v"], [["x", 5], ["y", 12345]])
+        data_lines = out.splitlines()[2:]
+        # Right-aligned: the last character of each value cell is a digit.
+        assert all(line.rstrip()[-1].isdigit() for line in data_lines)
+
+    def test_all_paper_sizes_render(self):
+        headers = ["|V|", "10", "20", "30", "40", "50"]
+        rows = [["ET", 16585, 125579, 307158, 534124, 921359]]
+        out = format_table(headers, rows)
+        assert "921,359" in out
+
+
+class TestRenderKvBlock:
+    def test_keys_and_values_present(self):
+        out = render_kv_block("Stats", {"F value": 1547.0, "p": 1e-5})
+        assert "Stats" in out and "F value" in out and "1,547" in out
+
+    def test_empty_items(self):
+        out = render_kv_block("Empty", {})
+        assert "Empty" in out

@@ -1,0 +1,95 @@
+"""Tests for repro.utils.timing."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.utils.timing import Stopwatch, TimingRecord, time_call
+
+
+class TestTimingRecord:
+    def test_fields(self):
+        rec = TimingRecord(label="x", seconds=1.5)
+        assert rec.label == "x" and rec.seconds == 1.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TimingRecord(label="x", seconds=-0.1)
+
+    def test_str(self):
+        assert "x" in str(TimingRecord(label="x", seconds=0.5))
+
+
+class TestStopwatch:
+    def test_context_manager_measures(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert 0.005 < sw.elapsed < 1.0
+
+    def test_not_running_after_exit(self):
+        with Stopwatch() as sw:
+            pass
+        assert not sw.running
+
+    def test_running_flag(self):
+        sw = Stopwatch()
+        assert not sw.running
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+    def test_elapsed_while_running_increases(self):
+        sw = Stopwatch().start()
+        t1 = sw.elapsed
+        time.sleep(0.005)
+        assert sw.elapsed > t1
+        sw.stop()
+
+    def test_stop_freezes_elapsed(self):
+        sw = Stopwatch().start()
+        total = sw.stop()
+        time.sleep(0.005)
+        assert sw.elapsed == total
+
+    def test_accumulates_across_restarts(self):
+        sw = Stopwatch()
+        sw.start(); time.sleep(0.004); sw.stop()
+        first = sw.elapsed
+        sw.start(); time.sleep(0.004); sw.stop()
+        assert sw.elapsed > first
+
+    def test_start_idempotent_while_running(self):
+        sw = Stopwatch().start()
+        sw.start()  # no reset
+        time.sleep(0.004)
+        assert sw.stop() > 0.002
+
+    def test_reset(self):
+        sw = Stopwatch().start()
+        sw.stop()
+        sw.reset()
+        assert sw.elapsed == 0.0 and not sw.laps
+
+    def test_laps(self):
+        sw = Stopwatch().start()
+        time.sleep(0.004)
+        lap1 = sw.lap("phase1")
+        time.sleep(0.004)
+        lap2 = sw.lap("phase2")
+        assert lap1.label == "phase1" and lap2.label == "phase2"
+        assert lap1.seconds > 0 and lap2.seconds > 0
+        assert len(sw.laps) == 2
+
+
+class TestTimeCall:
+    def test_returns_result_and_duration(self):
+        result, dt = time_call(lambda a, b: a + b, 2, b=3)
+        assert result == 5
+        assert dt >= 0
+
+    def test_measures_sleep(self):
+        _, dt = time_call(time.sleep, 0.01)
+        assert dt > 0.005
