@@ -10,7 +10,7 @@ FastMap-GA and every auxiliary baseline implement :class:`Mapper`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -19,9 +19,16 @@ from repro.mapping.mapping import Mapping
 from repro.mapping.problem import MappingProblem
 from repro.mapping.turnaround import TurnaroundRecord
 from repro.types import SeedLike
+from repro.utils.parallel import parallel_map
 from repro.utils.timing import Stopwatch
 
 __all__ = ["MapperResult", "Mapper"]
+
+
+def _map_one(task: "tuple[Mapper, MappingProblem, SeedLike]") -> "MapperResult":
+    """Top-level (picklable) worker for :meth:`Mapper.map_many`."""
+    mapper, problem, seed = task
+    return mapper.map(problem, seed)
 
 
 @dataclass
@@ -76,6 +83,27 @@ class Mapper:
             mapping_time=mapping_time,
             n_evaluations=n_evals,
             extras=extras,
+        )
+
+    def map_many(
+        self,
+        problem: MappingProblem,
+        seeds: Sequence[SeedLike],
+        *,
+        n_workers: int | None = None,
+    ) -> list[MapperResult]:
+        """Independent repetitions of :meth:`map`, one per seed.
+
+        The default implementation dispatches the runs across a process
+        pool (:func:`repro.utils.parallel.parallel_map`; ``n_workers <= 1``
+        runs serially in-process). Every run carries its own seed, so the
+        returned results are identical — seed for seed, in order — to
+        calling :meth:`map` in a loop, regardless of worker count.
+        Heuristics with a fused batch implementation (MaTCH) override this
+        with something faster than run-at-a-time dispatch.
+        """
+        return parallel_map(
+            _map_one, [(self, problem, s) for s in seeds], n_workers=n_workers
         )
 
     # -- subclass hook ---------------------------------------------------------

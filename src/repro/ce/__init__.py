@@ -6,6 +6,8 @@ Contents:
 * :func:`sample_permutations` — the batched GenPerm sampler (Fig. 4);
 * elite quantile selection, stopping criteria, and the generic
   :class:`CrossEntropyOptimizer` (Fig. 2) for combinatorial problems;
+* :class:`MultiChainCE` — R independent chains advanced as one batched
+  tensor loop, seed-for-seed equal to R sequential runs;
 * :class:`ContinuousCEOptimizer` — normal-family CE for continuous
   multiextremal optimization;
 * :func:`estimate_rare_event` — the original rare-event-simulation form of
@@ -23,7 +25,9 @@ from repro.ce.genperm import (
     genperm_exact_probabilities,
     sample_assignments,
     sample_permutations,
+    sample_permutations_stacked,
 )
+from repro.ce.multichain import MultiChainCE, MultiChainResult
 from repro.ce.maxcut import MaxCutResult, ce_max_cut, cut_value
 from repro.ce.optimizer import CEConfig, CEResult, CrossEntropyOptimizer
 from repro.ce.quantile import elite_mask, elite_threshold, select_elites
@@ -34,7 +38,11 @@ from repro.ce.rare_event import (
     estimate_rare_event,
 )
 from repro.ce.smoothing import dynamic_smoothing_factor, smooth
-from repro.ce.stochastic_matrix import StochasticMatrix, elite_counts_update
+from repro.ce.stochastic_matrix import (
+    StochasticMatrix,
+    elite_counts_update,
+    stacked_elite_update,
+)
 from repro.ce.tsp import TourResult, ce_tsp, tour_length
 from repro.ce.stopping import (
     AnyOf,
@@ -43,6 +51,7 @@ from repro.ce.stopping import (
     IterationState,
     MaxIterations,
     RowMaximaStable,
+    StopKind,
     StoppingCriterion,
 )
 
@@ -55,7 +64,9 @@ __all__ = [
     "ce_max_cut",
     "cut_value",
     "elite_counts_update",
+    "stacked_elite_update",
     "sample_permutations",
+    "sample_permutations_stacked",
     "commit_iterations",
     "elite_diversity",
     "iterations_to_degeneracy",
@@ -74,9 +85,12 @@ __all__ = [
     "MaxIterations",
     "DegenerateMatrix",
     "AnyOf",
+    "StopKind",
     "CEConfig",
     "CEResult",
     "CrossEntropyOptimizer",
+    "MultiChainCE",
+    "MultiChainResult",
     "ContinuousCEConfig",
     "ContinuousCEResult",
     "ContinuousCEOptimizer",

@@ -10,7 +10,16 @@ result is always a valid one-to-one mapping, i.e. a permutation when
 of ``N`` samples: a single Python loop over the ``n`` *positions* performs
 batched row gathers, masked cumulative sums and inverse-CDF draws — the
 roulette-wheel selection §5.2 describes — so one CE iteration costs
-O(N·n²) numpy work with no per-sample Python overhead.
+O(N·n²) numpy work with no per-sample Python overhead. The per-position
+work reuses preallocated gather/CDF buffers, so the loop allocates O(1)
+arrays regardless of ``n``.
+
+:func:`sample_permutations_stacked` lifts the same position loop to a
+whole *stack* of stochastic matrices at once — ``R`` independent CE chains
+advance through one flattened ``(R·N, n_res)`` view with per-chain row
+gathers. Chain ``r`` of the stacked call is bit-identical to a standalone
+:func:`sample_permutations` call fed the same uniforms, which is what lets
+the multi-chain engine reproduce sequential runs seed-for-seed.
 
 :func:`sample_assignments` is the unconstrained sampler of Eq. (8) (each
 task independent), used by the theory-side demos and the rare-event module.
@@ -24,7 +33,12 @@ from repro.exceptions import ValidationError
 from repro.types import AssignmentBatch, ProbabilityMatrix, SeedLike
 from repro.utils.rng import as_generator
 
-__all__ = ["sample_permutations", "sample_assignments", "genperm_exact_probabilities"]
+__all__ = [
+    "sample_permutations",
+    "sample_permutations_stacked",
+    "sample_assignments",
+    "genperm_exact_probabilities",
+]
 
 
 def _check_matrix(P: ProbabilityMatrix, *, one_to_one: bool = False) -> np.ndarray:
@@ -46,7 +60,9 @@ def sample_assignments(
     """Draw ``n_samples`` unconstrained assignments, each row i.i.d. from ``P[i]``.
 
     This is the naive sampler of Eq. (8); it may (and usually does) produce
-    many-to-one mappings. Vectorized inverse-CDF sampling per row.
+    many-to-one mappings. One batched inverse-CDF draw covers every
+    (sample, row) cell: counting the CDF entries at or below the uniform is
+    exactly ``searchsorted(..., side="right")``, broadcast over the batch.
     """
     arr = _check_matrix(P)
     if n_samples < 1:
@@ -58,10 +74,7 @@ def sample_assignments(
     if np.any(totals <= 0):
         raise ValidationError("P has a zero row; cannot sample")
     u = gen.random((n_samples, n_rows)) * totals[np.newaxis, :]
-    # For each (sample, row): first column index with cdf > u.
-    choice = np.empty((n_samples, n_rows), dtype=np.int64)
-    for i in range(n_rows):
-        choice[:, i] = np.searchsorted(cdf[i], u[:, i], side="right")
+    choice = (cdf[np.newaxis, :, :] <= u[:, :, np.newaxis]).sum(axis=2, dtype=np.int64)
     return np.minimum(choice, arr.shape[1] - 1)
 
 
@@ -117,32 +130,167 @@ def sample_permutations(
                 f"got {task_orders.shape}"
             )
 
-    X = np.full((n_samples, n_tasks), -1, dtype=np.int64)
-    used = np.zeros((n_samples, n_res), dtype=bool)
-    rows = np.arange(n_samples)
+    # Drawing all position uniforms up front is stream-equivalent to the
+    # per-position draws of the original loop (numpy fills C-contiguous
+    # output row by row from the same bit stream).
+    rand_pos = gen.random((n_tasks, n_samples))
+    P_cols = np.ascontiguousarray(arr.T)
+    return _genperm_position_loop(P_cols, None, task_orders, rand_pos, n_res)
+
+
+def _genperm_position_loop(
+    P_cols: np.ndarray,
+    dist_offsets: np.ndarray | None,
+    task_orders: np.ndarray,
+    rand_pos: np.ndarray,
+    n_res: int,
+) -> np.ndarray:
+    """The shared GenPerm position loop over a flattened sample batch.
+
+    Parameters
+    ----------
+    P_cols:
+        ``(n_res, n_dists · n_tasks)`` column-major (transposed) stack of
+        stochastic matrices; column ``d·n_tasks + t`` is task ``t``'s row
+        of matrix ``d``. A single matrix when ``dist_offsets`` is None.
+    dist_offsets:
+        ``(B,)`` column offset of each sample's matrix block
+        (``chain · n_tasks``), or None when every sample draws from the
+        same matrix.
+    task_orders:
+        ``(B, n_tasks)`` task visit orders.
+    rand_pos:
+        ``(n_tasks, B)`` pre-drawn uniforms; row ``pos`` is consumed at
+        visit position ``pos``.
+
+    The resources-first layout keeps every per-position reduction
+    (masking, mass, CDF, inverse-CDF count) running along the long
+    contiguous sample axis — full-width SIMD passes instead of
+    length-``n_res`` strided reductions (measured: a samples-major layout
+    with last-axis ``cumsum``/bool-sum is ~4-6× slower per op at
+    ``B = 6000``) — and every scratch array (gathered columns, CDF,
+    comparison mask) is allocated once and reused across the ``n_tasks``
+    positions.
+    """
+    B, n_tasks = task_orders.shape
+    X = np.full((B, n_tasks), -1, dtype=np.int64)
+    # Float 0/1 availability mask: float·float multiplies and row copies
+    # stay pure SIMD (a bool mask would force a casting buffer per pass).
+    unused = np.ones((n_res, B), dtype=np.float64)
+    rows = np.arange(B)
+    probs = np.empty((n_res, B), dtype=np.float64)
+    cdf = np.empty((n_res, B), dtype=np.float64)
+    below = np.empty((n_res, B), dtype=bool)
+    choice = np.empty(B, dtype=np.int64)
+    u = np.empty(B, dtype=np.float64)
+    # Square case: after n-1 placements exactly one resource remains, so
+    # the last roulette draw is forced — track the remaining resource as a
+    # running index sum and skip the whole final gather/CDF pass. (The
+    # final uniform was still pre-drawn, so the RNG stream is identical.)
+    square = n_tasks == n_res
+    if square:
+        rem = np.full(B, n_res * (n_res - 1) // 2, dtype=np.int64)
 
     for pos in range(n_tasks):
-        tasks = task_orders[:, pos]  # (N,)
-        probs = arr[tasks]  # (N, n_res) gather
-        probs = np.where(used, 0.0, probs)
-        mass = probs.sum(axis=1)
+        tasks = task_orders[:, pos]  # (B,)
+        if square and pos == n_tasks - 1:
+            X[rows, tasks] = rem
+            break
+        gather_idx = tasks if dist_offsets is None else dist_offsets + tasks
+        # mode="clip" skips per-element bounds checks (indices are valid
+        # by construction) — measurably faster than the default mode.
+        np.take(P_cols, gather_idx, axis=1, out=probs, mode="clip")
+        np.multiply(probs, unused, out=probs)  # zero the taken resources
+        # Running CDF down the resource axis via row-wise contiguous adds
+        # (np.cumsum over axis 0 falls back to a strided loop); the last
+        # row doubles as the remaining mass.
+        np.copyto(cdf[0], probs[0])
+        for i in range(1, n_res):
+            np.add(cdf[i - 1], probs[i], out=cdf[i])
+        mass = cdf[n_res - 1]
         dead = mass <= 0.0
         if dead.any():
-            # Uniform over unused resources for exhausted rows.
-            probs[dead] = (~used[dead]).astype(np.float64)
-            mass = probs.sum(axis=1)
-        cdf = np.cumsum(probs, axis=1)
-        u = gen.random(n_samples) * mass
-        choice = (cdf <= u[:, np.newaxis]).sum(axis=1)
-        np.minimum(choice, n_res - 1, out=choice)
-        # Float-edge guard: if a clamped draw hit a used column, take the
-        # first unused resource instead (probability ~ machine epsilon).
-        bad = used[rows, choice]
-        if bad.any():
-            choice[bad] = np.argmax(~used[bad], axis=1)
+            # Uniform over unused resources for exhausted samples; redo
+            # the CDF for just those columns (mass is a view, so it sees
+            # the fix).
+            probs[:, dead] = unused[:, dead]
+            cdf[:, dead] = np.cumsum(probs[:, dead], axis=0)
+        np.multiply(rand_pos[pos], mass, out=u)
+        np.less_equal(cdf, u[np.newaxis, :], out=below)
+        # choice = below.sum(axis=0), as contiguous row adds.
+        np.copyto(choice, below[0], casting="unsafe")
+        for i in range(1, n_res):
+            choice += below[i]
+        # Float-edge guard. A mid-range draw can never land on a used
+        # (zero-probability) resource: that would need
+        # cdf[c-1] <= u < cdf[c] with cdf[c] == cdf[c-1]. Only the
+        # overflow case u >= mass (rounding at rand ~ 1.0) needs care:
+        # clamp it and, if the last resource is taken, fall back to the
+        # first unused one — probability ~ machine epsilon, so one cheap
+        # max() replaces a per-position gathered mask check.
+        if int(choice.max()) == n_res:
+            over = choice == n_res
+            choice[over] = n_res - 1
+            bad = over & (unused[n_res - 1] == 0.0)
+            if bad.any():
+                choice[bad] = np.argmax(unused[:, bad], axis=0)
         X[rows, tasks] = choice
-        used[rows, choice] = True
+        unused[choice, rows] = 0.0
+        if square:
+            rem -= choice
     return X
+
+
+def sample_permutations_stacked(
+    P_stack: np.ndarray,
+    rand_orders: np.ndarray,
+    rand_pos: np.ndarray,
+) -> np.ndarray:
+    """Multi-chain GenPerm: one position loop over ``R`` stacked matrices.
+
+    Parameters
+    ----------
+    P_stack:
+        ``(R, n_tasks, n_res)`` stack of non-negative matrices, one per
+        chain.
+    rand_orders:
+        ``(R, N, n_tasks)`` uniforms; per chain, ``argsort`` of each row
+        fixes that sample's task visit order (Fig. 4 step 1).
+    rand_pos:
+        ``(R, n_tasks, N)`` uniforms driving the roulette draws; chain
+        ``r``'s block must come from chain ``r``'s own generator for
+        seed-for-seed equivalence with single-chain runs.
+
+    Returns
+    -------
+    ``(R, N, n_tasks)`` batch; slice ``r`` is bit-identical to
+    ``sample_permutations(P_stack[r], N, gen_r)`` when ``rand_orders[r]``
+    and ``rand_pos[r]`` are ``gen_r.random((N, n_tasks))`` followed by
+    ``gen_r.random((n_tasks, N))``.
+    """
+    P_stack = np.asarray(P_stack, dtype=np.float64)
+    if P_stack.ndim != 3:
+        raise ValidationError(f"P_stack must be 3-D, got shape {P_stack.shape}")
+    R, n_tasks, n_res = P_stack.shape
+    if n_tasks > n_res:
+        raise ValidationError(
+            f"one-to-one sampling needs n_tasks <= n_resources, got {P_stack.shape}"
+        )
+    if rand_orders.shape[0] != R or rand_orders.shape[2] != n_tasks:
+        raise ValidationError(
+            f"rand_orders must have shape ({R}, N, {n_tasks}), got {rand_orders.shape}"
+        )
+    N = rand_orders.shape[1]
+    if rand_pos.shape != (R, n_tasks, N):
+        raise ValidationError(
+            f"rand_pos must have shape ({R}, {n_tasks}, {N}), got {rand_pos.shape}"
+        )
+    task_orders = np.argsort(rand_orders, axis=2).reshape(R * N, n_tasks)
+    dist_offsets = np.repeat(np.arange(R, dtype=np.int64) * n_tasks, N)
+    pos_u = rand_pos.transpose(1, 0, 2).reshape(n_tasks, R * N)
+    P_cols = np.ascontiguousarray(P_stack.transpose(2, 0, 1).reshape(n_res, R * n_tasks))
+    X = _genperm_position_loop(P_cols, dist_offsets, task_orders, pos_u, n_res)
+    return X.reshape(R, N, n_tasks)
 
 
 def genperm_exact_probabilities(

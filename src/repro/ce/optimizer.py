@@ -30,10 +30,12 @@ from repro.ce.stopping import (
     IterationState,
     MaxIterations,
     RowMaximaStable,
+    StopKind,
     StoppingCriterion,
 )
 from repro.exceptions import ConfigurationError
 from repro.types import AssignmentBatch, BatchObjectiveFn, ProbabilityMatrix, SeedLike
+from repro.utils.dedup import collapse_duplicate_rows
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_in_range
 
@@ -73,6 +75,15 @@ class CEConfig:
         ``"exact_k"`` (default) keeps exactly the ``⌈ρN⌉`` best samples;
         ``"threshold"`` keeps every sample with cost ≤ γ (the textbook
         rule, which over-weights tied duplicates late in a run).
+    dedup:
+        Collapse duplicate candidate rows (packed-int64 keys, falling back
+        to ``np.unique`` along axis 0 for huge alphabets) before calling
+        the objective, scattering the unique costs back via the inverse
+        index. Exact — identical costs to the plain path —
+        because the objective is required to be a pure row-wise function.
+        Once ``P`` nears degeneracy most of the ``N`` samples coincide, so
+        late iterations score a fraction of the batch. Disable for
+        objectives with row-order-dependent or stateful semantics.
     max_iterations:
         Hard iteration budget (safety net; the adaptive criteria usually
         fire long before).
@@ -90,6 +101,7 @@ class CEConfig:
     stability_tol: float = 1e-6
     gamma_window: int = 12
     elite_mode: str = "exact_k"
+    dedup: bool = True
     max_iterations: int = 500
     track_matrices: bool = False
     matrix_snapshot_every: int = 1
@@ -121,24 +133,39 @@ class CEConfig:
 
 @dataclass
 class CEResult:
-    """Outcome of a CE run, including per-iteration diagnostics."""
+    """Outcome of a CE run, including per-iteration diagnostics.
+
+    ``n_evaluations`` counts logical candidates (``N`` per iteration);
+    ``n_unique_evaluations`` counts the rows actually scored after
+    duplicate collapse — the gap is the work dedup-aware scoring saved.
+    """
 
     best_assignment: np.ndarray
     best_cost: float
     n_iterations: int
     n_evaluations: int
     stop_reason: str
+    stop_kind: StopKind = StopKind.NOT_RUN
+    n_unique_evaluations: int = 0
     gamma_history: list[float] = field(default_factory=list)
     best_cost_history: list[float] = field(default_factory=list)
     degeneracy_history: list[float] = field(default_factory=list)
     entropy_history: list[float] = field(default_factory=list)
+    dedup_rate_history: list[float] = field(default_factory=list)
     matrix_history: list[np.ndarray] = field(default_factory=list, repr=False)
     final_matrix: np.ndarray | None = field(default=None, repr=False)
 
     @property
     def converged(self) -> bool:
         """True when an adaptive rule (not the iteration budget) fired."""
-        return "budget" not in self.stop_reason
+        return self.stop_kind not in (StopKind.BUDGET, StopKind.NOT_RUN)
+
+    @property
+    def dedup_collapse_rate(self) -> float:
+        """Overall fraction of candidate rows collapsed as duplicates."""
+        if self.n_evaluations <= 0:
+            return 0.0
+        return 1.0 - self.n_unique_evaluations / self.n_evaluations
 
 
 class CrossEntropyOptimizer:
@@ -214,6 +241,32 @@ class CrossEntropyOptimizer:
         else:
             self.matrix = StochasticMatrix.uniform(n_rows, n_cols)
 
+    def _score(self, X: AssignmentBatch, result: CEResult) -> np.ndarray:
+        """Score a batch, collapsing duplicate rows first when configured.
+
+        The dedup path is exact: duplicate rows receive the very float the
+        objective computed for their unique representative, so downstream
+        elite selection and argmin behave identically to the plain path.
+        """
+        if not self.config.dedup:
+            costs = np.asarray(self.objective(X), dtype=np.float64)
+            if costs.shape != (X.shape[0],):
+                raise ConfigurationError(
+                    f"objective returned shape {costs.shape}, expected ({X.shape[0]},)"
+                )
+            result.n_unique_evaluations += X.shape[0]
+            return costs
+        unique_rows, inverse = collapse_duplicate_rows(np.asarray(X), self.n_cols)
+        unique_costs = np.asarray(self.objective(unique_rows), dtype=np.float64)
+        if unique_costs.shape != (unique_rows.shape[0],):
+            raise ConfigurationError(
+                f"objective returned shape {unique_costs.shape}, "
+                f"expected ({unique_rows.shape[0]},)"
+            )
+        result.n_unique_evaluations += unique_rows.shape[0]
+        result.dedup_rate_history.append(1.0 - unique_rows.shape[0] / X.shape[0])
+        return unique_costs[inverse]
+
     def run(self) -> CEResult:
         """Execute the CE loop (Fig. 5 steps 2-8) and return the result."""
         cfg = self.config
@@ -230,11 +283,7 @@ class CrossEntropyOptimizer:
 
         for k in range(1, cfg.max_iterations + 1):
             X = self._sample(self.matrix.view(), cfg.n_samples, self.rng)
-            costs = np.asarray(self.objective(X), dtype=np.float64)
-            if costs.shape != (X.shape[0],):
-                raise ConfigurationError(
-                    f"objective returned shape {costs.shape}, expected ({X.shape[0]},)"
-                )
+            costs = self._score(X, result)
             result.n_evaluations += X.shape[0]
 
             gamma, elite_idx = self._select(costs, cfg.rho)
@@ -258,9 +307,11 @@ class CrossEntropyOptimizer:
             )
             if self.stopping.update(state):
                 result.stop_reason = self.stopping.reason
+                result.stop_kind = self.stopping.kind
                 break
         else:  # pragma: no cover - loop always breaks via MaxIterations
             result.stop_reason = "iteration budget exhausted"
+            result.stop_kind = StopKind.BUDGET
 
         result.best_assignment = best_x
         result.best_cost = best_cost

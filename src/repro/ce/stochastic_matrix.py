@@ -20,7 +20,7 @@ from repro.exceptions import ValidationError
 from repro.types import AssignmentBatch, ProbabilityMatrix
 from repro.utils.validation import check_probability_matrix
 
-__all__ = ["StochasticMatrix", "elite_counts_update"]
+__all__ = ["StochasticMatrix", "elite_counts_update", "stacked_elite_update"]
 
 
 def elite_counts_update(
@@ -45,6 +45,62 @@ def elite_counts_update(
     return counts.astype(np.float64) / M
 
 
+def stacked_elite_update(
+    P_stack: np.ndarray,
+    elites: AssignmentBatch,
+    chain_sizes: np.ndarray,
+    *,
+    zeta: float = 1.0,
+) -> np.ndarray:
+    """Eq. (11) + (13) for ``R`` chains at once, via one ``bincount``.
+
+    Parameters
+    ----------
+    P_stack:
+        ``(R, n_rows, n_cols)`` current matrices, one per chain.
+    elites:
+        ``(M_total, n_rows)`` concatenation of every chain's elite batch,
+        in chain order.
+    chain_sizes:
+        ``(R,)`` elite counts per chain (``sum == M_total``; every entry
+        must be >= 1).
+    zeta:
+        Eq. (13) smoothing factor.
+
+    Returns
+    -------
+    ``(R, n_rows, n_cols)`` updated, renormalized stack. Chain ``r``'s
+    slice is bit-identical to
+    ``StochasticMatrix(P_stack[r]).update_from_elites(chunk_r, zeta=zeta)``
+    — the counts, the ``/M`` division, the smoothing blend and the row
+    renormalization are the same elementwise float operations.
+    """
+    if not 0.0 < zeta <= 1.0:
+        raise ValidationError(f"zeta must be in (0, 1], got {zeta}")
+    P_stack = np.asarray(P_stack, dtype=np.float64)
+    if P_stack.ndim != 3:
+        raise ValidationError(f"P_stack must be 3-D, got shape {P_stack.shape}")
+    R, n_rows, n_cols = P_stack.shape
+    E = np.asarray(elites, dtype=np.int64)
+    sizes = np.asarray(chain_sizes, dtype=np.int64)
+    if sizes.shape != (R,) or np.any(sizes < 1):
+        raise ValidationError(f"chain_sizes must be (R,) with positive entries, got {sizes}")
+    if E.ndim != 2 or E.shape != (int(sizes.sum()), n_rows):
+        raise ValidationError(
+            f"elites must have shape ({int(sizes.sum())}, {n_rows}), got {E.shape}"
+        )
+    if E.min() < 0 or E.max() >= n_cols:
+        raise ValidationError(f"elite values must be in [0, {n_cols - 1}]")
+    chain_ids = np.repeat(np.arange(R, dtype=np.int64), sizes)
+    rows = np.broadcast_to(np.arange(n_rows, dtype=np.int64), E.shape)
+    flat = (chain_ids[:, np.newaxis] * n_rows + rows).ravel() * n_cols + E.ravel()
+    counts = np.bincount(flat, minlength=R * n_rows * n_cols).reshape(R, n_rows, n_cols)
+    Q = counts.astype(np.float64) / sizes[:, np.newaxis, np.newaxis]
+    P_new = zeta * Q + (1.0 - zeta) * P_stack
+    P_new /= P_new.sum(axis=2, keepdims=True)
+    return P_new
+
+
 class StochasticMatrix:
     """A mutable row-stochastic matrix with CE-specific operations."""
 
@@ -60,6 +116,19 @@ class StochasticMatrix:
         if n_rows < 1 or n_cols < 1:
             raise ValidationError(f"matrix dims must be >= 1, got ({n_rows}, {n_cols})")
         return cls(np.full((n_rows, n_cols), 1.0 / n_cols))
+
+    @classmethod
+    def _from_trusted(cls, values: np.ndarray) -> "StochasticMatrix":
+        """Wrap an already-stochastic array without validation or copy.
+
+        Internal hot-path constructor (the multi-chain engine publishes
+        per-iteration views to the stopping criteria through this). The
+        caller retains ownership of ``values`` and must not hand out the
+        wrapper beyond the current iteration.
+        """
+        obj = cls.__new__(cls)
+        obj._P = values
+        return obj
 
     @classmethod
     def degenerate_from_assignment(cls, assignment, n_cols: int) -> "StochasticMatrix":

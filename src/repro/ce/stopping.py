@@ -14,6 +14,7 @@ optimizer publishes each iteration.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,6 +23,7 @@ from repro.ce.stochastic_matrix import StochasticMatrix
 from repro.exceptions import ConfigurationError
 
 __all__ = [
+    "StopKind",
     "IterationState",
     "StoppingCriterion",
     "RowMaximaStable",
@@ -31,6 +33,24 @@ __all__ = [
     "DegenerateMatrix",
     "AnyOf",
 ]
+
+
+class StopKind(enum.Enum):
+    """Structured identity of the rule that ended a CE run.
+
+    ``CEResult.converged`` and friends branch on this enum instead of
+    string-matching ``stop_reason`` (which is free-form human text).
+    ``BUDGET`` is the only non-adaptive kind: a run that stops for any
+    other reason counted as converged.
+    """
+
+    NOT_RUN = "not_run"
+    BUDGET = "budget"
+    ROW_MAXIMA_STABLE = "row_maxima_stable"
+    ARGMAX_STABLE = "argmax_stable"
+    GAMMA_STAGNATION = "gamma_stagnation"
+    DEGENERATE = "degenerate"
+    CUSTOM = "custom"
 
 
 @dataclass(frozen=True)
@@ -57,6 +77,11 @@ class StoppingCriterion:
         """Human-readable reason, valid after ``update`` returned True."""
         return type(self).__name__
 
+    @property
+    def kind(self) -> StopKind:
+        """Structured stop kind; user-defined criteria default to CUSTOM."""
+        return StopKind.CUSTOM
+
 
 class RowMaximaStable(StoppingCriterion):
     """Eq. (12): every row maximum ``μ^i`` unchanged for ``c`` iterations.
@@ -78,7 +103,10 @@ class RowMaximaStable(StoppingCriterion):
 
     def update(self, state: IterationState) -> bool:
         mu = state.matrix.row_maxima()
-        if self._prev is not None and np.allclose(mu, self._prev, atol=self.tol, rtol=0.0):
+        # Same boolean as np.allclose(mu, prev, atol=tol, rtol=0) for the
+        # finite values seen here, without allclose's broadcasting overhead
+        # (this runs once per chain per iteration in the multi-chain loop).
+        if self._prev is not None and bool((np.abs(mu - self._prev) <= self.tol).all()):
             self._stable += 1
         else:
             self._stable = 0
@@ -92,6 +120,10 @@ class RowMaximaStable(StoppingCriterion):
     @property
     def reason(self) -> str:
         return f"row maxima stable for {self.c} iterations (Eq. 12)"
+
+    @property
+    def kind(self) -> StopKind:
+        return StopKind.ROW_MAXIMA_STABLE
 
 
 class ArgmaxStable(StoppingCriterion):
@@ -127,6 +159,10 @@ class ArgmaxStable(StoppingCriterion):
     def reason(self) -> str:
         return f"decoded mapping stable for {self.c} iterations"
 
+    @property
+    def kind(self) -> StopKind:
+        return StopKind.ARGMAX_STABLE
+
 
 class GammaStagnation(StoppingCriterion):
     """Fig. 2 step 4: the elite threshold ``γ`` unchanged for ``k`` iterations."""
@@ -155,6 +191,10 @@ class GammaStagnation(StoppingCriterion):
     def reason(self) -> str:
         return f"elite threshold gamma stagnant for {self.k} iterations"
 
+    @property
+    def kind(self) -> StopKind:
+        return StopKind.GAMMA_STAGNATION
+
 
 class MaxIterations(StoppingCriterion):
     """Hard iteration budget (safety net around the adaptive rules)."""
@@ -171,6 +211,10 @@ class MaxIterations(StoppingCriterion):
     def reason(self) -> str:
         return f"iteration budget of {self.limit} exhausted"
 
+    @property
+    def kind(self) -> StopKind:
+        return StopKind.BUDGET
+
 
 class DegenerateMatrix(StoppingCriterion):
     """Stop once the matrix is (numerically) fully degenerate (Fig. 3 endpoint)."""
@@ -186,6 +230,10 @@ class DegenerateMatrix(StoppingCriterion):
     @property
     def reason(self) -> str:
         return "stochastic matrix degenerate"
+
+    @property
+    def kind(self) -> StopKind:
+        return StopKind.DEGENERATE
 
 
 @dataclass
@@ -216,3 +264,7 @@ class AnyOf(StoppingCriterion):
     @property
     def reason(self) -> str:
         return self._fired.reason if self._fired is not None else "not stopped"
+
+    @property
+    def kind(self) -> StopKind:
+        return self._fired.kind if self._fired is not None else StopKind.NOT_RUN

@@ -14,6 +14,8 @@ from repro.ce.stopping import (
     IterationState,
     MaxIterations,
     RowMaximaStable,
+    StopKind,
+    StoppingCriterion,
 )
 from repro.exceptions import ConfigurationError
 
@@ -155,3 +157,66 @@ class TestAnyOf:
         crit.reset()
         assert inner._prev is None
         assert crit.reason == "not stopped"
+
+
+class TestStopKind:
+    def test_builtin_criteria_report_their_kind(self):
+        assert MaxIterations(1).kind == StopKind.BUDGET
+        assert RowMaximaStable(2).kind == StopKind.ROW_MAXIMA_STABLE
+        assert ArgmaxStable(2).kind == StopKind.ARGMAX_STABLE
+        assert GammaStagnation(2).kind == StopKind.GAMMA_STAGNATION
+        assert DegenerateMatrix().kind == StopKind.DEGENERATE
+
+    def test_custom_criterion_defaults_to_custom(self):
+        class Always(StoppingCriterion):
+            def update(self, s: IterationState) -> bool:
+                return True
+
+            @property
+            def reason(self) -> str:
+                return "always"
+
+        assert Always().kind == StopKind.CUSTOM
+
+    def test_anyof_kind_tracks_firing_member(self):
+        crit = AnyOf((MaxIterations(2), GammaStagnation(k=50)))
+        m = StochasticMatrix.uniform(2, 2)
+        assert crit.kind == StopKind.NOT_RUN
+        crit.update(state(1, 1.0, m))
+        assert crit.kind == StopKind.NOT_RUN
+        crit.update(state(2, 1.0, m))
+        assert crit.kind == StopKind.BUDGET
+        crit.reset()
+        assert crit.kind == StopKind.NOT_RUN
+
+    def test_optimizer_budget_stop_is_not_converged(self):
+        from repro.ce.optimizer import CEConfig, CrossEntropyOptimizer
+
+        result = CrossEntropyOptimizer(
+            lambda X: X.sum(axis=1).astype(float),
+            3,
+            3,
+            CEConfig(n_samples=20, max_iterations=2, stability_window=50),
+            sampler="permutation",
+            rng=0,
+        ).run()
+        assert result.stop_kind == StopKind.BUDGET
+        assert not result.converged
+
+    def test_optimizer_adaptive_stop_is_converged(self):
+        from repro.ce.optimizer import CEConfig, CrossEntropyOptimizer
+
+        result = CrossEntropyOptimizer(
+            lambda X: X.sum(axis=1).astype(float),
+            3,
+            3,
+            CEConfig(n_samples=60, max_iterations=200),
+            sampler="permutation",
+            rng=0,
+        ).run()
+        assert result.stop_kind in (
+            StopKind.ROW_MAXIMA_STABLE,
+            StopKind.GAMMA_STAGNATION,
+            StopKind.DEGENERATE,
+        )
+        assert result.converged

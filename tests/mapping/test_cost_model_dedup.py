@@ -1,0 +1,78 @@
+"""Tests for dedup-aware and block-chunked batch scoring on CostModel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ce.genperm import sample_permutations
+from repro.mapping import CostModel
+
+
+def degenerate_batch(problem, n_rows: int, seed: int) -> np.ndarray:
+    """A batch with heavy duplication, like late CE iterations produce."""
+    distinct = sample_permutations(
+        np.full((problem.n_tasks, problem.n_resources), 1.0 / problem.n_resources),
+        max(1, n_rows // 6),
+        rng=seed,
+    )
+    reps = -(-n_rows // distinct.shape[0])
+    batch = np.tile(distinct, (reps, 1))[:n_rows]
+    np.random.default_rng(seed + 1).shuffle(batch)
+    return batch
+
+
+class TestEvaluateBatchDedup:
+    def test_bitwise_equal_to_plain(self, small_problem):
+        model = CostModel(small_problem)
+        batch = degenerate_batch(small_problem, 240, seed=3)
+        assert np.array_equal(
+            model.evaluate_batch_dedup(batch), model.evaluate_batch(batch)
+        )
+
+    def test_stats_recorded(self, small_problem):
+        model = CostModel(small_problem)
+        batch = degenerate_batch(small_problem, 240, seed=4)
+        n_unique = np.unique(batch, axis=0).shape[0]
+        model.evaluate_batch_dedup(batch)
+        assert model.dedup_stats.calls == 1
+        assert model.dedup_stats.total_rows == 240
+        assert model.dedup_stats.unique_rows == n_unique
+        assert model.dedup_stats.hit_rate == 1.0 - n_unique / 240
+
+    def test_stats_do_not_affect_plain_path(self, small_problem):
+        model = CostModel(small_problem)
+        batch = degenerate_batch(small_problem, 60, seed=5)
+        model.evaluate_batch(batch)
+        assert model.dedup_stats.calls == 0
+
+
+class TestChunkedBatchScoring:
+    def test_matches_per_row_reference(self, small_problem):
+        model = CostModel(small_problem)
+        batch = degenerate_batch(small_problem, 40, seed=6)
+        times = model.per_resource_times_batch(batch)
+        for row, expected in zip(batch, times):
+            assert np.array_equal(model.per_resource_times(row), expected)
+
+    def test_block_boundaries_change_nothing(self, small_problem):
+        # A batch larger than the internal block size must score exactly
+        # as a single unchunked pass (blocking is a pure layout decision).
+        model = CostModel(small_problem)
+        widest = max(small_problem.edges.shape[0], small_problem.n_tasks, 1)
+        block = max(512, 262_144 // widest)
+        n_rows = block + 37
+        batch = degenerate_batch(small_problem, n_rows, seed=7)
+        chunked = model.per_resource_times_batch(batch)
+        assert np.array_equal(chunked, model._times_block(batch))
+
+    def test_batch_shape_validation(self, small_problem):
+        model = CostModel(small_problem)
+        with pytest.raises(ValueError):
+            model.per_resource_times_batch(
+                np.zeros((4, small_problem.n_tasks + 1), dtype=np.int64)
+            )
+        with pytest.raises(ValueError):
+            bad = np.zeros((4, small_problem.n_tasks), dtype=np.int64)
+            bad[0, 0] = small_problem.n_resources
+            model.per_resource_times_batch(bad)
