@@ -61,3 +61,15 @@ def bench_seed() -> int:
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under the benchmark timer and return it."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Mark every bench as ``slow``.
+
+    Belt and braces on top of the ``python_files`` exclusion in
+    ``pyproject.toml``: even when the benches are collected explicitly
+    (``pytest benchmarks -o python_files='bench_*.py'``), a tier-1 run
+    filtering with ``-m 'not slow'`` still skips them.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.slow)

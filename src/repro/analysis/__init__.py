@@ -1,0 +1,45 @@
+"""Static analysis enforcing the reproduction's determinism contract.
+
+The headline claims of this codebase — seed-for-seed multi-chain parity,
+parallel == serial experiment results, the 30-run ANOVA study — hold only
+while every RNG draw flows through :mod:`repro.utils.rng` seed streams and
+everything dispatched to :func:`repro.utils.parallel.parallel_map` is a
+stateless, picklable, seed-carrying callable. This package enforces those
+invariants mechanically: an AST-visitor linter (``repro-lint`` /
+``python -m repro.analysis``) with five codebase-specific rules, inline
+``# repro: noqa[rule]`` suppressions and a checked-in baseline for
+accepted debt. ``DESIGN.md`` § "Determinism contract" documents the
+rationale rule by rule.
+"""
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import (
+    ALL_CHECKERS,
+    LintResult,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULE_IDS, RULES, Rule
+
+__all__ = [
+    "ALL_CHECKERS",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintResult",
+    "RULES",
+    "RULE_IDS",
+    "Rule",
+    "apply_baseline",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.analysis`` dispatches to the ``repro-lint`` CLI."""
+
+from repro.analysis.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""Checked-in baseline of accepted findings.
+
+A baseline lets the linter land with zero noise on a tree that still has
+known debt: existing findings are recorded once (``repro-lint
+--write-baseline``) and only *new* findings fail the build. Entries match
+on :meth:`repro.analysis.findings.Finding.fingerprint` — (rule, path,
+message), deliberately line-independent — as a multiset, so adding a second
+identical violation to a file still fails even if one copy is baselined.
+
+The reproduction's own baseline is empty (every finding in the tree was
+either fixed or judged intentional and noqa'd inline with a justification);
+the mechanism exists for downstream growth.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.utils.serialization import dump_json, load_json
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def write_baseline(findings: Iterable[Finding], path: str | Path) -> Path:
+    """Record ``findings`` as the accepted baseline at ``path``."""
+    fingerprints = sorted(f.fingerprint() for f in findings)
+    entries = [
+        {"rule": rule, "path": file_path, "message": message}
+        for rule, file_path, message in fingerprints
+    ]
+    return dump_json({"version": _FORMAT_VERSION, "findings": entries}, path)
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Load a baseline file into a fingerprint multiset."""
+    payload = load_json(path)
+    if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported baseline format in {path}")
+    counter: Counter = Counter()
+    for entry in payload.get("findings", []):
+        counter[(entry["rule"], entry["path"], entry["message"])] += 1
+    return counter
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: Counter
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, number baselined-away).
+
+    Consumes baseline entries one-for-one so duplicates beyond the
+    recorded count still surface.
+    """
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    matched = 0
+    for finding in sorted(findings):
+        fp = finding.fingerprint()
+        if remaining[fp] > 0:
+            remaining[fp] -= 1
+            matched += 1
+        else:
+            new.append(finding)
+    return new, matched

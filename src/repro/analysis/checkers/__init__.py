@@ -1,0 +1,19 @@
+"""AST checkers, one module per rule (see :mod:`repro.analysis.rules`)."""
+
+from repro.analysis.checkers.base import Checker, CheckContext, dotted_name
+from repro.analysis.checkers.float_equality import FloatEqualityChecker
+from repro.analysis.checkers.mutable_state import MutableStateChecker
+from repro.analysis.checkers.parallel_safety import ParallelSafetyChecker
+from repro.analysis.checkers.seed_discipline import SeedDisciplineChecker
+from repro.analysis.checkers.wallclock import WallclockChecker
+
+__all__ = [
+    "Checker",
+    "CheckContext",
+    "dotted_name",
+    "FloatEqualityChecker",
+    "MutableStateChecker",
+    "ParallelSafetyChecker",
+    "SeedDisciplineChecker",
+    "WallclockChecker",
+]

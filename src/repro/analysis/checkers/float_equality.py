@@ -1,0 +1,63 @@
+"""float-equality: no ``==`` / ``!=`` between float-valued expressions.
+
+Exact float comparison is the classic source of silent behaviour drift:
+the same mapping cost computed by the blocked batch scorer and the
+reference loop can differ in the last ulp, so an ``== best_cost`` branch
+may flip between vectorization paths. The checker is heuristic (static
+analysis cannot type Python): it flags a comparison when either side is a
+float *literal*, a unary sign of one, a ``float(...)`` cast, or a call to
+a small set of known float-returning methods.
+
+Sites where exact equality *is* the semantics — the Eq. (12) degeneracy
+check on probability mass that was explicitly written as 0/1, sentinel
+defaults compared against their exact literal — carry an inline
+``# repro: noqa[float-equality]`` with a one-line justification.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.rules import FLOAT_EQUALITY
+
+__all__ = ["FloatEqualityChecker"]
+
+#: Method names whose return value is float-valued in this codebase.
+FLOAT_RETURNING_ATTRS = frozenset(
+    {"volume", "mean", "std", "var", "item", "total_seconds"}
+)
+
+
+def _is_floatish(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id == "float"
+        if isinstance(func, ast.Attribute):
+            return func.attr in FLOAT_RETURNING_ATTRS
+    return False
+
+
+class FloatEqualityChecker(Checker):
+    rule_id = FLOAT_EQUALITY
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_floatish(operands[i]) or _is_floatish(operands[i + 1]):
+                sym = "==" if isinstance(op, ast.Eq) else "!="
+                self.report(
+                    node,
+                    f"exact float {sym} comparison; use a tolerance "
+                    "(math.isclose / np.isclose) or noqa[float-equality] "
+                    "with a justification if exact equality is the semantics",
+                )
+                break
+        self.generic_visit(node)

@@ -1,0 +1,116 @@
+"""parallel-safety: process-pool tasks must be stateless, picklable, seeded.
+
+``parallel == serial`` — the property the experiment runner's tests assert
+— holds only when (a) the dispatched callable is a module-level def that
+pickles by qualified name, and (b) every task argument carries its own
+integer seed rather than a live ``numpy.random.Generator`` (pickling a
+Generator copies its state, so workers would replay *the same* stream the
+parent keeps advancing, and results would depend on worker count).
+
+The checker inspects call sites of :func:`repro.utils.parallel.parallel_map`
+and of ``submit``/``map``/``starmap``/``apply_async`` methods on
+pool/executor-named receivers:
+
+* the callable must not be a ``lambda`` or a function nested inside
+  another function (both unpicklable); ``functools.partial`` is unwrapped
+  and its target checked instead;
+* no argument expression may construct a Generator inline
+  (``as_generator`` / ``default_rng`` / ``spawn_generators``) — spawn
+  integer seeds and build the Generator inside the worker.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers.base import Checker, CheckContext, dotted_name
+from repro.analysis.rules import PARALLEL_SAFETY
+
+__all__ = ["ParallelSafetyChecker"]
+
+DISPATCH_METHODS = frozenset(
+    {"submit", "map", "starmap", "imap", "imap_unordered", "apply_async"}
+)
+POOLISH = ("pool", "executor")
+GENERATOR_BUILDERS = frozenset({"as_generator", "default_rng", "spawn_generators"})
+
+
+def _nested_def_names(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside other functions (unpicklable)."""
+    nested: set[str] = set()
+
+    def walk(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            is_fn = isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if is_fn and inside_function:
+                nested.add(child.name)
+            walk(child, inside_function or is_fn)
+
+    walk(tree, False)
+    return nested
+
+
+class ParallelSafetyChecker(Checker):
+    rule_id = PARALLEL_SAFETY
+
+    def __init__(self, ctx: CheckContext) -> None:
+        super().__init__(ctx)
+        self._nested_defs = _nested_def_names(ctx.tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        task = self._dispatched_callable(node)
+        if task is not None:
+            self._check_callable(task)
+            for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                self._check_no_generator_capture(arg)
+        self.generic_visit(node)
+
+    # -- dispatch-site detection -------------------------------------------
+    def _dispatched_callable(self, node: ast.Call) -> ast.AST | None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "parallel_map" and node.args:
+            return node.args[0]
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in DISPATCH_METHODS
+            and node.args
+        ):
+            base = dotted_name(func.value)
+            if base and any(p in base.lower() for p in POOLISH):
+                return node.args[0]
+        return None
+
+    # -- checks ------------------------------------------------------------
+    def _check_callable(self, task: ast.AST) -> None:
+        if isinstance(task, ast.Lambda):
+            self.report(
+                task,
+                "lambda dispatched to a process pool is not picklable; "
+                "use a module-level def",
+            )
+            return
+        if isinstance(task, ast.Name) and task.id in self._nested_defs:
+            self.report(
+                task,
+                f"nested function '{task.id}' dispatched to a process pool "
+                "is not picklable; hoist it to module level",
+            )
+            return
+        if isinstance(task, ast.Call):
+            inner = dotted_name(task.func) or ""
+            if inner.split(".")[-1] == "partial" and task.args:
+                self._check_callable(task.args[0])
+
+    def _check_no_generator_capture(self, arg: ast.AST) -> None:
+        for sub in ast.walk(arg):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = dotted_name(sub.func)
+            if name and name.split(".")[-1] in GENERATOR_BUILDERS:
+                self.report(
+                    sub,
+                    f"{name}(...) inside a process-pool dispatch ships a live "
+                    "Generator across the fork; pass integer seeds "
+                    "(RngStreams.seed_for / derive_seed) and build the "
+                    "Generator inside the worker",
+                )

@@ -1,0 +1,141 @@
+"""seed-discipline: every RNG draw must flow through ``repro.utils.rng``.
+
+Three layers, strictest first:
+
+* stdlib ``random`` — banned everywhere, import and call alike. It is a
+  process-global stream; two call sites that share it are order-coupled.
+* numpy's legacy global-state API (``np.random.seed``, ``np.random.rand``,
+  ``RandomState``, ...) — banned everywhere for the same reason.
+* ``np.random.default_rng`` / ``np.random.Generator`` construction — only
+  :mod:`repro.utils.rng` may build generators in library code; everything
+  else takes a seed-like value and calls :func:`repro.utils.rng.as_generator`
+  so streams stay inside one SeedSequence spawn tree. Tests, benchmarks and
+  examples may construct fixed-seed generators directly (they are leaves,
+  not library plumbing).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers.base import Checker, CheckContext, dotted_name
+from repro.analysis.rules import SEED_DISCIPLINE, path_matches
+
+__all__ = ["SeedDisciplineChecker"]
+
+#: numpy.random attributes that mutate or read hidden global state.
+LEGACY_NP_RANDOM = frozenset(
+    {
+        "seed", "rand", "randn", "randint", "random", "random_sample",
+        "ranf", "sample", "bytes", "choice", "shuffle", "permutation",
+        "uniform", "normal", "standard_normal", "binomial", "poisson",
+        "beta", "gamma", "exponential", "lognormal", "get_state",
+        "set_state", "RandomState",
+    }
+)
+
+#: Generator constructors that must stay inside repro.utils.rng.
+CTOR_NAMES = frozenset({"default_rng", "Generator"})
+
+#: Where direct Generator construction is allowed (see module docstring).
+CTOR_EXEMPT_GLOBS = (
+    "repro/utils/rng.py",
+    "tests/*",
+    "benchmarks/*",
+    "examples/*",
+)
+
+
+class SeedDisciplineChecker(Checker):
+    rule_id = SEED_DISCIPLINE
+
+    def __init__(self, ctx: CheckContext) -> None:
+        super().__init__(ctx)
+        self._numpy_aliases: set[str] = set()
+        self._np_random_aliases: set[str] = set()
+        self._stdlib_random_aliases: set[str] = set()
+        self._ctor_imports: set[str] = set()
+        self._ctor_allowed = path_matches(ctx.path, CTOR_EXEMPT_GLOBS)
+
+    # -- imports -----------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random" or alias.name.startswith("random."):
+                self._stdlib_random_aliases.add(bound)
+                self.report(
+                    node,
+                    "import of stdlib 'random' (process-global stream); "
+                    "use repro.utils.rng seed streams",
+                )
+            elif alias.name == "numpy":
+                self._numpy_aliases.add(bound)
+            elif alias.name == "numpy.random":
+                self._np_random_aliases.add(alias.asname or "")
+                self._numpy_aliases.add("numpy")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            self.report(
+                node,
+                "import from stdlib 'random' (process-global stream); "
+                "use repro.utils.rng seed streams",
+            )
+        elif node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self._np_random_aliases.add(alias.asname or "random")
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name in LEGACY_NP_RANDOM:
+                    self.report(
+                        node,
+                        f"legacy global-state numpy.random.{alias.name}; "
+                        "use repro.utils.rng seed streams",
+                    )
+                elif alias.name in CTOR_NAMES and not self._ctor_allowed:
+                    self._ctor_imports.add(alias.asname or alias.name)
+                    self.report(
+                        node,
+                        f"numpy.random.{alias.name} imported outside "
+                        "repro.utils.rng; take a seed and call as_generator",
+                    )
+        self.generic_visit(node)
+
+    # -- calls -------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = dotted_name(node.func)
+        if dotted:
+            self._check_dotted_call(node, dotted)
+        self.generic_visit(node)
+
+    def _check_dotted_call(self, node: ast.Call, dotted: str) -> None:
+        head, _, rest = dotted.partition(".")
+        if head in self._stdlib_random_aliases and rest:
+            self.report(
+                node,
+                f"call to stdlib random ({dotted}); "
+                "use repro.utils.rng seed streams",
+            )
+            return
+        # Normalize np.random.X / npr.X to the numpy.random attribute X.
+        attr = ""
+        if head in self._numpy_aliases and rest.startswith("random."):
+            attr = rest[len("random.") :]
+        elif head in self._np_random_aliases and rest:
+            attr = rest
+        if not attr or "." in attr:
+            return
+        if attr in LEGACY_NP_RANDOM:
+            self.report(
+                node,
+                f"legacy global-state call numpy.random.{attr}; "
+                "use repro.utils.rng seed streams",
+            )
+        elif attr in CTOR_NAMES and not self._ctor_allowed:
+            self.report(
+                node,
+                f"numpy.random.{attr} constructed outside repro.utils.rng; "
+                "take a seed and call as_generator",
+            )

@@ -1,0 +1,80 @@
+"""wallclock: no wall-clock reads outside ``repro.utils.timing``.
+
+A ``time.time()`` that leaks into a result record makes reported numbers
+depend on when (and on what machine) the run happened; the paper's MT
+column is the *only* sanctioned wall-clock output and it flows through
+:class:`repro.utils.timing.Stopwatch`. Benchmarks and example scripts are
+exempt at the rule level (see :mod:`repro.analysis.rules`) — their whole
+purpose is measuring time.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers.base import Checker, CheckContext, dotted_name
+from repro.analysis.rules import WALLCLOCK
+
+__all__ = ["WallclockChecker"]
+
+#: time-module functions that read the clock.
+TIME_FUNCS = frozenset(
+    {
+        "time", "time_ns", "perf_counter", "perf_counter_ns",
+        "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+    }
+)
+
+#: datetime constructors that read the clock.
+DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+
+class WallclockChecker(Checker):
+    rule_id = WALLCLOCK
+
+    def __init__(self, ctx: CheckContext) -> None:
+        super().__init__(ctx)
+        self._time_aliases: set[str] = set()
+        self._datetime_aliases: set[str] = set()  # datetime module or class
+        self._direct_time_funcs: set[str] = set()  # from time import perf_counter
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "time":
+                self._time_aliases.add(alias.asname or "time")
+            elif alias.name == "datetime":
+                self._datetime_aliases.add(alias.asname or "datetime")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in TIME_FUNCS:
+                    self._direct_time_funcs.add(alias.asname or alias.name)
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name in {"datetime", "date"}:
+                    self._datetime_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = dotted_name(node.func)
+        if dotted is not None:
+            self._check(node, dotted)
+        self.generic_visit(node)
+
+    def _check(self, node: ast.Call, dotted: str) -> None:
+        parts = dotted.split(".")
+        if len(parts) == 1 and parts[0] in self._direct_time_funcs:
+            self.report(node, self._msg(f"time.{parts[0]}"))
+        elif len(parts) == 2 and parts[0] in self._time_aliases and parts[1] in TIME_FUNCS:
+            self.report(node, self._msg(f"time.{parts[1]}"))
+        elif parts[-1] in DATETIME_FUNCS and parts[0] in self._datetime_aliases:
+            self.report(node, self._msg(dotted))
+
+    @staticmethod
+    def _msg(what: str) -> str:
+        return (
+            f"wall-clock read {what}() outside repro.utils.timing; "
+            "use Stopwatch/time_call so timestamps cannot reach results"
+        )

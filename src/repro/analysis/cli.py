@@ -1,0 +1,148 @@
+"""``repro-lint`` — the determinism & parallel-safety linter CLI.
+
+Usage::
+
+    repro-lint                       # lint src/ and tests/
+    repro-lint src/repro/ce          # lint a subtree
+    repro-lint --format json         # machine-readable findings
+    repro-lint --select seed-discipline,wallclock
+    repro-lint --write-baseline      # accept current findings as debt
+    repro-lint --list-rules          # what is enforced, and why
+
+Exit codes: 0 clean (after noqa + baseline), 1 findings, 2 usage error.
+``python -m repro.analysis`` is the same entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, write_baseline
+from repro.analysis.engine import lint_paths
+from repro.analysis.rules import RULE_IDS, RULES
+from repro.utils.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism & parallel-safety linter for the MaTCH "
+            "reproduction (see DESIGN.md 'Determinism contract')"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="report format (default: table)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=DEFAULT_BASELINE_NAME,
+        help=f"baseline file of accepted findings (default: {DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every rule and its default exemptions",
+    )
+    return parser
+
+
+def _default_paths() -> list[str]:
+    candidates = [p for p in ("src", "tests") if Path(p).is_dir()]
+    return candidates or ["."]
+
+
+def _render_rules() -> str:
+    rows = [
+        [rule_id, RULES[rule_id].summary, ", ".join(RULES[rule_id].exempt_globs) or "-"]
+        for rule_id in RULE_IDS
+    ]
+    return format_table(
+        ["rule", "enforces", "exempt paths"], rows, title="repro-lint rules"
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_render_rules())
+        return 0
+
+    select = None
+    if args.select is not None:
+        select = [r.strip() for r in args.select.split(",") if r.strip()]
+
+    paths = args.paths or _default_paths()
+    try:
+        result = lint_paths(
+            paths,
+            select=select,
+            baseline_path=None if args.write_baseline else args.baseline,
+        )
+    except ValueError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        out = write_baseline(result.findings, args.baseline)
+        print(f"repro-lint: wrote {len(result.findings)} finding(s) to {out}")
+        return 0
+
+    if args.format == "json":
+        payload = {
+            "findings": [f.to_dict() for f in result.findings],
+            "files_scanned": result.files_scanned,
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+            "ok": result.ok,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        if result.findings:
+            rows = [[f.location(), f.rule, f.message] for f in result.findings]
+            print(format_table(["location", "rule", "finding"], rows))
+        summary = (
+            f"repro-lint: {len(result.findings)} finding(s) in "
+            f"{result.files_scanned} file(s)"
+        )
+        extras = []
+        if result.suppressed:
+            extras.append(f"{result.suppressed} noqa-suppressed")
+        if result.baselined:
+            extras.append(f"{result.baselined} baselined")
+        if extras:
+            summary += f" ({', '.join(extras)})"
+        print(summary)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    raise SystemExit(main())

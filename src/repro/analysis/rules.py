@@ -1,0 +1,135 @@
+"""Rule registry for the determinism & parallel-safety linter.
+
+Each rule guards one invariant that the reproduction's headline claims
+(seed-for-seed multi-chain parity, parallel == serial experiment results,
+the 30-run ANOVA study) depend on. Rules carry their own default path
+exemptions: e.g. wall-clock reads are the whole point of
+``repro.utils.timing``, and the test suite asserts *bitwise* seed-for-seed
+reproducibility, so exact float equality is the point there, not a bug.
+
+Paths are matched with :func:`fnmatch.fnmatch` against ``/``-normalized
+paths; every pattern is also tried with a ``*/`` prefix so configuration
+can say ``repro/utils/timing.py`` regardless of whether files are linted
+as ``src/repro/...`` or via an absolute path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatch
+
+__all__ = [
+    "Rule",
+    "RULES",
+    "RULE_IDS",
+    "path_matches",
+    "SEED_DISCIPLINE",
+    "WALLCLOCK",
+    "FLOAT_EQUALITY",
+    "PARALLEL_SAFETY",
+    "MUTABLE_STATE",
+    "PARSE_ERROR",
+]
+
+SEED_DISCIPLINE = "seed-discipline"
+WALLCLOCK = "wallclock"
+FLOAT_EQUALITY = "float-equality"
+PARALLEL_SAFETY = "parallel-safety"
+MUTABLE_STATE = "mutable-state"
+#: Pseudo-rule for files the linter cannot parse; not suppressible.
+PARSE_ERROR = "parse-error"
+
+
+def path_matches(path: str, patterns: tuple[str, ...]) -> bool:
+    """True if ``path`` (``/``-separated) matches any of ``patterns``."""
+    norm = path.replace("\\", "/")
+    return any(fnmatch(norm, p) or fnmatch(norm, "*/" + p) for p in patterns)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata for one checker: id, docs, and default path exemptions."""
+
+    id: str
+    summary: str
+    rationale: str
+    #: Files where the whole rule is off by default (see module docstring).
+    exempt_globs: tuple[str, ...] = ()
+
+    def is_exempt(self, path: str) -> bool:
+        return path_matches(path, self.exempt_globs)
+
+
+RULES: dict[str, Rule] = {
+    r.id: r
+    for r in (
+        Rule(
+            id=SEED_DISCIPLINE,
+            summary="all randomness must flow through repro.utils.rng seed streams",
+            rationale=(
+                "stdlib random and numpy's legacy global-state API are hidden "
+                "global state; Generators built outside repro.utils.rng escape "
+                "the SeedSequence spawn tree that makes whole tables "
+                "replayable from one integer"
+            ),
+            # Generator *construction* is additionally allowed in tests,
+            # benchmarks and examples (fixed-seed fixtures); that carve-out
+            # lives in the checker, not here — legacy global-state calls are
+            # banned everywhere.
+        ),
+        Rule(
+            id=WALLCLOCK,
+            summary="no wall-clock reads outside repro.utils.timing",
+            rationale=(
+                "timestamps that reach result records make reported numbers "
+                "run-dependent; all MT measurements go through Stopwatch so "
+                "results carry time only where the paper's tables expect it"
+            ),
+            exempt_globs=(
+                "repro/utils/timing.py",
+                "benchmarks/*",
+                "examples/*",
+            ),
+        ),
+        Rule(
+            id=FLOAT_EQUALITY,
+            summary="no == / != between float-valued expressions",
+            rationale=(
+                "exact float comparison silently changes behaviour across "
+                "BLAS builds and vectorization paths; use tolerances, or "
+                "noqa the site when exact equality is the semantics (e.g. "
+                "the Eq. (12) degeneracy check on exact 0/1 probability mass)"
+            ),
+            # The test-suite's whole job is asserting bitwise seed-for-seed
+            # parity, so exact equality there is intentional.
+            exempt_globs=("tests/*",),
+        ),
+        Rule(
+            id=PARALLEL_SAFETY,
+            summary="process-pool tasks must be module-level, seed-carrying callables",
+            rationale=(
+                "parallel == serial only holds when workers receive picklable "
+                "top-level functions and integer seeds; lambdas/closures fail "
+                "to pickle and shipped Generator objects fork their streams"
+            ),
+        ),
+        Rule(
+            id=MUTABLE_STATE,
+            summary="no mutable default args; no undeclared in-place writes in hot paths",
+            rationale=(
+                "mutable defaults are cross-call shared state, and silent "
+                "mutation of array arguments in mapping/ and ce/ hot paths "
+                "breaks the run-in-any-order property parallel dispatch needs; "
+                "declare in-place contracts in the docstring or an out= param"
+            ),
+        ),
+        Rule(
+            id=PARSE_ERROR,
+            summary="file could not be parsed",
+            rationale="a file that does not parse cannot be verified at all",
+        ),
+    )
+}
+
+#: Selectable rule ids (excludes the parse-error pseudo-rule).
+RULE_IDS: tuple[str, ...] = tuple(r for r in RULES if r != PARSE_ERROR)

@@ -1,0 +1,68 @@
+"""Inline ``# repro: noqa[...]`` suppression comments.
+
+A finding is suppressed when its physical line carries a marker::
+
+    x == 0.0  # repro: noqa[float-equality] -- exact boundary is the semantics
+
+``# repro: noqa`` with no bracket suppresses every rule on that line; the
+bracketed form takes a comma-separated rule list and is strongly preferred
+(it survives a new rule being added without silently widening). Text after
+the bracket is free-form justification. Parse errors are never
+suppressible — a file that does not parse cannot be verified at all.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import PARSE_ERROR
+
+__all__ = ["parse_suppressions", "filter_suppressed"]
+
+#: Sentinel rule-set meaning "all rules suppressed on this line".
+ALL_RULES = frozenset({"*"})
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[^\]]*)\])?", re.IGNORECASE
+)
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line number -> frozenset of suppressed rule ids.
+
+    The value :data:`ALL_RULES` (``{"*"}``) means a bare ``noqa`` that
+    silences every rule on the line.
+    """
+    out: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "#" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            out[lineno] = ALL_RULES
+        else:
+            ids = frozenset(r.strip() for r in rules.split(",") if r.strip())
+            out[lineno] = ids or ALL_RULES
+    return out
+
+
+def filter_suppressed(
+    findings: Iterable[Finding], suppressions: dict[int, frozenset[str]]
+) -> list[Finding]:
+    """Drop findings whose line carries a matching noqa marker."""
+    kept: list[Finding] = []
+    for finding in findings:
+        rules = suppressions.get(finding.line)
+        if (
+            rules is not None
+            and finding.rule != PARSE_ERROR
+            and (rules is ALL_RULES or "*" in rules or finding.rule in rules)
+        ):
+            continue
+        kept.append(finding)
+    return kept

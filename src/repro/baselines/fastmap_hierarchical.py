@@ -33,7 +33,6 @@ from repro.baselines.base import Mapper
 from repro.baselines.ga import FastMapGA, GAConfig
 from repro.exceptions import ConfigurationError
 from repro.graphs.clustering import build_cluster_graph, heavy_edge_clustering
-from repro.graphs.resource_graph import ResourceGraph
 from repro.mapping.cost_model import CostModel
 from repro.mapping.incremental import IncrementalEvaluator
 from repro.mapping.problem import MappingProblem

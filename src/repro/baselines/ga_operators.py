@@ -150,7 +150,7 @@ def swap_mutation(
         raise ValidationError(f"p_mutation must be in [0, 1], got {p_mutation}")
     gen = as_generator(rng)
     M, n = pop.shape
-    if n < 2 or p_mutation == 0.0:
+    if n < 2 or p_mutation == 0.0:  # repro: noqa[float-equality] -- exact-zero sentinel: p_m=0.0 means mutation disabled
         return pop
     mask = gen.random((M, n)) < p_mutation
     rows, cols = np.nonzero(mask)

@@ -231,7 +231,7 @@ def _genperm_position_loop(
         if int(choice.max()) == n_res:
             over = choice == n_res
             choice[over] = n_res - 1
-            bad = over & (unused[n_res - 1] == 0.0)
+            bad = over & (unused[n_res - 1] == 0.0)  # repro: noqa[float-equality] -- consumed mass is written as exact 0.0 below
             if bad.any():
                 choice[bad] = np.argmax(unused[:, bad], axis=0)
         X[rows, tasks] = choice

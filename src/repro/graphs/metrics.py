@@ -4,8 +4,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.graphs.base import WeightedGraph
 from repro.graphs.task_graph import TaskInteractionGraph
 

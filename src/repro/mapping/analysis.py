@@ -13,7 +13,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.mapping.bounds import combined_lower_bound
-from repro.mapping.cost_model import CostModel
 from repro.mapping.problem import MappingProblem
 from repro.types import AssignmentVector
 from repro.utils.tables import format_table
@@ -79,7 +78,6 @@ def analyze_mapping(
 ) -> MappingAnalysis:
     """Compute the full quality analysis of ``assignment`` on ``problem``."""
     x = problem.check_assignment(np.asarray(assignment, dtype=np.int64))
-    model = CostModel(problem)
     n_r = problem.n_resources
 
     comp = np.bincount(

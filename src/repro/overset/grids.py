@@ -82,7 +82,7 @@ class ComponentGrid:
         are disjoint or share no interior volume.
         """
         inter = self.region.intersection(other.region)
-        if inter is None or inter.volume() == 0.0:
+        if inter is None or inter.volume() == 0.0:  # repro: noqa[float-equality] -- touching boxes yield an exact 0.0 max(0,·) product
             return 0
         mine = self.points_in_box(inter)
         theirs = other.points_in_box(inter)

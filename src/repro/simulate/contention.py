@@ -23,7 +23,6 @@ ran, listed in DESIGN.md as an extension).
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 
 import numpy as np

@@ -66,7 +66,7 @@ class IterativeWorkload:
 
     def run(self, assignment: AssignmentVector) -> WorkloadOutcome:
         """Simulate the workload under ``assignment``."""
-        if self.drift == 0.0:
+        if self.drift == 0.0:  # repro: noqa[float-equality] -- exact-zero sentinel default selects the static fast path
             report = PlatformSimulator(self.problem).simulate(
                 assignment, n_steps=self.n_steps
             )

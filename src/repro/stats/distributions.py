@@ -72,9 +72,9 @@ def betainc_regularized(a: float, b: float, x: float) -> float:
         raise ValidationError(f"beta parameters must be > 0, got a={a}, b={b}")
     if not 0.0 <= x <= 1.0:
         raise ValidationError(f"x must be in [0, 1], got {x}")
-    if x == 0.0:
+    if x == 0.0:  # repro: noqa[float-equality] -- exact boundary: I_0(a,b) = 0 by definition
         return 0.0
-    if x == 1.0:
+    if x == 1.0:  # repro: noqa[float-equality] -- exact boundary: I_1(a,b) = 1 by definition
         return 1.0
     ln_front = a * math.log(x) + b * math.log1p(-x) - log_beta(a, b)
     front = math.exp(ln_front)

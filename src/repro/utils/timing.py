@@ -9,7 +9,7 @@ itself took (MT). :class:`Stopwatch` provides the measurement;
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, TypeVar
 
 __all__ = ["Stopwatch", "TimingRecord", "time_call"]

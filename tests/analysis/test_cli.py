@@ -1,0 +1,86 @@
+"""The ``repro-lint`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+
+
+@pytest.fixture()
+def bad_tree(tmp_path, monkeypatch):
+    """A tiny repo with one violation, as the CLI's working directory."""
+    mod = tmp_path / "src" / "repro" / "mod.py"
+    mod.parent.mkdir(parents=True)
+    mod.write_text("import random\n", encoding="utf-8")
+    (tmp_path / "tests").mkdir()
+    (tmp_path / "tests" / "test_ok.py").write_text("x = 1\n", encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, bad_tree, capsys):
+        assert main(["tests"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, bad_tree, capsys):
+        assert main(["src"]) == 1
+        out = capsys.readouterr().out
+        assert "seed-discipline" in out
+        assert "src/repro/mod.py:1" in out
+
+    def test_default_paths_are_src_and_tests(self, bad_tree, capsys):
+        assert main([]) == 1
+        assert "2 file(s)" in capsys.readouterr().out
+
+    def test_unknown_rule_is_usage_error(self, bad_tree, capsys):
+        assert main(["--select", "bogus", "src"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestOutputFormats:
+    def test_json_format(self, bad_tree, capsys):
+        assert main(["--format", "json", "src"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["files_scanned"] == 1
+        [finding] = payload["findings"]
+        assert finding["rule"] == "seed-discipline"
+        assert finding["path"] == "src/repro/mod.py"
+
+    def test_list_rules(self, bad_tree, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in (
+            "seed-discipline",
+            "wallclock",
+            "float-equality",
+            "parallel-safety",
+            "mutable-state",
+        ):
+            assert rule in out
+
+    def test_select_filters_rules(self, bad_tree, capsys):
+        assert main(["--select", "wallclock", "src"]) == 0
+
+
+class TestBaselineFlow:
+    def test_write_then_pass(self, bad_tree, capsys):
+        assert main(["--write-baseline", "src"]) == 0
+        assert "wrote 1 finding(s)" in capsys.readouterr().out
+        # Second run: the recorded finding no longer fails the build...
+        assert main(["src"]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # ...but a second, new violation still does.
+        extra = bad_tree / "src" / "repro" / "other.py"
+        extra.write_text("from random import choice\n", encoding="utf-8")
+        assert main(["src"]) == 1
+
+
+def test_module_entry_point_matches_console_script():
+    import repro.analysis.cli as cli_mod
+
+    assert cli_mod.main is main

@@ -1,0 +1,133 @@
+"""Suppression comments and the baseline file: round-trips and edge cases."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import (
+    Finding,
+    apply_baseline,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.suppressions import parse_suppressions
+
+LIB = "src/repro/somewhere/module.py"
+
+
+def lint(source: str, path: str = LIB):
+    return lint_source(textwrap.dedent(source), path)
+
+
+class TestNoqa:
+    def test_bracketed_noqa_suppresses_named_rule(self):
+        findings, suppressed = lint(
+            "x = y == 0.5  # repro: noqa[float-equality] -- exact sentinel\n"
+        )
+        assert findings == []
+        assert suppressed == 1
+
+    def test_bare_noqa_suppresses_all_rules_on_line(self):
+        findings, suppressed = lint(
+            "import random  # repro: noqa\n"
+        )
+        assert findings == []
+        assert suppressed == 1
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        findings, suppressed = lint(
+            "x = y == 0.5  # repro: noqa[wallclock]\n"
+        )
+        assert [f.rule for f in findings] == ["float-equality"]
+        assert suppressed == 0
+
+    def test_noqa_only_covers_its_own_line(self):
+        findings, _ = lint(
+            """
+            x = y == 0.5  # repro: noqa[float-equality]
+            z = y == 1.5
+            """
+        )
+        assert [f.rule for f in findings] == ["float-equality"]
+        assert findings[0].line == 3
+
+    def test_multiple_rules_in_one_bracket(self):
+        findings, suppressed = lint(
+            "import random; t = y == 0.5  # repro: noqa[seed-discipline, float-equality]\n"
+        )
+        assert findings == []
+        assert suppressed == 2
+
+    def test_parse_errors_not_suppressible(self):
+        findings, _ = lint("def broken(:  # repro: noqa\n")
+        assert [f.rule for f in findings] == ["parse-error"]
+
+    def test_parser_is_case_insensitive_and_tolerant(self):
+        marks = parse_suppressions("x = 1  # REPRO: NOQA[float-equality]\n")
+        assert marks == {1: frozenset({"float-equality"})}
+
+    def test_plain_comment_is_not_a_marker(self):
+        assert parse_suppressions("x = 1  # no suppression here\n") == {}
+
+
+class TestBaseline:
+    def make_findings(self):
+        return [
+            Finding(path="src/a.py", line=3, col=1, rule="wallclock", message="m1"),
+            Finding(path="src/a.py", line=9, col=1, rule="wallclock", message="m1"),
+            Finding(path="src/b.py", line=2, col=1, rule="float-equality", message="m2"),
+        ]
+
+    def test_round_trip(self, tmp_path):
+        findings = self.make_findings()
+        path = tmp_path / "baseline.json"
+        write_baseline(findings, path)
+        baseline = load_baseline(path)
+        new, matched = apply_baseline(findings, baseline)
+        assert new == []
+        assert matched == 3
+
+    def test_line_moves_do_not_resurrect_baselined_findings(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(self.make_findings(), path)
+        moved = [
+            Finding(path="src/a.py", line=33, col=1, rule="wallclock", message="m1"),
+            Finding(path="src/a.py", line=99, col=7, rule="wallclock", message="m1"),
+        ]
+        new, matched = apply_baseline(moved, load_baseline(path))
+        assert new == []
+        assert matched == 2
+
+    def test_extra_duplicate_beyond_baseline_count_surfaces(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(self.make_findings()[:1], path)  # one copy of (wallclock, a, m1)
+        two = self.make_findings()[:2]
+        new, matched = apply_baseline(two, load_baseline(path))
+        assert matched == 1
+        assert len(new) == 1
+
+    def test_lint_paths_applies_baseline(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "mod.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\n", encoding="utf-8")
+        baseline_path = tmp_path / ".repro-lint-baseline.json"
+
+        first = lint_paths([bad], root=tmp_path)
+        assert len(first.findings) == 1
+        write_baseline(first.findings, baseline_path)
+
+        second = lint_paths([bad], baseline_path=baseline_path, root=tmp_path)
+        assert second.ok
+        assert second.baselined == 1
+
+    def test_unsupported_format_rejected(self, tmp_path):
+        import json
+
+        import pytest
+
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99}), encoding="utf-8")
+        with pytest.raises(ValueError, match="unsupported baseline format"):
+            load_baseline(path)

@@ -5,8 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.baselines.base import Mapper, MapperResult
-from repro.mapping import CostModel, Mapping
+from repro.baselines.base import Mapper
+from repro.mapping import Mapping
 
 
 class _FixedMapper(Mapper):

@@ -14,7 +14,7 @@ from repro.baselines import (
 )
 from repro.exceptions import ConfigurationError
 from repro.graphs import generate_resource_graph, generate_tig
-from repro.mapping import CostModel, IncrementalEvaluator, MappingProblem
+from repro.mapping import IncrementalEvaluator, MappingProblem
 
 
 class TestRandomSearch:

@@ -7,7 +7,6 @@ import pytest
 
 from repro.ce.optimizer import CEConfig, CrossEntropyOptimizer
 from repro.exceptions import ConfigurationError
-from repro.mapping import CostModel
 
 
 def linear_objective(target: np.ndarray):

@@ -7,7 +7,7 @@ import pytest
 
 from repro.core import MatchConfig, MatchMapper, RefinedMatchConfig, RefinedMatchMapper
 from repro.exceptions import ConfigurationError
-from repro.mapping import CostModel, IncrementalEvaluator
+from repro.mapping import IncrementalEvaluator
 
 
 class TestRefinedMatchMapper:

@@ -74,8 +74,6 @@ class TestRenderMarkdown:
 
 class TestCliReport:
     def test_report_to_file(self, tmp_path, capsys):
-        from repro.cli import main
-
         out = tmp_path / "report.md"
         # reuse the tiny profile via smoke scale: too slow; instead call the
         # renderer directly through the CLI path with the smoke profile is

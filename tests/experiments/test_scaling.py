@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.baselines import GAConfig
 from repro.core import MatchConfig
 from repro.experiments.scaling import ccr_sweep, heterogeneity_sweep

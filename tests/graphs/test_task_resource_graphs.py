@@ -47,7 +47,6 @@ class TestShortestPathClosure:
         np.testing.assert_array_equal(shortest_path_closure(cost), cost)
 
     def test_two_hop_cheaper(self):
-        inf = np.inf
         cost = np.array(
             [[0.0, 1.0, 10.0], [1.0, 0.0, 1.0], [10.0, 1.0, 0.0]]
         )

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.mapping import CostModel, analyze_mapping
+from repro.mapping import analyze_mapping
 
 
 class TestAnalyzeMapping:

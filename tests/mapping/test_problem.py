@@ -10,7 +10,6 @@ import pytest
 from repro.exceptions import MappingError, ValidationError
 from repro.graphs import (
     ResourceGraph,
-    TaskInteractionGraph,
     generate_resource_graph,
     generate_tig,
 )

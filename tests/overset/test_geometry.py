@@ -117,8 +117,8 @@ coords = st.floats(min_value=-50, max_value=50, allow_nan=False)
 )
 def test_property_intersection_volume_bounded(lo1, d1, lo2, d2):
     """|A ∩ B| <= min(|A|, |B|) and the intersection lies inside both."""
-    a = Box(lo1, tuple(l + d for l, d in zip(lo1, d1)))
-    b = Box(lo2, tuple(l + d for l, d in zip(lo2, d2)))
+    a = Box(lo1, tuple(lo + d for lo, d in zip(lo1, d1)))
+    b = Box(lo2, tuple(lo + d for lo, d in zip(lo2, d2)))
     inter = a.intersection(b)
     if inter is None:
         assert not boxes_overlap(a, b)

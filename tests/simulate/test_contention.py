@@ -14,7 +14,7 @@ from repro.graphs import (
     generate_resource_graph,
     generate_tig,
 )
-from repro.mapping import CostModel, MappingProblem
+from repro.mapping import MappingProblem
 from repro.simulate import ContentionSimulator, contention_report
 
 

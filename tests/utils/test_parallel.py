@@ -26,7 +26,7 @@ class TestParallelMap:
 
     def test_serial_accepts_lambdas(self):
         # the serial path has no pickling requirement
-        assert parallel_map(lambda x: x + 1, [1, 2], n_workers=1) == [2, 3]
+        assert parallel_map(lambda x: x + 1, [1, 2], n_workers=1) == [2, 3]  # repro: noqa[parallel-safety] -- n_workers=1 never forks, so no pickling
 
     def test_parallel_path_ordered(self):
         result = parallel_map(square, range(8), n_workers=2)
