@@ -1,0 +1,123 @@
+"""budget-discipline: search loops must charge an ``EvaluationBudget``.
+
+The solver runtime (:mod:`repro.runtime`) makes the number of Eq. (2)
+cost evaluations the common effort currency across heuristics, and the
+accounting contract is syntactic on purpose: every function that probes
+the cost model inside a ``while``/``for`` search loop must also call
+``budget.charge(n)`` (typically once per step, with the aggregated probe
+count). This checker enforces exactly that shape in the search-loop
+packages (``repro/ce``, ``repro/baselines`` — the rule's ``only_globs``):
+
+* a **cost probe** is a call to one of the cost-model boundary methods
+  (``evaluate`` / ``evaluate_batch`` on :class:`CostModel`,
+  ``swap_cost`` / ``move_cost`` on :class:`IncrementalEvaluator`) or to a
+  user objective (an ``objective``/``score`` callable — the CE library
+  modules take the objective as a parameter);
+* a loop is flagged when its body contains a cost probe but the
+  *enclosing function scope* never calls ``.charge(...)``.
+
+Only the innermost loop around a probe is reported, and nested ``def``
+scopes are analyzed independently (a charge inside a helper does not
+excuse its caller's loop, and vice versa). Loops that legitimately live
+outside the mapping runtime — the generic CE showcases that never see an
+``EvaluationBudget`` — carry ``# repro: noqa[budget-discipline]`` with a
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.rules import BUDGET_DISCIPLINE
+
+__all__ = ["BudgetDisciplineChecker"]
+
+#: Attribute calls that cross the cost-model boundary.
+COST_ATTRS = frozenset({"evaluate", "evaluate_batch", "swap_cost", "move_cost"})
+#: Bare / attribute names under which CE library code holds a user objective.
+OBJECTIVE_NAMES = frozenset({"objective", "score"})
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While)
+
+
+def _iter_scope(nodes: list[ast.AST], *, stop_at_loops: bool = False) -> Iterator[ast.AST]:
+    """Yield every node in this scope, without descending into nested scopes.
+
+    ``stop_at_loops`` additionally keeps out of nested loop bodies, so a
+    probe is attributed to its innermost enclosing loop only.
+    """
+    stack = list(nodes)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _SCOPE_NODES):
+            continue  # nested scopes are yielded (as roots) but not entered
+        if stop_at_loops and isinstance(node, _LOOP_NODES):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_cost_probe(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in COST_ATTRS or func.attr in OBJECTIVE_NAMES
+    if isinstance(func, ast.Name):
+        return func.id in OBJECTIVE_NAMES
+    return False
+
+
+def _is_charge_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "charge"
+    )
+
+
+class BudgetDisciplineChecker(Checker):
+    rule_id = BUDGET_DISCIPLINE
+
+    def run(self) -> list:
+        self._scan_scope(list(self.ctx.tree.body))
+        return self.findings
+
+    def _scan_scope(self, body: list[ast.AST]) -> None:
+        nested: list[list[ast.AST]] = []
+        loops: list[ast.stmt] = []
+        charged = False
+        for node in _iter_scope(body):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.append(list(node.body))
+            elif isinstance(node, ast.ClassDef):
+                nested.append(list(node.body))
+            elif isinstance(node, ast.Lambda):
+                nested.append([node.body])
+            if isinstance(node, _LOOP_NODES):
+                loops.append(node)
+            elif _is_charge_call(node):
+                charged = True
+        # iter_scope yields nested-scope roots themselves but not their
+        # bodies, so loops/charges found above all belong to *this* scope.
+        if not charged:
+            for loop in loops:
+                self._check_loop(loop)
+        for scope_body in nested:
+            self._scan_scope(scope_body)
+
+    def _check_loop(self, loop: ast.stmt) -> None:
+        inner = list(loop.body) + list(getattr(loop, "orelse", []) or [])
+        for node in _iter_scope(inner, stop_at_loops=True):
+            if _is_cost_probe(node):
+                self.report(
+                    loop,
+                    "search loop probes the cost model without "
+                    "EvaluationBudget.charge in the enclosing function; "
+                    "charge the aggregated probe count (or noqa with a "
+                    "justification for non-runtime loops)",
+                )
+                return

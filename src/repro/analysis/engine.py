@@ -16,6 +16,7 @@ from typing import Iterable, Sequence, Type
 
 from repro.analysis.baseline import apply_baseline, load_baseline
 from repro.analysis.checkers.base import Checker, CheckContext
+from repro.analysis.checkers.budget_discipline import BudgetDisciplineChecker
 from repro.analysis.checkers.float_equality import FloatEqualityChecker
 from repro.analysis.checkers.mutable_state import MutableStateChecker
 from repro.analysis.checkers.parallel_safety import ParallelSafetyChecker
@@ -33,6 +34,7 @@ ALL_CHECKERS: tuple[Type[Checker], ...] = (
     FloatEqualityChecker,
     ParallelSafetyChecker,
     MutableStateChecker,
+    BudgetDisciplineChecker,
 )
 
 #: Directories never worth descending into.

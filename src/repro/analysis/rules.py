@@ -28,6 +28,7 @@ __all__ = [
     "FLOAT_EQUALITY",
     "PARALLEL_SAFETY",
     "MUTABLE_STATE",
+    "BUDGET_DISCIPLINE",
     "PARSE_ERROR",
 ]
 
@@ -36,6 +37,7 @@ WALLCLOCK = "wallclock"
 FLOAT_EQUALITY = "float-equality"
 PARALLEL_SAFETY = "parallel-safety"
 MUTABLE_STATE = "mutable-state"
+BUDGET_DISCIPLINE = "budget-discipline"
 #: Pseudo-rule for files the linter cannot parse; not suppressible.
 PARSE_ERROR = "parse-error"
 
@@ -55,8 +57,13 @@ class Rule:
     rationale: str
     #: Files where the whole rule is off by default (see module docstring).
     exempt_globs: tuple[str, ...] = ()
+    #: When non-empty, the rule applies *only* to matching files (e.g.
+    #: budget-discipline guards the search-loop packages, nothing else).
+    only_globs: tuple[str, ...] = ()
 
     def is_exempt(self, path: str) -> bool:
+        if self.only_globs and not path_matches(path, self.only_globs):
+            return True
         return path_matches(path, self.exempt_globs)
 
 
@@ -122,6 +129,19 @@ RULES: dict[str, Rule] = {
                 "breaks the run-in-any-order property parallel dispatch needs; "
                 "declare in-place contracts in the docstring or an out= param"
             ),
+        ),
+        Rule(
+            id=BUDGET_DISCIPLINE,
+            summary="search loops must charge cost evaluations to an EvaluationBudget",
+            rationale=(
+                "the Table 1/3 head-to-head claims only hold under matched "
+                "effort; a while/for loop that calls the cost model without "
+                "EvaluationBudget.charge spends evaluations the budget cannot "
+                "see, so budget-capped comparisons silently over-run; charge "
+                "the aggregated probe count in the same function, or noqa "
+                "with a justification for loops outside the mapping runtime"
+            ),
+            only_globs=("repro/ce/*", "repro/baselines/*"),
         ),
         Rule(
             id=PARSE_ERROR,

@@ -18,16 +18,20 @@ Paper configurations: population 500 × 1000 generations for Tables 1-2;
 The per-generation work (cost evaluation, selection, crossover) is
 batched over the population with numpy; only the swap mutation walks
 individual genes (it is a data-dependent sequential scan).
+
+Runs as a :class:`~repro.runtime.solver.SearchSolver` at one-generation
+granularity; the live state (population, costs, incumbent, RNG position)
+checkpoints and resumes bit-identically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, ClassVar
 
 import numpy as np
 
-from repro.baselines.base import Mapper
+from repro.baselines.base import Mapper, MapperSolver
 from repro.baselines.ga_operators import (
     fitness,
     roulette_select,
@@ -35,10 +39,9 @@ from repro.baselines.ga_operators import (
     swap_mutation,
 )
 from repro.exceptions import ConfigurationError
-from repro.mapping.cost_model import CostModel
-from repro.mapping.problem import MappingProblem
+from repro.runtime.solver import SolveOutput, StepReport
 from repro.types import SeedLike
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, generator_from_state, generator_state
 from repro.utils.validation import check_probability
 
 __all__ = ["GAConfig", "FastMapGA"]
@@ -73,70 +76,148 @@ class GAConfig:
         check_probability("p_mutation", self.p_mutation)
 
 
-class FastMapGA(Mapper):
-    """The GA of FastMap [16] as specified in §5.1, on one-to-one mappings."""
+class _GASolver(MapperSolver):
+    """One generation per step."""
 
-    name = "FastMap-GA"
-
-    def __init__(self, config: GAConfig = GAConfig()) -> None:
+    def __init__(self, config: GAConfig) -> None:
+        super().__init__()
         self.config = config
 
-    def _solve(
-        self, problem: MappingProblem, model: CostModel, rng: SeedLike
-    ) -> tuple[np.ndarray, int, dict[str, Any]]:
+    def start(self, problem: Any, seed: SeedLike) -> None:
         if not problem.is_square:
             raise ConfigurationError(
                 "FastMap-GA permutation encoding requires |V_t| == |V_r| "
                 f"(got {problem.n_tasks} tasks, {problem.n_resources} resources)"
             )
         cfg = self.config
-        gen = as_generator(rng)
+        self._problem = problem
+        gen = self._gen = as_generator(seed)
         n = problem.n_tasks
         M = cfg.population_size
 
         # Initial population: random permutations (random one-to-one maps).
-        pop = np.stack([gen.permutation(n) for _ in range(M)]).astype(np.int64)
-        costs = model.evaluate_batch(pop)
-        n_evals = M
-        best_idx = int(np.argmin(costs))
-        best_x = pop[best_idx].copy()
-        best_cost = float(costs[best_idx])
-        history: list[float] = [best_cost] if cfg.track_history else []
+        self._pop = np.stack([gen.permutation(n) for _ in range(M)]).astype(np.int64)
+        self._costs = self.model.evaluate_batch(self._pop)
+        self.budget.charge(M)
+        self._n_evals = M
+        best_idx = int(np.argmin(self._costs))
+        self._best_x = self._pop[best_idx].copy()
+        self._best_cost = float(self._costs[best_idx])
+        self._history: list[float] = [self._best_cost] if cfg.track_history else []
+        self._generation = 0
 
-        for _ in range(cfg.generations):
-            fit = fitness(costs)
-            i1, i2 = roulette_select(fit, M, gen)
-            children = single_point_crossover(
-                pop[i1], pop[i2], gen, p_crossover=cfg.p_crossover
-            )
-            children = swap_mutation(children, gen, p_mutation=cfg.p_mutation)
+    @property
+    def finished(self) -> bool:
+        return self._generation >= self.config.generations
 
-            child_costs = model.evaluate_batch(children)
-            n_evals += M
+    def step(self) -> StepReport:
+        cfg = self.config
+        gen = self._gen
+        M = cfg.population_size
 
-            if cfg.elitism:
-                # The incumbent best replaces the worst child.
-                worst = int(np.argmax(child_costs))
-                children[worst] = best_x
-                child_costs[worst] = best_cost
+        fit = fitness(self._costs)
+        i1, i2 = roulette_select(fit, M, gen)
+        children = single_point_crossover(
+            self._pop[i1], self._pop[i2], gen, p_crossover=cfg.p_crossover
+        )
+        children = swap_mutation(children, gen, p_mutation=cfg.p_mutation)
 
-            pop, costs = children, child_costs
-            gen_best = int(np.argmin(costs))
-            if costs[gen_best] < best_cost:
-                best_cost = float(costs[gen_best])
-                best_x = pop[gen_best].copy()
-            if cfg.track_history:
-                history.append(best_cost)
+        child_costs = self.model.evaluate_batch(children)
+        self.budget.charge(M)
+        self._n_evals += M
 
+        if cfg.elitism:
+            # The incumbent best replaces the worst child.
+            worst = int(np.argmax(child_costs))
+            children[worst] = self._best_x
+            child_costs[worst] = self._best_cost
+
+        self._pop, self._costs = children, child_costs
+        gen_best = int(np.argmin(self._costs))
+        improved = bool(self._costs[gen_best] < self._best_cost)
+        if improved:
+            self._best_cost = float(self._costs[gen_best])
+            self._best_x = self._pop[gen_best].copy()
+        if cfg.track_history:
+            self._history.append(self._best_cost)
+        self._generation += 1
+        it = self._iteration
+        self._iteration += 1
+        return StepReport(
+            iteration=it,
+            best_cost=self._best_cost,
+            improved=improved,
+            info={"generation": self._generation},
+        )
+
+    def finalize(self) -> SolveOutput:
+        cfg = self.config
         extras: dict[str, Any] = {
             "generations": cfg.generations,
-            "population_size": M,
-            "best_seen_cost": best_cost,
+            "population_size": cfg.population_size,
+            "best_seen_cost": self._best_cost,
         }
         if cfg.track_history:
-            extras["best_cost_history"] = history
+            extras["best_cost_history"] = self._history
         if cfg.report_final_population:
-            final_best = int(np.argmin(costs))
-            extras["final_population_cost"] = float(costs[final_best])
-            return pop[final_best].copy(), n_evals, extras
-        return best_x, n_evals, extras
+            final_best = int(np.argmin(self._costs))
+            extras["final_population_cost"] = float(self._costs[final_best])
+            return SolveOutput(
+                assignment=self._pop[final_best].copy(),
+                n_evaluations=self._n_evals,
+                extras=extras,
+            )
+        return SolveOutput(
+            assignment=self._best_x, n_evaluations=self._n_evals, extras=extras
+        )
+
+    # -- checkpointing -------------------------------------------------------
+    def export_state(self) -> dict[str, Any]:
+        return {
+            "generation": self._generation,
+            "iteration": self._iteration,
+            "n_evals": self._n_evals,
+            "pop": self._pop.tolist(),
+            "costs": self._costs.tolist(),
+            "best_cost": self._best_cost,
+            "best_x": self._best_x.tolist(),
+            "history": self._history,
+            "rng": generator_state(self._gen),
+        }
+
+    def restore_state(self, problem: Any, state: dict[str, Any]) -> None:
+        self._problem = problem
+        self._gen = generator_from_state(state["rng"])
+        self._pop = np.asarray(state["pop"], dtype=np.int64)
+        self._costs = np.asarray(state["costs"], dtype=np.float64)
+        self._best_x = np.asarray(state["best_x"], dtype=np.int64)
+        self._best_cost = float(state["best_cost"])
+        self._history = [float(v) for v in state["history"]]
+        self._n_evals = int(state["n_evals"])
+        self._generation = int(state["generation"])
+        self._iteration = int(state["iteration"])
+
+
+class FastMapGA(Mapper):
+    """The GA of FastMap [16] as specified in §5.1, on one-to-one mappings."""
+
+    name = "FastMap-GA"
+    registry_name: ClassVar[str | None] = "fastmap-ga"
+
+    def __init__(self, config: GAConfig = GAConfig()) -> None:
+        self.config = config
+
+    def checkpoint_params(self) -> dict[str, Any]:
+        cfg = self.config
+        return {
+            "population_size": cfg.population_size,
+            "generations": cfg.generations,
+            "p_crossover": cfg.p_crossover,
+            "p_mutation": cfg.p_mutation,
+            "elitism": cfg.elitism,
+            "track_history": cfg.track_history,
+            "report_final_population": cfg.report_final_population,
+        }
+
+    def _make_solver(self) -> MapperSolver:
+        return _GASolver(self.config)

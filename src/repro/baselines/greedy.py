@@ -7,69 +7,138 @@ makespan, accounting for communication to already-placed neighbors. Runs
 in O(n² · deg) with the incremental evaluator and needs no randomness —
 useful as a fast, reproducible reference point and as a seed for local
 search.
+
+Runs as a :class:`~repro.runtime.solver.SearchSolver` at one-placement
+granularity: each step places the next task in the heaviest-first order,
+so the search is budget-governed, hook-observable and checkpointable
+(the live state is pure arrays — no RNG stream to capture).
 """
 
 from __future__ import annotations
 
-from typing import Any
+import math
+from typing import Any, ClassVar
 
 import numpy as np
 
-from repro.baselines.base import Mapper
+from repro.baselines.base import Mapper, MapperSolver
 from repro.exceptions import ConfigurationError
-from repro.mapping.cost_model import CostModel
-from repro.mapping.problem import MappingProblem
+from repro.runtime.solver import SolveOutput, StepReport
 from repro.types import SeedLike
 
 __all__ = ["GreedyConstructiveMapper"]
+
+
+class _GreedySolver(MapperSolver):
+    """One task placement per step, heaviest-first."""
+
+    def start(self, problem: Any, seed: SeedLike) -> None:
+        if problem.n_resources < problem.n_tasks:
+            raise ConfigurationError(
+                "greedy one-to-one mapping needs n_resources >= n_tasks"
+            )
+        self._problem = problem
+        self._bind_problem(problem)
+        n = problem.n_tasks
+        self._order = np.argsort(-self._W, kind="stable")  # heaviest first
+        self._assignment = np.full(n, -1, dtype=np.int64)
+        self._free = np.ones(problem.n_resources, dtype=bool)
+        self._exec_s = np.zeros(problem.n_resources, dtype=np.float64)
+        self._n_evals = 0
+        self._pos = 0
+
+    def _bind_problem(self, problem: Any) -> None:
+        """Cache the instance arrays the placement loop reads."""
+        self._W = problem.task_weights
+        self._w = problem.proc_weights
+        self._ccm = problem.comm_costs
+        self._adj = problem.tig.adjacency_matrix()
+
+    @property
+    def finished(self) -> bool:
+        return self._pos >= self._order.shape[0]
+
+    def step(self) -> StepReport:
+        W, w, ccm, adj = self._W, self._w, self._ccm, self._adj
+        assignment, free, exec_s = self._assignment, self._free, self._exec_s
+        t = self._order[self._pos]
+
+        placed_nbrs = np.flatnonzero((adj[t] > 0) & (assignment >= 0))
+        nbr_res = assignment[placed_nbrs]
+        vols = adj[t, placed_nbrs]
+        best_r = -1
+        best_makespan = np.inf
+        probes = 0
+        for r in np.flatnonzero(free):
+            # Candidate per-resource times if t goes to r.
+            cand = exec_s.copy()
+            cand[r] += W[t] * w[r]
+            if placed_nbrs.size:
+                link = vols * ccm[r, nbr_res]  # 0 where co-located
+                cand[r] += link.sum()
+                np.add.at(cand, nbr_res, vols * ccm[nbr_res, r])
+            makespan = cand.max()
+            probes += 1
+            if makespan < best_makespan:
+                best_makespan = makespan
+                best_r = int(r)
+        assignment[t] = best_r
+        free[best_r] = False
+        exec_s[best_r] += W[t] * w[best_r]
+        if placed_nbrs.size:
+            exec_s[best_r] += (vols * ccm[best_r, nbr_res]).sum()
+            np.add.at(exec_s, nbr_res, vols * ccm[nbr_res, best_r])
+
+        self._n_evals += probes
+        self.budget.charge(probes)
+        self._pos += 1
+        it = self._iteration
+        self._iteration += 1
+        # The partial makespan is not a bound on the final cost, so the
+        # incumbent stays at inf — a target-cost budget must not trip on a
+        # half-built mapping.
+        return StepReport(
+            iteration=it,
+            best_cost=math.inf,
+            improved=False,
+            info={"task": int(t), "resource": best_r},
+        )
+
+    def finalize(self) -> SolveOutput:
+        return SolveOutput(
+            assignment=self._assignment,
+            n_evaluations=self._n_evals,
+            extras={"order": "heaviest-first"},
+        )
+
+    # -- checkpointing -------------------------------------------------------
+    def export_state(self) -> dict[str, Any]:
+        return {
+            "pos": self._pos,
+            "iteration": self._iteration,
+            "assignment": self._assignment.tolist(),
+            "free": self._free.tolist(),
+            "exec": self._exec_s.tolist(),
+            "n_evals": self._n_evals,
+        }
+
+    def restore_state(self, problem: Any, state: dict[str, Any]) -> None:
+        self._problem = problem
+        self._bind_problem(problem)
+        self._order = np.argsort(-self._W, kind="stable")
+        self._assignment = np.asarray(state["assignment"], dtype=np.int64)
+        self._free = np.asarray(state["free"], dtype=bool)
+        self._exec_s = np.asarray(state["exec"], dtype=np.float64)
+        self._n_evals = int(state["n_evals"])
+        self._pos = int(state["pos"])
+        self._iteration = int(state["iteration"])
 
 
 class GreedyConstructiveMapper(Mapper):
     """Heaviest-task-first greedy assignment to the min-increase free resource."""
 
     name = "Greedy"
+    registry_name: ClassVar[str | None] = "greedy"
 
-    def _solve(
-        self, problem: MappingProblem, model: CostModel, rng: SeedLike
-    ) -> tuple[np.ndarray, int, dict[str, Any]]:
-        if problem.n_resources < problem.n_tasks:
-            raise ConfigurationError("greedy one-to-one mapping needs n_resources >= n_tasks")
-        n = problem.n_tasks
-        W = problem.task_weights
-        w = problem.proc_weights
-        ccm = problem.comm_costs
-        adj = problem.tig.adjacency_matrix()
-
-        order = np.argsort(-W, kind="stable")  # heaviest first
-        assignment = np.full(n, -1, dtype=np.int64)
-        free = np.ones(problem.n_resources, dtype=bool)
-        exec_s = np.zeros(problem.n_resources, dtype=np.float64)
-        n_evals = 0
-
-        for t in order:
-            placed_nbrs = np.flatnonzero((adj[t] > 0) & (assignment >= 0))
-            nbr_res = assignment[placed_nbrs]
-            vols = adj[t, placed_nbrs]
-            best_r = -1
-            best_makespan = np.inf
-            for r in np.flatnonzero(free):
-                # Candidate per-resource times if t goes to r.
-                cand = exec_s.copy()
-                cand[r] += W[t] * w[r]
-                if placed_nbrs.size:
-                    link = vols * ccm[r, nbr_res]  # 0 where co-located
-                    cand[r] += link.sum()
-                    np.add.at(cand, nbr_res, vols * ccm[nbr_res, r])
-                makespan = cand.max()
-                n_evals += 1
-                if makespan < best_makespan:
-                    best_makespan = makespan
-                    best_r = int(r)
-            assignment[t] = best_r
-            free[best_r] = False
-            exec_s[best_r] += W[t] * w[best_r]
-            if placed_nbrs.size:
-                exec_s[best_r] += (vols * ccm[best_r, nbr_res]).sum()
-                np.add.at(exec_s, nbr_res, vols * ccm[nbr_res, best_r])
-
-        return assignment, n_evals, {"order": "heaviest-first"}
+    def _make_solver(self) -> MapperSolver:
+        return _GreedySolver()

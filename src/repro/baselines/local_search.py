@@ -7,29 +7,186 @@ the first improving swap found (greedy descent), until a local optimum.
 Probing all ``C(n, 2)`` swaps uses the O(deg) incremental evaluator
 (:class:`repro.mapping.incremental.IncrementalEvaluator`), not full
 re-evaluations. Supports random restarts.
+
+Runs as a :class:`~repro.runtime.solver.SearchSolver` at one-sweep
+granularity: each step scans the swap neighborhood once; when a sweep
+makes no move (or the sweep cap is hit) the descent ends and the next
+restart begins. The restart generators are spawned up front — exactly as
+the sequential loop spawned them — so RNG consumption is bit-identical,
+and the full state (all generator positions, the delta evaluator, the
+incumbent) checkpoints mid-descent.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, ClassVar
 
 import numpy as np
 
-from repro.baselines.base import Mapper
+from repro.baselines.base import Mapper, MapperSolver
 from repro.exceptions import ConfigurationError
-from repro.mapping.cost_model import CostModel
 from repro.mapping.incremental import IncrementalEvaluator
-from repro.mapping.problem import MappingProblem
+from repro.runtime.solver import SolveOutput, StepReport
 from repro.types import SeedLike
-from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.rng import (
+    as_generator,
+    generator_from_state,
+    generator_state,
+    spawn_generators,
+)
 
 __all__ = ["LocalSearchMapper"]
+
+
+class _LocalSearchSolver(MapperSolver):
+    """One neighborhood sweep per step, across sequential restarts."""
+
+    def __init__(self, restarts: int, strategy: str, max_sweeps: int) -> None:
+        super().__init__()
+        self.restarts = restarts
+        self.strategy = strategy
+        self.max_sweeps = max_sweeps
+
+    def start(self, problem: Any, seed: SeedLike) -> None:
+        if not problem.is_square:
+            raise ConfigurationError("swap local search requires |V_t| == |V_r|")
+        self._problem = problem
+        self._gens = spawn_generators(as_generator(seed), self.restarts)
+        self._best_x: np.ndarray | None = None
+        self._best_cost = np.inf
+        self._total_probes = 0
+        self._restart_idx = 0
+        self._begin_restart()
+
+    def _begin_restart(self) -> None:
+        """Draw the next restart's starting permutation and reset the descent."""
+        g = self._gens[self._restart_idx]
+        start = g.permutation(self._problem.n_tasks).astype(np.int64)
+        self._inc = IncrementalEvaluator(self.model, start)
+        self._sweep = 0
+
+    def _end_restart(self) -> bool:
+        """Fold the finished descent into the incumbent; True if it improved."""
+        cost = self._inc.current_cost
+        improved = cost < self._best_cost
+        if improved:
+            self._best_cost = cost
+            self._best_x = self._inc.assignment
+        self._restart_idx += 1
+        if self._restart_idx < self.restarts:
+            self._begin_restart()
+        return improved
+
+    @property
+    def finished(self) -> bool:
+        return self._restart_idx >= self.restarts
+
+    def step(self) -> StepReport:
+        inc = self._inc
+        gen = self._gens[self._restart_idx]
+        n = self._problem.n_tasks
+        current = inc.current_cost
+        moved = False
+        probes = 0
+        if self.strategy == "steepest":
+            best_delta = 0.0
+            best_pair: tuple[int, int] | None = None
+            for t1 in range(n - 1):
+                for t2 in range(t1 + 1, n):
+                    c = inc.swap_cost(t1, t2)
+                    probes += 1
+                    if c < current - 1e-12 and current - c > best_delta:
+                        best_delta = current - c
+                        best_pair = (t1, t2)
+            if best_pair is not None:
+                inc.apply_swap(*best_pair)
+                moved = True
+        else:  # first improvement, randomized scan order
+            pairs = [(t1, t2) for t1 in range(n - 1) for t2 in range(t1 + 1, n)]
+            gen.shuffle(pairs)
+            for t1, t2 in pairs:
+                c = inc.swap_cost(t1, t2)
+                probes += 1
+                if c < current - 1e-12:
+                    inc.apply_swap(t1, t2)
+                    moved = True
+                    break
+        self._total_probes += probes
+        self.budget.charge(probes)
+        self._sweep += 1
+
+        improved_best = False
+        if not moved or self._sweep >= self.max_sweeps:
+            improved_best = self._end_restart()
+        it = self._iteration
+        self._iteration += 1
+        return StepReport(
+            iteration=it,
+            best_cost=min(self._best_cost, self._descent_cost()),
+            improved=improved_best,
+            info={"restart": self._restart_idx, "probes": probes},
+        )
+
+    def _descent_cost(self) -> float:
+        """The in-flight descent's current cost (inf when between restarts)."""
+        return self._inc.current_cost if not self.finished else np.inf
+
+    def note_external_stop(self, kind: str, reason: str) -> None:
+        """Fold the interrupted descent's incumbent into the global best."""
+        if not self.finished and self._inc.current_cost < self._best_cost:
+            self._best_cost = self._inc.current_cost
+            self._best_x = self._inc.assignment
+
+    def finalize(self) -> SolveOutput:
+        if self._best_x is None:
+            raise ConfigurationError(
+                "local search stopped before completing a descent"
+            )
+        return SolveOutput(
+            assignment=self._best_x,
+            n_evaluations=self._total_probes,
+            extras={"restarts": self.restarts, "strategy": self.strategy},
+        )
+
+    # -- checkpointing -------------------------------------------------------
+    def export_state(self) -> dict[str, Any]:
+        state: dict[str, Any] = {
+            "restart_idx": self._restart_idx,
+            "sweep": self._sweep if not self.finished else 0,
+            "iteration": self._iteration,
+            "total_probes": self._total_probes,
+            "best_cost": None if self._best_x is None else self._best_cost,
+            "best_x": None if self._best_x is None else self._best_x.tolist(),
+            "gens": [generator_state(g) for g in self._gens],
+        }
+        if not self.finished:
+            state["inc"] = self._inc.export_state()
+        return state
+
+    def restore_state(self, problem: Any, state: dict[str, Any]) -> None:
+        self._problem = problem
+        self._gens = [generator_from_state(s) for s in state["gens"]]
+        if len(self._gens) != self.restarts:
+            raise ConfigurationError(
+                f"checkpoint has {len(self._gens)} restart generators, "
+                f"expected {self.restarts} — config mismatch on resume"
+            )
+        best_x = state["best_x"]
+        self._best_x = None if best_x is None else np.asarray(best_x, dtype=np.int64)
+        self._best_cost = np.inf if best_x is None else float(state["best_cost"])
+        self._total_probes = int(state["total_probes"])
+        self._restart_idx = int(state["restart_idx"])
+        self._iteration = int(state["iteration"])
+        self._sweep = int(state["sweep"])
+        if not self.finished:
+            self._inc = IncrementalEvaluator.from_state(self.model, state["inc"])
 
 
 class LocalSearchMapper(Mapper):
     """Steepest- or first-improvement swap descent with restarts."""
 
     name = "LocalSearch"
+    registry_name: ClassVar[str | None] = "local-search"
 
     def __init__(
         self,
@@ -48,58 +205,12 @@ class LocalSearchMapper(Mapper):
         self.strategy = strategy
         self.max_sweeps = max_sweeps
 
-    # -- one descent ------------------------------------------------------------
-    def _descend(
-        self, model: CostModel, start: np.ndarray, gen: np.random.Generator
-    ) -> tuple[np.ndarray, float, int]:
-        inc = IncrementalEvaluator(model, start)
-        n = model.problem.n_tasks
-        n_probes = 0
-        for _ in range(self.max_sweeps):
-            current = inc.current_cost
-            improved = False
-            if self.strategy == "steepest":
-                best_delta = 0.0
-                best_pair: tuple[int, int] | None = None
-                for t1 in range(n - 1):
-                    for t2 in range(t1 + 1, n):
-                        c = inc.swap_cost(t1, t2)
-                        n_probes += 1
-                        if c < current - 1e-12 and current - c > best_delta:
-                            best_delta = current - c
-                            best_pair = (t1, t2)
-                if best_pair is not None:
-                    inc.apply_swap(*best_pair)
-                    improved = True
-            else:  # first improvement, randomized scan order
-                pairs = [(t1, t2) for t1 in range(n - 1) for t2 in range(t1 + 1, n)]
-                gen.shuffle(pairs)
-                for t1, t2 in pairs:
-                    c = inc.swap_cost(t1, t2)
-                    n_probes += 1
-                    if c < current - 1e-12:
-                        inc.apply_swap(t1, t2)
-                        improved = True
-                        break
-            if not improved:
-                break
-        return inc.assignment, inc.current_cost, n_probes
+    def checkpoint_params(self) -> dict[str, Any]:
+        return {
+            "restarts": self.restarts,
+            "strategy": self.strategy,
+            "max_sweeps": self.max_sweeps,
+        }
 
-    def _solve(
-        self, problem: MappingProblem, model: CostModel, rng: SeedLike
-    ) -> tuple[np.ndarray, int, dict[str, Any]]:
-        if not problem.is_square:
-            raise ConfigurationError("swap local search requires |V_t| == |V_r|")
-        n = problem.n_tasks
-        best_x: np.ndarray | None = None
-        best_cost = np.inf
-        total_probes = 0
-        for g in spawn_generators(as_generator(rng), self.restarts):
-            start = g.permutation(n).astype(np.int64)
-            x, cost, probes = self._descend(model, start, g)
-            total_probes += probes
-            if cost < best_cost:
-                best_cost = cost
-                best_x = x
-        assert best_x is not None
-        return best_x, total_probes, {"restarts": self.restarts, "strategy": self.strategy}
+    def _make_solver(self) -> MapperSolver:
+        return _LocalSearchSolver(self.restarts, self.strategy, self.max_sweeps)

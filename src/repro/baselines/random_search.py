@@ -4,28 +4,114 @@ The weakest sensible baseline: draw ``n_samples`` uniformly random
 permutations, keep the best. Any optimizer that cannot beat equal-budget
 random search is not optimizing; the test suite and the ablation benches
 use this as the floor.
+
+Runs as a :class:`~repro.runtime.solver.SearchSolver` at one-batch
+granularity; the live state (incumbent + samples remaining + RNG stream
+position) checkpoints and resumes bit-identically.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, ClassVar
 
 import numpy as np
 
-from repro.baselines.base import Mapper
-from repro.exceptions import ConfigurationError
-from repro.mapping.cost_model import CostModel
-from repro.mapping.problem import MappingProblem
+from repro.baselines.base import Mapper, MapperSolver
+from repro.exceptions import CheckpointError, ConfigurationError
+from repro.runtime.solver import SolveOutput, StepReport
 from repro.types import SeedLike
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, generator_from_state, generator_state
 
 __all__ = ["RandomSearchMapper"]
+
+
+class _RandomSearchSolver(MapperSolver):
+    """One batch of uniformly random one-to-one mappings per step."""
+
+    def __init__(self, n_samples: int, batch_size: int) -> None:
+        super().__init__()
+        self.n_samples = n_samples
+        self.batch_size = batch_size
+
+    def start(self, problem: Any, seed: SeedLike) -> None:
+        if problem.n_resources < problem.n_tasks:
+            raise ConfigurationError(
+                "random one-to-one search needs n_resources >= n_tasks"
+            )
+        self._problem = problem
+        self._gen = as_generator(seed)
+        self._best_x: np.ndarray | None = None
+        self._best_cost = np.inf
+        self._remaining = self.n_samples
+
+    @property
+    def finished(self) -> bool:
+        return self._remaining <= 0
+
+    def step(self) -> StepReport:
+        problem, gen = self._problem, self._gen
+        n = problem.n_tasks
+        m = min(self._remaining, self.batch_size)
+        if problem.is_square:
+            batch = np.stack([gen.permutation(n) for _ in range(m)]).astype(np.int64)
+        else:
+            batch = np.stack(
+                [gen.choice(problem.n_resources, size=n, replace=False) for _ in range(m)]
+            ).astype(np.int64)
+        costs = self.model.evaluate_batch(batch)
+        self.budget.charge(m)
+        i = int(np.argmin(costs))
+        improved = bool(costs[i] < self._best_cost)
+        if improved:
+            self._best_cost = float(costs[i])
+            self._best_x = batch[i].copy()
+        self._remaining -= m
+        it = self._iteration
+        self._iteration += 1
+        return StepReport(
+            iteration=it,
+            best_cost=self._best_cost,
+            improved=improved,
+            info={"batch_size": m},
+        )
+
+    def finalize(self) -> SolveOutput:
+        if self._best_x is None:
+            raise ConfigurationError(
+                "random search stopped before scoring a single batch"
+            )
+        return SolveOutput(
+            assignment=self._best_x,
+            n_evaluations=self.n_samples - self._remaining,
+            extras={"best_cost": self._best_cost},
+        )
+
+    # -- checkpointing -------------------------------------------------------
+    def export_state(self) -> dict[str, Any]:
+        if self._best_x is None:
+            raise CheckpointError("random search has no state before its first batch")
+        return {
+            "remaining": self._remaining,
+            "iteration": self._iteration,
+            "best_cost": self._best_cost,
+            "best_x": self._best_x.tolist(),
+            "rng": generator_state(self._gen),
+        }
+
+    def restore_state(self, problem: Any, state: dict[str, Any]) -> None:
+        self._problem = problem
+        self._gen = generator_from_state(state["rng"])
+        self._best_x = np.asarray(state["best_x"], dtype=np.int64)
+        self._best_cost = float(state["best_cost"])
+        self._remaining = int(state["remaining"])
+        self._iteration = int(state["iteration"])
 
 
 class RandomSearchMapper(Mapper):
     """Best of ``n_samples`` uniformly random one-to-one mappings."""
 
     name = "Random"
+    registry_name: ClassVar[str | None] = "random"
 
     def __init__(self, n_samples: int = 1000, *, batch_size: int = 1024) -> None:
         if n_samples < 1:
@@ -35,29 +121,8 @@ class RandomSearchMapper(Mapper):
         self.n_samples = n_samples
         self.batch_size = batch_size
 
-    def _solve(
-        self, problem: MappingProblem, model: CostModel, rng: SeedLike
-    ) -> tuple[np.ndarray, int, dict[str, Any]]:
-        gen = as_generator(rng)
-        n = problem.n_tasks
-        if problem.n_resources < n:
-            raise ConfigurationError("random one-to-one search needs n_resources >= n_tasks")
-        best_x: np.ndarray | None = None
-        best_cost = np.inf
-        remaining = self.n_samples
-        while remaining > 0:
-            m = min(remaining, self.batch_size)
-            if problem.is_square:
-                batch = np.stack([gen.permutation(n) for _ in range(m)]).astype(np.int64)
-            else:
-                batch = np.stack(
-                    [gen.choice(problem.n_resources, size=n, replace=False) for _ in range(m)]
-                ).astype(np.int64)
-            costs = model.evaluate_batch(batch)
-            i = int(np.argmin(costs))
-            if costs[i] < best_cost:
-                best_cost = float(costs[i])
-                best_x = batch[i].copy()
-            remaining -= m
-        assert best_x is not None
-        return best_x, self.n_samples, {"best_cost": best_cost}
+    def checkpoint_params(self) -> dict[str, Any]:
+        return {"n_samples": self.n_samples, "batch_size": self.batch_size}
+
+    def _make_solver(self) -> MapperSolver:
+        return _RandomSearchSolver(self.n_samples, self.batch_size)

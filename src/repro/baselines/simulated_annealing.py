@@ -6,24 +6,33 @@ improvements always and deteriorations with probability
 proposal costs O(deg) work. Included as a second strong baseline for the
 comparison examples and ablations; the paper itself compares only to the
 GA.
+
+Runs as a :class:`~repro.runtime.solver.SearchSolver` in chunks of
+annealing steps. The schedule's proposal pairs and acceptance uniforms
+are pre-drawn in one pass (exactly as the sequential loop drew them);
+checkpoints store the RNG position *before* that draw plus the scan
+offset, so a resume re-derives the identical arrays without serializing
+them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, ClassVar
 
 import numpy as np
 
-from repro.baselines.base import Mapper
+from repro.baselines.base import Mapper, MapperSolver
 from repro.exceptions import ConfigurationError
-from repro.mapping.cost_model import CostModel
 from repro.mapping.incremental import IncrementalEvaluator
-from repro.mapping.problem import MappingProblem
+from repro.runtime.solver import SolveOutput, StepReport
 from repro.types import SeedLike
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, generator_from_state, generator_state
 
 __all__ = ["SAConfig", "SimulatedAnnealingMapper"]
+
+#: Annealing steps processed per solver step (checkpoint/hook granularity).
+_STEP_CHUNK = 1000
 
 
 @dataclass(frozen=True)
@@ -50,12 +59,11 @@ class SAConfig:
             )
 
 
-class SimulatedAnnealingMapper(Mapper):
-    """Metropolis annealing on one-to-one mappings with swap moves."""
+class _SimulatedAnnealingSolver(MapperSolver):
+    """A chunk of Metropolis steps per solver step."""
 
-    name = "SimAnneal"
-
-    def __init__(self, config: SAConfig = SAConfig()) -> None:
+    def __init__(self, config: SAConfig) -> None:
+        super().__init__()
         self.config = config
 
     def _calibrate_t0(
@@ -69,46 +77,149 @@ class SimulatedAnnealingMapper(Mapper):
             d = inc.swap_cost(int(t1), int(t2)) - cur
             if d > 0:
                 deltas.append(d)
+        self.budget.charge(64)
         if not deltas:
             return 1.0
         mean_up = float(np.mean(deltas))
         return -mean_up / np.log(self.config.initial_acceptance)
 
-    def _solve(
-        self, problem: MappingProblem, model: CostModel, rng: SeedLike
-    ) -> tuple[np.ndarray, int, dict[str, Any]]:
+    def start(self, problem: Any, seed: SeedLike) -> None:
         if not problem.is_square:
             raise ConfigurationError("swap annealing requires |V_t| == |V_r|")
-        cfg = self.config
-        gen = as_generator(rng)
+        self._problem = problem
+        gen = as_generator(seed)
         n = problem.n_tasks
-        if n < 2:
-            return np.zeros(1, dtype=np.int64), 0, {}
+        self._n = n
+        self._trivial = n < 2
+        if self._trivial:
+            return
+        self._inc = IncrementalEvaluator(
+            self.model, gen.permutation(n).astype(np.int64)
+        )
+        self._best_x = self._inc.assignment
+        self._best_cost = self._inc.current_cost
+        self._T = self._calibrate_t0(self._inc, gen, n)
+        self._accepted = 0
+        self._pos = 0
+        # Everything after this point is RNG-free: storing the stream
+        # position here lets a resume re-draw identical schedules instead
+        # of serializing two n_steps-long arrays into the checkpoint.
+        self._predraw_rng = generator_state(gen)
+        self._draw_schedule(gen)
 
-        inc = IncrementalEvaluator(model, gen.permutation(n).astype(np.int64))
-        best_x = inc.assignment
-        best_cost = inc.current_cost
-        T = self._calibrate_t0(inc, gen, n)
-        accepted = 0
+    def _draw_schedule(self, gen: np.random.Generator) -> None:
+        cfg = self.config
+        self._pairs = gen.integers(0, self._n, size=(cfg.n_steps, 2))
+        self._us = gen.random(cfg.n_steps)
 
-        pairs = gen.integers(0, n, size=(cfg.n_steps, 2))
-        us = gen.random(cfg.n_steps)
-        for step in range(cfg.n_steps):
+    @property
+    def finished(self) -> bool:
+        return self._trivial or self._pos >= self.config.n_steps
+
+    def step(self) -> StepReport:
+        cfg = self.config
+        inc = self._inc
+        pairs, us = self._pairs, self._us
+        T = self._T
+        end = min(self._pos + _STEP_CHUNK, cfg.n_steps)
+        probes = 0
+        improved = False
+        for step in range(self._pos, end):
             t1, t2 = int(pairs[step, 0]), int(pairs[step, 1])
             if t1 == t2:
                 continue
             cur = inc.current_cost
             cand = inc.swap_cost(t1, t2)
+            probes += 1
             delta = cand - cur
             if delta <= 0 or us[step] < np.exp(-delta / max(T, cfg.min_temperature)):
                 inc.apply_swap(t1, t2)
-                accepted += 1
-                if cand < best_cost:
-                    best_cost = cand
-                    best_x = inc.assignment
+                self._accepted += 1
+                if cand < self._best_cost:
+                    self._best_cost = cand
+                    self._best_x = inc.assignment
+                    improved = True
             T *= cfg.cooling
+        self._T = T
+        self._pos = end
+        self.budget.charge(probes)
+        it = self._iteration
+        self._iteration += 1
+        return StepReport(
+            iteration=it,
+            best_cost=self._best_cost,
+            improved=improved,
+            info={"temperature": T, "annealing_steps": end},
+        )
 
-        return best_x, cfg.n_steps, {
-            "accept_rate": accepted / cfg.n_steps,
-            "final_temperature": T,
+    def finalize(self) -> SolveOutput:
+        if self._trivial:
+            return SolveOutput(
+                assignment=np.zeros(1, dtype=np.int64), n_evaluations=0, extras={}
+            )
+        return SolveOutput(
+            assignment=self._best_x,
+            n_evaluations=self._pos,
+            extras={
+                "accept_rate": self._accepted / self._pos if self._pos else 0.0,
+                "final_temperature": self._T,
+            },
+        )
+
+    # -- checkpointing -------------------------------------------------------
+    def export_state(self) -> dict[str, Any]:
+        state: dict[str, Any] = {"trivial": self._trivial, "n": self._n}
+        if self._trivial:
+            return state
+        state.update(
+            {
+                "pos": self._pos,
+                "iteration": self._iteration,
+                "accepted": self._accepted,
+                "temperature": self._T,
+                "best_cost": self._best_cost,
+                "best_x": self._best_x.tolist(),
+                "inc": self._inc.export_state(),
+                "predraw_rng": self._predraw_rng,
+            }
+        )
+        return state
+
+    def restore_state(self, problem: Any, state: dict[str, Any]) -> None:
+        self._problem = problem
+        self._n = int(state["n"])
+        self._trivial = bool(state["trivial"])
+        if self._trivial:
+            return
+        gen = generator_from_state(state["predraw_rng"])
+        self._predraw_rng = state["predraw_rng"]
+        self._draw_schedule(gen)
+        self._inc = IncrementalEvaluator.from_state(self.model, state["inc"])
+        self._best_x = np.asarray(state["best_x"], dtype=np.int64)
+        self._best_cost = float(state["best_cost"])
+        self._T = float(state["temperature"])
+        self._accepted = int(state["accepted"])
+        self._pos = int(state["pos"])
+        self._iteration = int(state["iteration"])
+
+
+class SimulatedAnnealingMapper(Mapper):
+    """Metropolis annealing on one-to-one mappings with swap moves."""
+
+    name = "SimAnneal"
+    registry_name: ClassVar[str | None] = "sim-anneal"
+
+    def __init__(self, config: SAConfig = SAConfig()) -> None:
+        self.config = config
+
+    def checkpoint_params(self) -> dict[str, Any]:
+        cfg = self.config
+        return {
+            "n_steps": cfg.n_steps,
+            "initial_acceptance": cfg.initial_acceptance,
+            "cooling": cfg.cooling,
+            "min_temperature": cfg.min_temperature,
         }
+
+    def _make_solver(self) -> MapperSolver:
+        return _SimulatedAnnealingSolver(self.config)

@@ -6,22 +6,25 @@ non-tabu swap (even if uphill), the reversed pair becomes tabu for
 move would beat the incumbent best. Probes use the O(degree) incremental
 evaluator. Included alongside SA and local search to context MaTCH's
 quality against the classical neighborhood-search family.
+
+Runs as a :class:`~repro.runtime.solver.SearchSolver` at one-iteration
+granularity; the live state (delta evaluator, tabu matrix, stall counter,
+RNG position) checkpoints and resumes bit-identically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, ClassVar
 
 import numpy as np
 
-from repro.baselines.base import Mapper
+from repro.baselines.base import Mapper, MapperSolver
 from repro.exceptions import ConfigurationError
-from repro.mapping.cost_model import CostModel
 from repro.mapping.incremental import IncrementalEvaluator
-from repro.mapping.problem import MappingProblem
+from repro.runtime.solver import SolveOutput, StepReport
 from repro.types import SeedLike
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, generator_from_state, generator_state
 
 __all__ = ["TabuConfig", "TabuSearchMapper"]
 
@@ -50,71 +53,164 @@ class TabuConfig:
             raise ConfigurationError(f"stall_limit must be >= 1, got {self.stall_limit}")
 
 
+class _TabuSolver(MapperSolver):
+    """One best-admissible-swap iteration per step."""
+
+    def __init__(self, config: TabuConfig) -> None:
+        super().__init__()
+        self.config = config
+
+    def start(self, problem: Any, seed: SeedLike) -> None:
+        if not problem.is_square:
+            raise ConfigurationError("swap tabu search requires |V_t| == |V_r|")
+        self._problem = problem
+        gen = as_generator(seed)
+        n = problem.n_tasks
+        self._n = n
+        self._trivial = n < 2
+        if self._trivial:
+            return
+        self._gen = gen
+        self._inc = IncrementalEvaluator(
+            self.model, gen.permutation(n).astype(np.int64)
+        )
+        self._best_x = self._inc.assignment
+        self._best_cost = self._inc.current_cost
+        self._tabu_until = np.zeros((n, n), dtype=np.int64)  # iteration until tabu
+        self._all_pairs = [(a, b) for a in range(n - 1) for b in range(a + 1, n)]
+        self._n_probes = 0
+        self._stall = 0
+        self._it = 0
+        self._stopped = False
+
+    @property
+    def finished(self) -> bool:
+        return self._trivial or self._stopped or self._it >= self.config.n_iterations
+
+    def step(self) -> StepReport:
+        cfg = self.config
+        inc = self._inc
+        it = self._it + 1
+        self._it = it
+        if cfg.candidates and cfg.candidates < len(self._all_pairs):
+            idx = self._gen.choice(
+                len(self._all_pairs), size=cfg.candidates, replace=False
+            )
+            pairs = [self._all_pairs[i] for i in idx]
+        else:
+            pairs = self._all_pairs
+
+        chosen: tuple[int, int] | None = None
+        chosen_cost = np.inf
+        for t1, t2 in pairs:
+            cost = inc.swap_cost(t1, t2)
+            self._n_probes += 1
+            is_tabu = self._tabu_until[t1, t2] >= it
+            aspirates = cost < self._best_cost - 1e-12
+            if (is_tabu and not aspirates) or cost >= chosen_cost:
+                continue
+            chosen = (t1, t2)
+            chosen_cost = cost
+        self.budget.charge(len(pairs))
+
+        improved = False
+        if chosen is None:
+            self._stopped = True  # every candidate tabu and none aspirates
+        else:
+            t1, t2 = chosen
+            inc.apply_swap(t1, t2)
+            self._tabu_until[t1, t2] = it + cfg.tenure
+            self._tabu_until[t2, t1] = it + cfg.tenure
+            if chosen_cost < self._best_cost - 1e-12:
+                self._best_cost = chosen_cost
+                self._best_x = inc.assignment
+                self._stall = 0
+                improved = True
+            else:
+                self._stall += 1
+                if self._stall >= cfg.stall_limit:
+                    self._stopped = True
+
+        step_idx = self._iteration
+        self._iteration += 1
+        return StepReport(
+            iteration=step_idx,
+            best_cost=self._best_cost,
+            improved=improved,
+            info={"probes": len(pairs), "current_cost": inc.current_cost},
+        )
+
+    def finalize(self) -> SolveOutput:
+        if self._trivial:
+            return SolveOutput(
+                assignment=np.zeros(self._n, dtype=np.int64),
+                n_evaluations=0,
+                extras={},
+            )
+        return SolveOutput(
+            assignment=self._best_x,
+            n_evaluations=self._n_probes,
+            extras={"iterations": self._it, "final_cost": self._inc.current_cost},
+        )
+
+    # -- checkpointing -------------------------------------------------------
+    def export_state(self) -> dict[str, Any]:
+        state: dict[str, Any] = {"trivial": self._trivial, "n": self._n}
+        if self._trivial:
+            return state
+        state.update(
+            {
+                "it": self._it,
+                "iteration": self._iteration,
+                "stopped": self._stopped,
+                "stall": self._stall,
+                "n_probes": self._n_probes,
+                "best_cost": self._best_cost,
+                "best_x": self._best_x.tolist(),
+                "tabu_until": self._tabu_until.tolist(),
+                "inc": self._inc.export_state(),
+                "rng": generator_state(self._gen),
+            }
+        )
+        return state
+
+    def restore_state(self, problem: Any, state: dict[str, Any]) -> None:
+        self._problem = problem
+        self._n = int(state["n"])
+        self._trivial = bool(state["trivial"])
+        if self._trivial:
+            return
+        n = self._n
+        self._gen = generator_from_state(state["rng"])
+        self._inc = IncrementalEvaluator.from_state(self.model, state["inc"])
+        self._best_x = np.asarray(state["best_x"], dtype=np.int64)
+        self._best_cost = float(state["best_cost"])
+        self._tabu_until = np.asarray(state["tabu_until"], dtype=np.int64)
+        self._all_pairs = [(a, b) for a in range(n - 1) for b in range(a + 1, n)]
+        self._n_probes = int(state["n_probes"])
+        self._stall = int(state["stall"])
+        self._it = int(state["it"])
+        self._stopped = bool(state["stopped"])
+        self._iteration = int(state["iteration"])
+
+
 class TabuSearchMapper(Mapper):
     """Best-admissible-swap tabu search with aspiration."""
 
     name = "TabuSearch"
+    registry_name: ClassVar[str | None] = "tabu"
 
     def __init__(self, config: TabuConfig = TabuConfig()) -> None:
         self.config = config
 
-    def _solve(
-        self, problem: MappingProblem, model: CostModel, rng: SeedLike
-    ) -> tuple[np.ndarray, int, dict[str, Any]]:
-        if not problem.is_square:
-            raise ConfigurationError("swap tabu search requires |V_t| == |V_r|")
+    def checkpoint_params(self) -> dict[str, Any]:
         cfg = self.config
-        gen = as_generator(rng)
-        n = problem.n_tasks
-        if n < 2:
-            return np.zeros(n, dtype=np.int64), 0, {}
-
-        inc = IncrementalEvaluator(model, gen.permutation(n).astype(np.int64))
-        best_x = inc.assignment
-        best_cost = inc.current_cost
-        tabu_until = np.zeros((n, n), dtype=np.int64)  # iteration until tabu
-        all_pairs = [(a, b) for a in range(n - 1) for b in range(a + 1, n)]
-        n_probes = 0
-        stall = 0
-        iterations_run = 0
-
-        for it in range(1, cfg.n_iterations + 1):
-            iterations_run = it
-            if cfg.candidates and cfg.candidates < len(all_pairs):
-                idx = gen.choice(len(all_pairs), size=cfg.candidates, replace=False)
-                pairs = [all_pairs[i] for i in idx]
-            else:
-                pairs = all_pairs
-
-            chosen: tuple[int, int] | None = None
-            chosen_cost = np.inf
-            for t1, t2 in pairs:
-                cost = inc.swap_cost(t1, t2)
-                n_probes += 1
-                is_tabu = tabu_until[t1, t2] >= it
-                aspirates = cost < best_cost - 1e-12
-                if (is_tabu and not aspirates) or cost >= chosen_cost:
-                    continue
-                chosen = (t1, t2)
-                chosen_cost = cost
-            if chosen is None:
-                break  # every candidate tabu and none aspirates
-
-            t1, t2 = chosen
-            inc.apply_swap(t1, t2)
-            tabu_until[t1, t2] = it + cfg.tenure
-            tabu_until[t2, t1] = it + cfg.tenure
-
-            if chosen_cost < best_cost - 1e-12:
-                best_cost = chosen_cost
-                best_x = inc.assignment
-                stall = 0
-            else:
-                stall += 1
-                if stall >= cfg.stall_limit:
-                    break
-
-        return best_x, n_probes, {
-            "iterations": iterations_run,
-            "final_cost": inc.current_cost,
+        return {
+            "n_iterations": cfg.n_iterations,
+            "tenure": cfg.tenure,
+            "candidates": cfg.candidates,
+            "stall_limit": cfg.stall_limit,
         }
+
+    def _make_solver(self) -> MapperSolver:
+        return _TabuSolver(self.config)

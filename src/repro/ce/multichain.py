@@ -51,6 +51,7 @@ from repro.ce.stopping import (
     StoppingCriterion,
 )
 from repro.exceptions import ConfigurationError
+from repro.runtime.budget import EvaluationBudget
 from repro.types import BatchObjectiveFn, ProbabilityMatrix, SeedLike
 from repro.utils.dedup import collapse_duplicate_rows, pack_rows
 from repro.utils.rng import as_generator
@@ -192,6 +193,12 @@ class MultiChainCE:
         else:
             P0 = StochasticMatrix.uniform(n_rows, n_cols).values
         self._P0 = P0
+        self.budget = EvaluationBudget()
+        self._started = False
+
+    def bind_budget(self, budget: EvaluationBudget) -> None:
+        """Swap in the shared budget all freshly scored rows are charged against."""
+        self.budget = budget
 
     # -- scoring ---------------------------------------------------------------
     def _score_joint(
@@ -214,6 +221,7 @@ class MultiChainCE:
                     f"objective returned shape {costs.shape}, expected ({flat.shape[0]},)"
                 )
             result.n_unique_evaluations += flat.shape[0]
+            self.budget.charge(flat.shape[0])
             return costs
         keys = pack_rows(flat, self.n_cols)
         if keys is None:
@@ -225,6 +233,7 @@ class MultiChainCE:
                     f"expected ({unique_rows.shape[0]},)"
                 )
             result.n_unique_evaluations += unique_rows.shape[0]
+            self.budget.charge(unique_rows.shape[0])
             result.dedup_rate_history.append(1.0 - unique_rows.shape[0] / flat.shape[0])
             return unique_costs[inverse]
         # Resolve every row against the memo first; only keys never seen in
@@ -257,6 +266,7 @@ class MultiChainCE:
                     f"objective returned shape {miss_costs.shape}, expected ({n_fresh},)"
                 )
             costs[miss] = miss_costs[minv]
+            self.budget.charge(n_fresh)
             # One-pass sorted merge of the fresh keys into the memo.
             ins = np.searchsorted(self._memo_keys, miss_keys)
             tgt = ins + np.arange(n_fresh)
@@ -275,20 +285,20 @@ class MultiChainCE:
         return costs
 
     # -- the joint loop ---------------------------------------------------------
-    def run(self) -> MultiChainResult:
-        """Advance every chain to its own stopping point; return all results."""
+    def start(self) -> None:
+        """Allocate joint live state for a fresh run; pairs with step/finalize."""
         cfg = self.config
+        R = self.n_chains
+        n_t, n_r = self.n_rows, self.n_cols
         # Fresh score memo per run (sorted key -> exact objective float).
         self._memo_keys = np.empty(0, dtype=np.int64)
         self._memo_costs = np.empty(0, dtype=np.float64)
-        R, N = self.n_chains, cfg.n_samples
-        n_t, n_r = self.n_rows, self.n_cols
-        P = np.broadcast_to(self._P0, (R, n_t, n_r)).copy()
-        best_costs = np.full(R, np.inf)
-        best_xs = [np.zeros(n_t, dtype=np.int64) for _ in range(R)]
-        chain_results = [
+        self._P = np.broadcast_to(self._P0, (R, n_t, n_r)).copy()
+        self._best_costs = np.full(R, np.inf)
+        self._best_xs = [np.zeros(n_t, dtype=np.int64) for _ in range(R)]
+        self._chain_results = [
             CEResult(
-                best_assignment=best_xs[r],
+                best_assignment=self._best_xs[r],
                 best_cost=np.inf,
                 n_iterations=0,
                 n_evaluations=0,
@@ -296,35 +306,38 @@ class MultiChainCE:
             )
             for r in range(R)
         ]
-        joint = MultiChainResult(
-            chains=chain_results,
+        self._joint = MultiChainResult(
+            chains=self._chain_results,
             n_joint_iterations=0,
             n_evaluations=0,
             n_unique_evaluations=0,
         )
-        live = list(range(R))
+        self._live = list(range(R))
+        self._k = 0
+        for stopping in self._stoppings:
+            stopping.reset()
 
         # Per-chain history rows, scatter-filled each joint iteration and
         # sliced into the CEResult list form when a chain stops.
-        gh = np.empty((R, cfg.max_iterations))
-        bh = np.empty((R, cfg.max_iterations))
-        dh = np.empty((R, cfg.max_iterations))
-        eh = np.empty((R, cfg.max_iterations))
-        histories = (gh, bh, dh, eh)
+        self._histories = (
+            np.empty((R, cfg.max_iterations)),
+            np.empty((R, cfg.max_iterations)),
+            np.empty((R, cfg.max_iterations)),
+            np.empty((R, cfg.max_iterations)),
+        )
 
         # Vectorized stopping state (fast path): per-chain stability
         # counters maintained as arrays, replicating RowMaximaStable /
         # GammaStagnation / DegenerateMatrix / MaxIterations chain by
         # chain. Tolerances mirror the optimizer's criterion construction.
-        fast = self._fast_stopping
-        if fast:
-            rm_prev = np.zeros((R, n_t))
-            rm_has_prev = np.zeros(R, dtype=bool)
-            rm_stable = np.zeros(R, dtype=np.int64)
-            g_prev = np.zeros(R)
-            g_has_prev = np.zeros(R, dtype=bool)
-            g_stable = np.zeros(R, dtype=np.int64)
-            reasons = {
+        if self._fast_stopping:
+            self._rm_prev = np.zeros((R, n_t))
+            self._rm_has_prev = np.zeros(R, dtype=bool)
+            self._rm_stable = np.zeros(R, dtype=np.int64)
+            self._g_prev = np.zeros(R)
+            self._g_has_prev = np.zeros(R, dtype=bool)
+            self._g_stable = np.zeros(R, dtype=np.int64)
+            self._reasons = {
                 StopKind.BUDGET: f"iteration budget of {cfg.max_iterations} exhausted",
                 StopKind.ROW_MAXIMA_STABLE: (
                     f"row maxima stable for {cfg.stability_window} iterations (Eq. 12)"
@@ -334,178 +347,258 @@ class MultiChainCE:
                 ),
                 StopKind.DEGENERATE: "stochastic matrix degenerate",
             }
+        self._started = True
 
-        for k in range(1, cfg.max_iterations + 1):
-            if not live:
-                break
-            joint.n_joint_iterations = k
-            L = len(live)
+    @property
+    def finished(self) -> bool:
+        """True once every chain has stopped (or the iteration cap is hit)."""
+        return self._started and (
+            not self._live or self._k >= self.config.max_iterations
+        )
 
-            # 1. Sample all live chains. Each chain draws from its own
-            #    generator in the exact order a sequential run would: one
-            #    flat fill per chain covers both the order keys and the
-            #    roulette uniforms (PCG64 fills doubles sequentially, so a
-            #    single (2·N·n_t,) draw is stream-identical to the two
-            #    separate draws the sequential sampler makes).
-            if self._sampler == "permutation":
-                buf = np.empty((L, 2 * N * n_t))
-                for j, r in enumerate(live):
-                    self._gens[r].random(out=buf[j])
-                rand_orders = buf[:, : N * n_t].reshape(L, N, n_t)
-                rand_pos = buf[:, N * n_t :].reshape(L, n_t, N)
-                Xs = sample_permutations_stacked(P[live], rand_orders, rand_pos)
-            else:
-                Xs = np.stack(
-                    [self._sample_one(P[r], N, self._gens[r]) for r in live]
-                )
+    @property
+    def iteration(self) -> int:
+        """Completed joint iterations of the current run."""
+        return self._k
 
-            # 2. One fused scoring call over every live chain's candidates.
-            costs = self._score_joint(Xs.reshape(L * N, n_t), joint).reshape(L, N)
+    @property
+    def best_cost(self) -> float:
+        """Lowest incumbent cost across all chains."""
+        return float(np.min(self._best_costs)) if self._started else float("inf")
 
-            # 3. Per-chain elite selection and best tracking. The exact-k
-            #    mode is batched: one row-wise argpartition replaces L
-            #    select_top_k calls (same partition kernel per row, so the
-            #    elite sets and gammas match the sequential path exactly;
-            #    the per-call NaN validation is skipped on this hot path).
-            if self._select is select_top_k:
-                k_elite = max(1, int(np.ceil(cfg.rho * N)))
-                elite_idx2 = np.argpartition(costs, k_elite - 1, axis=1)[:, :k_elite]
-                gammas = np.take_along_axis(costs, elite_idx2, axis=1).max(axis=1)
-                elites_flat = Xs[np.arange(L)[:, np.newaxis], elite_idx2].reshape(
-                    L * k_elite, n_t
-                )
-                elite_sizes = np.full(L, k_elite, dtype=np.int64)
-            else:
-                gammas = np.empty(L)
-                elite_chunks: list[np.ndarray] = []
-                elite_sizes = np.empty(L, dtype=np.int64)
-                for j in range(L):
-                    gamma, elite_idx = self._select(costs[j], cfg.rho)
-                    gammas[j] = gamma
-                    elite_chunks.append(Xs[j][elite_idx])
-                    elite_sizes[j] = elite_idx.shape[0]
-                elites_flat = np.concatenate(elite_chunks)
-            iter_best = np.argmin(costs, axis=1)
-            iter_best_costs = costs[np.arange(L), iter_best]
-            la = np.asarray(live, dtype=np.int64)
-            improved = np.nonzero(iter_best_costs < best_costs[la])[0]
-            if improved.size:
-                best_costs[la[improved]] = iter_best_costs[improved]
-                for j in improved:
-                    best_xs[live[j]] = Xs[j, iter_best[j]].copy()
+    @property
+    def n_live(self) -> int:
+        """Chains still advancing."""
+        return len(self._live) if self._started else 0
 
-            # 4. Stacked Eq. (11)+(13) update — one bincount for all chains.
-            P_live = stacked_elite_update(
-                P[live], elites_flat, elite_sizes, zeta=cfg.zeta
+    def step(self) -> bool:
+        """One joint iteration over every live chain; True if any chain improved."""
+        if not self._started:
+            raise ConfigurationError("step() before start()")
+        cfg = self.config
+        N = cfg.n_samples
+        n_t = self.n_rows
+        P = self._P
+        live = self._live
+        best_costs = self._best_costs
+        best_xs = self._best_xs
+        chain_results = self._chain_results
+        joint = self._joint
+        histories = self._histories
+        gh, bh, dh, eh = histories
+        fast = self._fast_stopping
+        if fast:
+            rm_prev = self._rm_prev
+            rm_has_prev = self._rm_has_prev
+            rm_stable = self._rm_stable
+            g_prev = self._g_prev
+            g_has_prev = self._g_has_prev
+            g_stable = self._g_stable
+            reasons = self._reasons
+        k = self._k + 1
+        self._k = k
+        joint.n_joint_iterations = k
+        L = len(live)
+
+        # 1. Sample all live chains. Each chain draws from its own
+        #    generator in the exact order a sequential run would: one
+        #    flat fill per chain covers both the order keys and the
+        #    roulette uniforms (PCG64 fills doubles sequentially, so a
+        #    single (2·N·n_t,) draw is stream-identical to the two
+        #    separate draws the sequential sampler makes).
+        if self._sampler == "permutation":
+            buf = np.empty((L, 2 * N * n_t))
+            for j, r in enumerate(live):
+                self._gens[r].random(out=buf[j])
+            rand_orders = buf[:, : N * n_t].reshape(L, N, n_t)
+            rand_pos = buf[:, N * n_t :].reshape(L, n_t, N)
+            Xs = sample_permutations_stacked(P[live], rand_orders, rand_pos)
+        else:
+            Xs = np.stack(
+                [self._sample_one(P[r], N, self._gens[r]) for r in live]
             )
-            P[live] = P_live
 
-            # 5. Vectorized per-chain diagnostics on the updated tensor.
-            mu = P_live.max(axis=2)  # (L, n_rows) row maxima, Eq. (12)
-            degeneracies = mu.mean(axis=1)
-            with np.errstate(divide="ignore", invalid="ignore"):
-                ent_terms = np.where(P_live > 0, -P_live * np.log(P_live), 0.0)
-            entropies = ent_terms.sum(axis=2).mean(axis=1)
+        # 2. One fused scoring call over every live chain's candidates.
+        costs = self._score_joint(Xs.reshape(L * N, n_t), joint).reshape(L, N)
 
-            # 6. Stopping. The fast path updates every chain's counters as
-            #    array ops; firing priority follows the AnyOf order
-            #    (budget, Eq. 12 stability, gamma stagnation, degeneracy).
-            if fast:
-                rm_close = rm_has_prev[la] & (
-                    np.abs(mu - rm_prev[la]) <= cfg.stability_tol
-                ).all(axis=1)
-                rm_stable[la] = np.where(rm_close, rm_stable[la] + 1, 0)
-                rm_prev[la] = mu
-                rm_has_prev[la] = True
-                g_close = g_has_prev[la] & (np.abs(gammas - g_prev[la]) <= 1e-9)
-                g_stable[la] = np.where(g_close, g_stable[la] + 1, 0)
-                g_prev[la] = gammas
-                g_has_prev[la] = True
-                budget_fire = k >= cfg.max_iterations
-                rm_fire = (
-                    rm_stable[la] >= cfg.stability_window
-                    if cfg.stability_window > 0
-                    else np.zeros(L, dtype=bool)
-                )
-                g_fire = (
-                    g_stable[la] >= cfg.gamma_window
-                    if cfg.gamma_window > 0
-                    else np.zeros(L, dtype=bool)
-                )
-                deg_fire = (mu >= 1.0 - 1e-6).all(axis=1)
+        # 3. Per-chain elite selection and best tracking. The exact-k
+        #    mode is batched: one row-wise argpartition replaces L
+        #    select_top_k calls (same partition kernel per row, so the
+        #    elite sets and gammas match the sequential path exactly;
+        #    the per-call NaN validation is skipped on this hot path).
+        if self._select is select_top_k:
+            k_elite = max(1, int(np.ceil(cfg.rho * N)))
+            elite_idx2 = np.argpartition(costs, k_elite - 1, axis=1)[:, :k_elite]
+            gammas = np.take_along_axis(costs, elite_idx2, axis=1).max(axis=1)
+            elites_flat = Xs[np.arange(L)[:, np.newaxis], elite_idx2].reshape(
+                L * k_elite, n_t
+            )
+            elite_sizes = np.full(L, k_elite, dtype=np.int64)
+        else:
+            gammas = np.empty(L)
+            elite_chunks: list[np.ndarray] = []
+            elite_sizes = np.empty(L, dtype=np.int64)
+            for j in range(L):
+                gamma, elite_idx = self._select(costs[j], cfg.rho)
+                gammas[j] = gamma
+                elite_chunks.append(Xs[j][elite_idx])
+                elite_sizes[j] = elite_idx.shape[0]
+            elites_flat = np.concatenate(elite_chunks)
+        iter_best = np.argmin(costs, axis=1)
+        iter_best_costs = costs[np.arange(L), iter_best]
+        la = np.asarray(live, dtype=np.int64)
+        improved = np.nonzero(iter_best_costs < best_costs[la])[0]
+        if improved.size:
+            best_costs[la[improved]] = iter_best_costs[improved]
+            for j in improved:
+                best_xs[live[j]] = Xs[j, iter_best[j]].copy()
 
-            # 7. Histories land in preallocated per-chain rows (converted
-            #    to the sequential run's list form only at finalize) and
-            #    stopped chains retire from the live set. The common
-            #    mid-run case — nobody fires — is a single branch.
-            gh[la, k - 1] = gammas
-            bh[la, k - 1] = best_costs[la]
-            dh[la, k - 1] = degeneracies
-            eh[la, k - 1] = entropies
-            if cfg.track_matrices and (k - 1) % cfg.matrix_snapshot_every == 0:
-                for r in live:
-                    chain_results[r].matrix_history.append(P[r].copy())
-            if fast:
-                fired = rm_fire | g_fire | deg_fire
-                if budget_fire:
-                    fired = np.ones(L, dtype=bool)
-                if not fired.any():
+        # 4. Stacked Eq. (11)+(13) update — one bincount for all chains.
+        P_live = stacked_elite_update(
+            P[live], elites_flat, elite_sizes, zeta=cfg.zeta
+        )
+        P[live] = P_live
+
+        # 5. Vectorized per-chain diagnostics on the updated tensor.
+        mu = P_live.max(axis=2)  # (L, n_rows) row maxima, Eq. (12)
+        degeneracies = mu.mean(axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ent_terms = np.where(P_live > 0, -P_live * np.log(P_live), 0.0)
+        entropies = ent_terms.sum(axis=2).mean(axis=1)
+
+        # 6. Stopping. The fast path updates every chain's counters as
+        #    array ops; firing priority follows the AnyOf order
+        #    (budget, Eq. 12 stability, gamma stagnation, degeneracy).
+        if fast:
+            rm_close = rm_has_prev[la] & (
+                np.abs(mu - rm_prev[la]) <= cfg.stability_tol
+            ).all(axis=1)
+            rm_stable[la] = np.where(rm_close, rm_stable[la] + 1, 0)
+            rm_prev[la] = mu
+            rm_has_prev[la] = True
+            g_close = g_has_prev[la] & (np.abs(gammas - g_prev[la]) <= 1e-9)
+            g_stable[la] = np.where(g_close, g_stable[la] + 1, 0)
+            g_prev[la] = gammas
+            g_has_prev[la] = True
+            budget_fire = k >= cfg.max_iterations
+            rm_fire = (
+                rm_stable[la] >= cfg.stability_window
+                if cfg.stability_window > 0
+                else np.zeros(L, dtype=bool)
+            )
+            g_fire = (
+                g_stable[la] >= cfg.gamma_window
+                if cfg.gamma_window > 0
+                else np.zeros(L, dtype=bool)
+            )
+            deg_fire = (mu >= 1.0 - 1e-6).all(axis=1)
+
+        # 7. Histories land in preallocated per-chain rows (converted
+        #    to the sequential run's list form only at finalize) and
+        #    stopped chains retire from the live set. The common
+        #    mid-run case — nobody fires — is a single branch.
+        gh[la, k - 1] = gammas
+        bh[la, k - 1] = best_costs[la]
+        dh[la, k - 1] = degeneracies
+        eh[la, k - 1] = entropies
+        if cfg.track_matrices and (k - 1) % cfg.matrix_snapshot_every == 0:
+            for r in live:
+                chain_results[r].matrix_history.append(P[r].copy())
+        if fast:
+            fired = rm_fire | g_fire | deg_fire
+            if budget_fire:
+                fired = np.ones(L, dtype=bool)
+            if not fired.any():
+                return bool(improved.size)
+            survivors: list[int] = []
+            for j, r in enumerate(live):
+                if not fired[j]:
+                    survivors.append(r)
                     continue
-                survivors: list[int] = []
-                for j, r in enumerate(live):
-                    if not fired[j]:
-                        survivors.append(r)
-                        continue
-                    if budget_fire:
-                        kind = StopKind.BUDGET
-                    elif rm_fire[j]:
-                        kind = StopKind.ROW_MAXIMA_STABLE
-                    elif g_fire[j]:
-                        kind = StopKind.GAMMA_STAGNATION
-                    else:
-                        kind = StopKind.DEGENERATE
+                if budget_fire:
+                    kind = StopKind.BUDGET
+                elif rm_fire[j]:
+                    kind = StopKind.ROW_MAXIMA_STABLE
+                elif g_fire[j]:
+                    kind = StopKind.GAMMA_STAGNATION
+                else:
+                    kind = StopKind.DEGENERATE
+                res = chain_results[r]
+                res.stop_reason = reasons[kind]
+                res.stop_kind = kind
+                self._finalize_chain(
+                    res, r, k, P[r], best_costs[r], best_xs[r], histories
+                )
+            self._live = survivors
+        else:
+            survivors = []
+            for j, r in enumerate(live):
+                state = IterationState(
+                    iteration=k,
+                    gamma=float(gammas[j]),
+                    best_cost=float(best_costs[r]),
+                    matrix=StochasticMatrix._from_trusted(P[r]),
+                )
+                if self._stoppings[r].update(state):
                     res = chain_results[r]
-                    res.stop_reason = reasons[kind]
-                    res.stop_kind = kind
+                    res.stop_reason = self._stoppings[r].reason
+                    res.stop_kind = self._stoppings[r].kind
                     self._finalize_chain(
                         res, r, k, P[r], best_costs[r], best_xs[r], histories
                     )
-                live = survivors
-            else:
-                survivors = []
-                for j, r in enumerate(live):
-                    state = IterationState(
-                        iteration=k,
-                        gamma=float(gammas[j]),
-                        best_cost=float(best_costs[r]),
-                        matrix=StochasticMatrix._from_trusted(P[r]),
-                    )
-                    if self._stoppings[r].update(state):
-                        res = chain_results[r]
-                        res.stop_reason = self._stoppings[r].reason
-                        res.stop_kind = self._stoppings[r].kind
-                        self._finalize_chain(
-                            res, r, k, P[r], best_costs[r], best_xs[r], histories
-                        )
-                    else:
-                        survivors.append(r)
-                live = survivors
+                else:
+                    survivors.append(r)
+            self._live = survivors
+        return bool(improved.size)
 
-        # MaxIterations is always in the criterion set, so every chain has
-        # stopped by now; the guard below is a safety net only.
-        for r in live:  # pragma: no cover - unreachable via MaxIterations
-            chain_results[r].stop_reason = "iteration budget exhausted"
-            chain_results[r].stop_kind = StopKind.BUDGET
+    def note_external_stop(self, reason: str) -> None:
+        """Freeze every still-live chain with an EXTERNAL stop (budget/interrupt)."""
+        if not self._started:
+            return
+        for r in self._live:
+            res = self._chain_results[r]
+            res.stop_reason = reason
+            res.stop_kind = StopKind.EXTERNAL
             self._finalize_chain(
-                chain_results[r],
+                res,
                 r,
-                joint.n_joint_iterations,
-                P[r],
-                best_costs[r],
-                best_xs[r],
-                histories,
+                self._k,
+                self._P[r],
+                self._best_costs[r],
+                self._best_xs[r],
+                self._histories,
             )
-        return joint
+        self._live = []
+
+    def finalize(self) -> MultiChainResult:
+        """Freeze any leftover live chains and return the joint result."""
+        if not self._started:
+            raise ConfigurationError("finalize() before start()")
+        # MaxIterations bounds the loop, so every chain has stopped by now
+        # whenever step() ran to completion; the guard below is a safety net
+        # for external termination between steps.
+        for r in self._live:
+            res = self._chain_results[r]
+            res.stop_reason = "iteration budget exhausted"
+            res.stop_kind = StopKind.BUDGET
+            self._finalize_chain(
+                res,
+                r,
+                self._joint.n_joint_iterations,
+                self._P[r],
+                self._best_costs[r],
+                self._best_xs[r],
+                self._histories,
+            )
+        self._live = []
+        return self._joint
+
+    def run(self) -> MultiChainResult:
+        """Advance every chain to its own stopping point; return all results."""
+        self.start()
+        while not self.finished:
+            self.step()
+        return self.finalize()
 
     def _finalize_chain(
         self,

@@ -34,9 +34,10 @@ from repro.ce.stopping import (
     StoppingCriterion,
 )
 from repro.exceptions import ConfigurationError
+from repro.runtime.budget import EvaluationBudget
 from repro.types import AssignmentBatch, BatchObjectiveFn, ProbabilityMatrix, SeedLike
 from repro.utils.dedup import collapse_duplicate_rows
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, generator_from_state, generator_state
 from repro.utils.validation import check_in_range
 
 __all__ = ["CEConfig", "CEResult", "CrossEntropyOptimizer"]
@@ -157,8 +158,12 @@ class CEResult:
 
     @property
     def converged(self) -> bool:
-        """True when an adaptive rule (not the iteration budget) fired."""
-        return self.stop_kind not in (StopKind.BUDGET, StopKind.NOT_RUN)
+        """True when an adaptive rule (not a budget or external stop) fired."""
+        return self.stop_kind not in (
+            StopKind.BUDGET,
+            StopKind.NOT_RUN,
+            StopKind.EXTERNAL,
+        )
 
     @property
     def dedup_collapse_rate(self) -> float:
@@ -198,6 +203,7 @@ class CrossEntropyOptimizer:
         rng: SeedLike = None,
         extra_stopping: tuple[StoppingCriterion, ...] = (),
         initial_matrix: ProbabilityMatrix | None = None,
+        budget: "EvaluationBudget | None" = None,
     ) -> None:
         if n_rows < 1 or n_cols < 1:
             raise ConfigurationError(f"matrix dims must be >= 1, got ({n_rows}, {n_cols})")
@@ -241,6 +247,17 @@ class CrossEntropyOptimizer:
         else:
             self.matrix = StochasticMatrix.uniform(n_rows, n_cols)
 
+        self.budget = budget if budget is not None else EvaluationBudget()
+        self._result: CEResult | None = None
+        self._best_cost: float = np.inf
+        self._best_x = np.zeros(self.n_rows, dtype=np.int64)
+        self._k = 0
+        self._finished = False
+
+    def bind_budget(self, budget: "EvaluationBudget") -> None:
+        """Swap in the shared budget all scored rows are charged against."""
+        self.budget = budget
+
     def _score(self, X: AssignmentBatch, result: CEResult) -> np.ndarray:
         """Score a batch, collapsing duplicate rows first when configured.
 
@@ -255,6 +272,7 @@ class CrossEntropyOptimizer:
                     f"objective returned shape {costs.shape}, expected ({X.shape[0]},)"
                 )
             result.n_unique_evaluations += X.shape[0]
+            self.budget.charge(X.shape[0])
             return costs
         unique_rows, inverse = collapse_duplicate_rows(np.asarray(X), self.n_cols)
         unique_costs = np.asarray(self.objective(unique_rows), dtype=np.float64)
@@ -264,57 +282,95 @@ class CrossEntropyOptimizer:
                 f"expected ({unique_rows.shape[0]},)"
             )
         result.n_unique_evaluations += unique_rows.shape[0]
+        self.budget.charge(unique_rows.shape[0])
         result.dedup_rate_history.append(1.0 - unique_rows.shape[0] / X.shape[0])
         return unique_costs[inverse]
 
-    def run(self) -> CEResult:
-        """Execute the CE loop (Fig. 5 steps 2-8) and return the result."""
-        cfg = self.config
+    # -- stepwise protocol (driven by repro.runtime.SearchLoop) -----------------
+    def start(self) -> None:
+        """Reset live state for a fresh run; pairs with step/finalize."""
         self.stopping.reset()
-        best_cost = np.inf
-        best_x = np.zeros(self.n_rows, dtype=np.int64)
-        result = CEResult(
-            best_assignment=best_x,
-            best_cost=best_cost,
+        self._best_cost = np.inf
+        self._best_x = np.zeros(self.n_rows, dtype=np.int64)
+        self._k = 0
+        self._finished = False
+        self._result = CEResult(
+            best_assignment=self._best_x,
+            best_cost=np.inf,
             n_iterations=0,
             n_evaluations=0,
             stop_reason="not run",
         )
 
-        for k in range(1, cfg.max_iterations + 1):
-            X = self._sample(self.matrix.view(), cfg.n_samples, self.rng)
-            costs = self._score(X, result)
-            result.n_evaluations += X.shape[0]
+    @property
+    def finished(self) -> bool:
+        """True once a stopping criterion (or an external stop) fired."""
+        return self._finished
 
-            gamma, elite_idx = self._select(costs, cfg.rho)
-            iter_best = int(np.argmin(costs))
-            if costs[iter_best] < best_cost:
-                best_cost = float(costs[iter_best])
-                best_x = X[iter_best].copy()
+    @property
+    def iteration(self) -> int:
+        """Completed CE iterations of the current run."""
+        return self._k
 
-            self.matrix.update_from_elites(X[elite_idx], zeta=cfg.zeta)
+    @property
+    def best_cost(self) -> float:
+        """Incumbent best cost of the current run."""
+        return float(self._best_cost)
 
-            result.gamma_history.append(float(gamma))
-            result.best_cost_history.append(best_cost)
-            result.degeneracy_history.append(self.matrix.degeneracy())
-            result.entropy_history.append(self.matrix.entropy())
-            if cfg.track_matrices and (k - 1) % cfg.matrix_snapshot_every == 0:
-                result.matrix_history.append(self.matrix.values)
-            result.n_iterations = k
+    def step(self) -> bool:
+        """One CE iteration (Fig. 5 steps 2-7); returns True on improvement."""
+        cfg = self.config
+        result = self._require_started()
+        k = self._k + 1
+        X = self._sample(self.matrix.view(), cfg.n_samples, self.rng)
+        costs = self._score(X, result)
+        result.n_evaluations += X.shape[0]
 
-            state = IterationState(
-                iteration=k, gamma=float(gamma), best_cost=best_cost, matrix=self.matrix
-            )
-            if self.stopping.update(state):
-                result.stop_reason = self.stopping.reason
-                result.stop_kind = self.stopping.kind
-                break
-        else:  # pragma: no cover - loop always breaks via MaxIterations
-            result.stop_reason = "iteration budget exhausted"
-            result.stop_kind = StopKind.BUDGET
+        gamma, elite_idx = self._select(costs, cfg.rho)
+        iter_best = int(np.argmin(costs))
+        improved = bool(costs[iter_best] < self._best_cost)
+        if improved:
+            self._best_cost = float(costs[iter_best])
+            self._best_x = X[iter_best].copy()
 
-        result.best_assignment = best_x
-        result.best_cost = best_cost
+        self.matrix.update_from_elites(X[elite_idx], zeta=cfg.zeta)
+
+        result.gamma_history.append(float(gamma))
+        result.best_cost_history.append(float(self._best_cost))
+        result.degeneracy_history.append(self.matrix.degeneracy())
+        result.entropy_history.append(self.matrix.entropy())
+        if cfg.track_matrices and (k - 1) % cfg.matrix_snapshot_every == 0:
+            result.matrix_history.append(self.matrix.values)
+        result.n_iterations = k
+        self._k = k
+
+        state = IterationState(
+            iteration=k,
+            gamma=float(gamma),
+            best_cost=float(self._best_cost),
+            matrix=self.matrix,
+        )
+        if self.stopping.update(state):
+            result.stop_reason = self.stopping.reason
+            result.stop_kind = self.stopping.kind
+            self._finished = True
+        return improved
+
+    def note_external_stop(self, reason: str) -> None:
+        """Record that the surrounding loop ended the run (budget/interrupt)."""
+        result = self._require_started()
+        result.stop_reason = reason
+        result.stop_kind = StopKind.EXTERNAL
+        self._finished = True
+
+    def finalize(self) -> CEResult:
+        """Freeze and return the result of the current run."""
+        cfg = self.config
+        result = self._require_started()
+        result.best_assignment = self._best_x
+        result.best_cost = (
+            float(self._best_cost) if np.isfinite(self._best_cost) else np.inf
+        )
         result.final_matrix = self.matrix.values
         if cfg.track_matrices and (
             not result.matrix_history
@@ -322,3 +378,87 @@ class CrossEntropyOptimizer:
         ):
             result.matrix_history.append(result.final_matrix)
         return result
+
+    def _require_started(self) -> CEResult:
+        if self._result is None:
+            raise ConfigurationError("call start() before step()/finalize()")
+        return self._result
+
+    def run(self) -> CEResult:
+        """Execute the CE loop (Fig. 5 steps 2-8) and return the result.
+
+        Equivalent to ``start()`` + ``step()`` until ``finished`` +
+        ``finalize()`` — the stepwise protocol the solver runtime drives;
+        this convenience keeps the one-call API. ``MaxIterations`` is
+        always in the criterion set, so the loop terminates.
+        """
+        self.start()
+        while not self._finished:
+            self.step()
+        return self.finalize()
+
+    # -- checkpoint support -----------------------------------------------------
+    def export_state(self) -> dict:
+        """JSON-able live run state: matrix, RNG position, histories, stopping.
+
+        Restoring with :meth:`restore_state` on a freshly constructed
+        optimizer (same config) resumes the run bit-for-bit: the next
+        ``step()`` draws the exact samples the uninterrupted run would.
+        """
+        result = self._require_started()
+        state: dict = {
+            "k": self._k,
+            "finished": self._finished,
+            "matrix": self.matrix.values.tolist(),
+            "rng": generator_state(self.rng),
+            "best_cost": (
+                float(self._best_cost) if np.isfinite(self._best_cost) else None
+            ),
+            "best_x": self._best_x.tolist(),
+            "stopping": self.stopping.export_state(),
+            "result": {
+                "n_evaluations": result.n_evaluations,
+                "n_unique_evaluations": result.n_unique_evaluations,
+                "stop_reason": result.stop_reason,
+                "stop_kind": result.stop_kind.value,
+                "gamma_history": list(result.gamma_history),
+                "best_cost_history": list(result.best_cost_history),
+                "degeneracy_history": list(result.degeneracy_history),
+                "entropy_history": list(result.entropy_history),
+                "dedup_rate_history": list(result.dedup_rate_history),
+            },
+        }
+        if self.config.track_matrices:
+            state["matrix_history"] = [m.tolist() for m in result.matrix_history]
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Resume mid-run from :meth:`export_state` output (same config)."""
+        self.matrix = StochasticMatrix(np.asarray(state["matrix"], dtype=np.float64))
+        self.rng = generator_from_state(state["rng"])
+        self._k = int(state["k"])
+        self._finished = bool(state["finished"])
+        best_cost = state.get("best_cost")
+        self._best_cost = np.inf if best_cost is None else float(best_cost)
+        self._best_x = np.asarray(state["best_x"], dtype=np.int64)
+        self.stopping.reset()
+        self.stopping.restore_state(state["stopping"])
+        saved = state["result"]
+        self._result = CEResult(
+            best_assignment=self._best_x,
+            best_cost=self._best_cost,
+            n_iterations=self._k,
+            n_evaluations=int(saved["n_evaluations"]),
+            stop_reason=str(saved["stop_reason"]),
+            stop_kind=StopKind(saved["stop_kind"]),
+            n_unique_evaluations=int(saved["n_unique_evaluations"]),
+            gamma_history=[float(v) for v in saved["gamma_history"]],
+            best_cost_history=[float(v) for v in saved["best_cost_history"]],
+            degeneracy_history=[float(v) for v in saved["degeneracy_history"]],
+            entropy_history=[float(v) for v in saved["entropy_history"]],
+            dedup_rate_history=[float(v) for v in saved["dedup_rate_history"]],
+        )
+        if self.config.track_matrices and "matrix_history" in state:
+            self._result.matrix_history = [
+                np.asarray(m, dtype=np.float64) for m in state["matrix_history"]
+            ]

@@ -51,6 +51,10 @@ class StopKind(enum.Enum):
     GAMMA_STAGNATION = "gamma_stagnation"
     DEGENERATE = "degenerate"
     CUSTOM = "custom"
+    #: The run was ended from outside the CE engine — an
+    #: :class:`repro.runtime.budget.EvaluationBudget` limit or an
+    #: interrupt in the surrounding :class:`repro.runtime.loop.SearchLoop`.
+    EXTERNAL = "external"
 
 
 @dataclass(frozen=True)
@@ -81,6 +85,14 @@ class StoppingCriterion:
     def kind(self) -> StopKind:
         """Structured stop kind; user-defined criteria default to CUSTOM."""
         return StopKind.CUSTOM
+
+    # -- checkpoint support (stateless criteria need no override) ----------
+    def export_state(self) -> dict:
+        """JSON-able snapshot of accumulated history (for checkpoints)."""
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild accumulated history from :meth:`export_state` output."""
 
 
 class RowMaximaStable(StoppingCriterion):
@@ -116,6 +128,17 @@ class RowMaximaStable(StoppingCriterion):
     def reset(self) -> None:
         self._prev = None
         self._stable = 0
+
+    def export_state(self) -> dict:
+        return {
+            "prev": None if self._prev is None else self._prev.tolist(),
+            "stable": self._stable,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        prev = state.get("prev")
+        self._prev = None if prev is None else np.asarray(prev, dtype=np.float64)
+        self._stable = int(state.get("stable", 0))
 
     @property
     def reason(self) -> str:
@@ -155,6 +178,17 @@ class ArgmaxStable(StoppingCriterion):
         self._prev = None
         self._stable = 0
 
+    def export_state(self) -> dict:
+        return {
+            "prev": None if self._prev is None else self._prev.tolist(),
+            "stable": self._stable,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        prev = state.get("prev")
+        self._prev = None if prev is None else np.asarray(prev, dtype=np.int64)
+        self._stable = int(state.get("stable", 0))
+
     @property
     def reason(self) -> str:
         return f"decoded mapping stable for {self.c} iterations"
@@ -186,6 +220,14 @@ class GammaStagnation(StoppingCriterion):
     def reset(self) -> None:
         self._prev = None
         self._stable = 0
+
+    def export_state(self) -> dict:
+        return {"prev": self._prev, "stable": self._stable}
+
+    def restore_state(self, state: dict) -> None:
+        prev = state.get("prev")
+        self._prev = None if prev is None else float(prev)
+        self._stable = int(state.get("stable", 0))
 
     @property
     def reason(self) -> str:
@@ -260,6 +302,21 @@ class AnyOf(StoppingCriterion):
         self._fired = None
         for crit in self.criteria:
             crit.reset()
+
+    def export_state(self) -> dict:
+        # Positional: the resuming process rebuilds the identical criterion
+        # tuple from config, so index i pairs with the same criterion.
+        return {"members": [crit.export_state() for crit in self.criteria]}
+
+    def restore_state(self, state: dict) -> None:
+        members = state.get("members", [])
+        if len(members) != len(self.criteria):
+            raise ConfigurationError(
+                f"stopping state has {len(members)} members, "
+                f"expected {len(self.criteria)} — config mismatch on resume"
+            )
+        for crit, member in zip(self.criteria, members):
+            crit.restore_state(member)
 
     @property
     def reason(self) -> str:

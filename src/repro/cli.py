@@ -7,6 +7,9 @@ Usage::
     python -m repro table3 --scale paper # paper-scale ANOVA study
     python -m repro all --seed 7         # every artifact
     python -m repro solve --size 20      # run MaTCH on a fresh instance
+    python -m repro solve --heuristic tabu --budget-evals 2000 \
+        --checkpoint run.ckpt            # budgeted, resumable run
+    python -m repro resume run.ckpt      # continue an interrupted run
 
 The ``repro-match`` console script installs the same entry point.
 """
@@ -47,11 +50,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(report)
 
-    solve = sub.add_parser("solve", help="run MaTCH on a freshly generated instance")
+    from repro.runtime import solver_names
+
+    solve = sub.add_parser("solve", help="run a heuristic on a freshly generated instance")
     solve.add_argument("--size", type=int, default=20, help="|V_t| = |V_r| (default 20)")
-    solve.add_argument("--rho", type=float, default=0.05, help="focus parameter")
-    solve.add_argument("--zeta", type=float, default=0.3, help="smoothing factor")
+    solve.add_argument(
+        "--heuristic",
+        choices=solver_names(),
+        default="match",
+        help="solver-registry name of the heuristic (default: match)",
+    )
+    solve.add_argument("--rho", type=float, default=0.05, help="focus parameter (match only)")
+    solve.add_argument("--zeta", type=float, default=0.3, help="smoothing factor (match only)")
     solve.add_argument("--seed", type=int, default=2005, help="root seed")
+    solve.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="write a resumable repro-checkpoint/1 file as the run progresses",
+    )
+    solve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="checkpoint cadence in solver iterations (default 1)",
+    )
+    _add_budget_args(solve)
+
+    resume = sub.add_parser(
+        "resume", help="continue an interrupted run from its checkpoint file"
+    )
+    resume.add_argument("checkpoint", help="path to a repro-checkpoint/1 JSON file")
+    resume.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="do not keep updating the checkpoint while the resumed run progresses",
+    )
+    _add_budget_args(resume)
 
     # Sugar: every experiment id is also a first-class subcommand.
     from repro.experiments.registry import EXPERIMENTS
@@ -72,6 +108,47 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_budget_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--budget-evals",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N cost evaluations",
+    )
+    parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="stop after S heuristic wall-clock seconds",
+    )
+    parser.add_argument(
+        "--target-cost",
+        type=float,
+        default=None,
+        metavar="C",
+        help="stop once the incumbent execution time reaches C",
+    )
+
+
+def _budget_from_args(args: argparse.Namespace):
+    """An EvaluationBudget from the CLI flags, or None when none were given."""
+    if (
+        args.budget_evals is None
+        and args.budget_seconds is None
+        and args.target_cost is None
+    ):
+        return None
+    from repro.runtime import EvaluationBudget
+
+    return EvaluationBudget(
+        max_evaluations=args.budget_evals,
+        max_seconds=args.budget_seconds,
+        target_cost=args.target_cost,
+    )
+
+
 def _resolve_profile(scale: str | None):
     from repro.experiments.spec import PAPER_PROFILE, SMOKE_PROFILE, active_profile
 
@@ -82,32 +159,73 @@ def _resolve_profile(scale: str | None):
     return active_profile()
 
 
-def _cmd_solve(args: argparse.Namespace) -> int:
+def _print_solve_result(title: str, result) -> None:
     import numpy as np
 
-    from repro.core import MatchConfig, MatchMapper
+    from repro.utils.tables import render_kv_block
+
+    rows = {
+        "execution time (ET)": result.execution_time,
+        "mapping time (MT, s)": result.mapping_time,
+        "evaluations": result.n_evaluations,
+    }
+    for key in ("iterations", "stop_reason"):
+        if key in result.extras:
+            rows[key.replace("_", " ")] = result.extras[key]
+    print(render_kv_block(title, rows))
+    print("\nassignment (task -> resource):")
+    print(np.array2string(result.assignment, max_line_width=100))
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.graphs import generate_paper_pair
     from repro.mapping import MappingProblem
-    from repro.utils.tables import render_kv_block
+    from repro.runtime import CheckpointWriter, create_mapper
 
     pair = generate_paper_pair(args.size, args.seed)
     problem = MappingProblem(pair.tig, pair.resources, require_square=True)
-    mapper = MatchMapper(MatchConfig(rho=args.rho, zeta=args.zeta))
-    result = mapper.map(problem, args.seed)
-    print(
-        render_kv_block(
-            f"MaTCH on a fresh n={args.size} instance (seed {args.seed})",
-            {
-                "execution time (ET)": result.execution_time,
-                "mapping time (MT, s)": result.mapping_time,
-                "iterations": result.extras["iterations"],
-                "evaluations": result.n_evaluations,
-                "stop reason": result.extras["stop_reason"],
-            },
+    params = {"rho": args.rho, "zeta": args.zeta} if args.heuristic == "match" else {}
+    mapper = create_mapper(args.heuristic, params)
+    checkpointer = None
+    if args.checkpoint:
+        checkpointer = CheckpointWriter(
+            args.checkpoint,
+            solver_name=args.heuristic,
+            params=mapper.checkpoint_params(),
+            problem=problem,
+            seed=args.seed,
+            every=args.checkpoint_every,
         )
+    try:
+        result = mapper.map(
+            problem,
+            args.seed,
+            budget=_budget_from_args(args),
+            checkpointer=checkpointer,
+        )
+    except KeyboardInterrupt:
+        if args.checkpoint:
+            print(
+                f"\ninterrupted; resume with: repro-match resume {args.checkpoint}",
+                file=sys.stderr,
+            )
+        return 130
+    _print_solve_result(
+        f"{mapper.name} on a fresh n={args.size} instance (seed {args.seed})",
+        result,
     )
-    print("\nassignment (task -> resource):")
-    print(np.array2string(result.assignment, max_line_width=100))
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.runtime import resume_run
+
+    mapper, result = resume_run(
+        args.checkpoint,
+        budget=_budget_from_args(args),
+        keep_checkpointing=not args.no_checkpoint,
+    )
+    _print_solve_result(f"{mapper.name} resumed from {args.checkpoint}", result)
     return 0
 
 
@@ -125,6 +243,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 0
         if args.command == "solve":
             return _cmd_solve(args)
+        if args.command == "resume":
+            return _cmd_resume(args)
         if args.command == "report":
             from pathlib import Path
 

@@ -15,32 +15,165 @@ mapping problem by
 interface (so the experiment harness treats it like any heuristic) and
 exposes the full CE diagnostics through
 :class:`~repro.core.result.MatchResult`.
+
+Both the single run (one CE iteration per
+:class:`~repro.runtime.loop.SearchLoop` step) and the fused ``map_many``
+repetitions (one *joint* multi-chain iteration per step) run inside the
+unified solver runtime, so budgets, hooks and checkpoints govern MaTCH
+exactly as they govern every baseline.
 """
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, ClassVar, Sequence
 
 import numpy as np
 
-from repro.baselines.base import Mapper, MapperResult
-from repro.ce.multichain import MultiChainCE
+from repro.baselines.base import Mapper, MapperResult, MapperSolver
+from repro.ce.multichain import MultiChainCE, MultiChainResult
 from repro.ce.optimizer import CrossEntropyOptimizer
 from repro.core.config import MatchConfig
 from repro.core.result import MatchResult
 from repro.exceptions import ConfigurationError
 from repro.mapping.cost_model import CostModel
 from repro.mapping.problem import MappingProblem
+from repro.runtime.budget import EvaluationBudget
+from repro.runtime.hooks import SearchHooks
+from repro.runtime.loop import SearchLoop
+from repro.runtime.solver import SearchSolver, SolveOutput, StepReport
 from repro.types import SeedLike
-from repro.utils.timing import Stopwatch
 
 __all__ = ["MatchMapper", "match_map"]
+
+
+def _check_one_to_one(problem: MappingProblem) -> None:
+    if problem.n_tasks > problem.n_resources:
+        raise ConfigurationError(
+            "MaTCH one-to-one sampling needs n_resources >= n_tasks "
+            f"(got {problem.n_tasks} tasks, {problem.n_resources} resources)"
+        )
+
+
+class _MatchSolver(MapperSolver):
+    """One CE iteration per step, via the optimizer's own step protocol."""
+
+    def __init__(self, mapper: "MatchMapper") -> None:
+        super().__init__()
+        self.mapper = mapper
+        self._optimizer: CrossEntropyOptimizer | None = None
+
+    def _build_optimizer(self, problem: MappingProblem, seed: SeedLike) -> None:
+        _check_one_to_one(problem)
+        self._ce_cfg = self.mapper.config.ce_config(problem.n_resources)
+        self._optimizer = CrossEntropyOptimizer(
+            self.model.evaluate_batch,
+            problem.n_tasks,
+            problem.n_resources,
+            self._ce_cfg,
+            sampler="permutation",
+            rng=seed,
+            budget=self.budget,
+        )
+        self._problem = problem
+
+    def start(self, problem: MappingProblem, seed: SeedLike) -> None:
+        self._build_optimizer(problem, seed)
+        self._optimizer.start()
+
+    @property
+    def finished(self) -> bool:
+        return self._optimizer is not None and self._optimizer.finished
+
+    def step(self) -> StepReport:
+        improved = self._optimizer.step()
+        it = self._iteration
+        self._iteration += 1
+        return StepReport(
+            iteration=it,
+            best_cost=self._optimizer.best_cost,
+            improved=improved,
+            info={"ce_iteration": self._optimizer.iteration},
+        )
+
+    def note_external_stop(self, kind: str, reason: str) -> None:
+        self._optimizer.note_external_stop(reason)
+
+    def finalize(self) -> SolveOutput:
+        ce_result = self._optimizer.finalize()
+        self.mapper._last_result = MatchResult(
+            problem=self._problem,
+            config=self.mapper.config,
+            ce_result=ce_result,
+        )
+        extras: dict[str, Any] = {
+            "iterations": ce_result.n_iterations,
+            "stop_reason": ce_result.stop_reason,
+            "n_samples_per_iteration": self._ce_cfg.n_samples,
+            "final_degeneracy": (
+                ce_result.degeneracy_history[-1] if ce_result.degeneracy_history else None
+            ),
+        }
+        return SolveOutput(
+            assignment=ce_result.best_assignment,
+            n_evaluations=ce_result.n_evaluations,
+            extras=extras,
+        )
+
+    # -- checkpointing -------------------------------------------------------
+    def export_state(self) -> dict[str, Any]:
+        return {"ce": self._optimizer.export_state(), "iteration": self._iteration}
+
+    def restore_state(self, problem: MappingProblem, state: dict[str, Any]) -> None:
+        self._build_optimizer(problem, None)
+        self._optimizer.restore_state(state["ce"])
+        self._iteration = int(state["iteration"])
+
+
+class _MultiChainSolver(SearchSolver):
+    """One *joint* multi-chain iteration per step (drives ``map_many``)."""
+
+    def __init__(self, engine: MultiChainCE) -> None:
+        super().__init__()
+        self.engine = engine
+        self.joint: MultiChainResult | None = None
+
+    def start(self, problem: MappingProblem, seed: SeedLike) -> None:
+        self.engine.bind_budget(self.budget)
+        self.engine.start()
+
+    @property
+    def finished(self) -> bool:
+        return self.engine.finished
+
+    def step(self) -> StepReport:
+        improved = self.engine.step()
+        it = self._iteration
+        self._iteration += 1
+        return StepReport(
+            iteration=it,
+            best_cost=self.engine.best_cost,
+            improved=improved,
+            info={"live_chains": self.engine.n_live},
+        )
+
+    def note_external_stop(self, kind: str, reason: str) -> None:
+        self.engine.note_external_stop(reason)
+
+    def finalize(self) -> SolveOutput:
+        self.joint = self.engine.finalize()
+        best = self.joint.best
+        return SolveOutput(
+            assignment=best.best_assignment,
+            n_evaluations=self.joint.n_evaluations,
+            extras={"joint_chains": self.joint.n_chains},
+        )
 
 
 class MatchMapper(Mapper):
     """The MaTCH heuristic as a :class:`Mapper`."""
 
     name = "MaTCH"
+    registry_name: ClassVar[str | None] = "match"
 
     def __init__(self, config: MatchConfig = MatchConfig()) -> None:
         self.config = config
@@ -51,38 +184,24 @@ class MatchMapper(Mapper):
         """Full diagnostics of the most recent :meth:`map` call."""
         return self._last_result
 
-    def _solve(
-        self, problem: MappingProblem, model: CostModel, rng: SeedLike
-    ) -> tuple[np.ndarray, int, dict[str, Any]]:
-        if problem.n_tasks > problem.n_resources:
-            raise ConfigurationError(
-                "MaTCH one-to-one sampling needs n_resources >= n_tasks "
-                f"(got {problem.n_tasks} tasks, {problem.n_resources} resources)"
-            )
-        ce_cfg = self.config.ce_config(problem.n_resources)
-        optimizer = CrossEntropyOptimizer(
-            model.evaluate_batch,
-            problem.n_tasks,
-            problem.n_resources,
-            ce_cfg,
-            sampler="permutation",
-            rng=rng,
-        )
-        ce_result = optimizer.run()
-        self._last_result = MatchResult(
-            problem=problem,
-            config=self.config,
-            ce_result=ce_result,
-        )
-        extras: dict[str, Any] = {
-            "iterations": ce_result.n_iterations,
-            "stop_reason": ce_result.stop_reason,
-            "n_samples_per_iteration": ce_cfg.n_samples,
-            "final_degeneracy": (
-                ce_result.degeneracy_history[-1] if ce_result.degeneracy_history else None
-            ),
+    def checkpoint_params(self) -> dict[str, Any]:
+        cfg = self.config
+        return {
+            "rho": cfg.rho,
+            "zeta": cfg.zeta,
+            "n_samples": cfg.n_samples,
+            "stability_window": cfg.stability_window,
+            "stability_tol": cfg.stability_tol,
+            "gamma_window": cfg.gamma_window,
+            "elite_mode": cfg.elite_mode,
+            "max_iterations": cfg.max_iterations,
+            "track_matrices": cfg.track_matrices,
+            "matrix_snapshot_every": cfg.matrix_snapshot_every,
+            "dedup": cfg.dedup,
         }
-        return ce_result.best_assignment, ce_result.n_evaluations, extras
+
+    def _make_solver(self) -> MapperSolver:
+        return _MatchSolver(self)
 
     def map_many(
         self,
@@ -90,6 +209,8 @@ class MatchMapper(Mapper):
         seeds: Sequence[SeedLike],
         *,
         n_workers: int | None = None,
+        budget: EvaluationBudget | None = None,
+        hooks: SearchHooks | None = None,
     ) -> list[MapperResult]:
         """Fused repetitions: all seeds advance as one multi-chain CE run.
 
@@ -103,28 +224,31 @@ class MatchMapper(Mapper):
         seed-for-seed exact); only ``mapping_time`` differs — the joint
         wall-clock is amortized evenly over the runs, which is also how a
         per-run MT should be read in Table 3 style aggregates.
-        ``n_workers`` is accepted for interface symmetry and ignored: the
-        fused path is single-process by design.
+        The joint loop is a :class:`~repro.runtime.loop.SearchLoop` like any
+        other: ``budget`` caps the combined evaluations of all chains and
+        ``hooks`` observe the joint iterations. ``n_workers`` is accepted
+        for interface symmetry and ignored: the fused path is
+        single-process by design.
         """
         seeds = list(seeds)
         if not seeds:
             return []
-        if problem.n_tasks > problem.n_resources:
-            raise ConfigurationError(
-                "MaTCH one-to-one sampling needs n_resources >= n_tasks "
-                f"(got {problem.n_tasks} tasks, {problem.n_resources} resources)"
-            )
+        _check_one_to_one(problem)
         model = CostModel(problem)
         ce_cfg = self.config.ce_config(problem.n_resources)
-        with Stopwatch() as sw:
-            joint = MultiChainCE(
-                model.evaluate_batch,
-                problem.n_tasks,
-                problem.n_resources,
-                ce_cfg,
-                seeds=seeds,
-            ).run()
-        per_run_time = sw.elapsed / len(seeds)
+        engine = MultiChainCE(
+            model.evaluate_batch,
+            problem.n_tasks,
+            problem.n_resources,
+            ce_cfg,
+            seeds=seeds,
+        )
+        solver = _MultiChainSolver(engine)
+        loop = SearchLoop(solver, budget=budget, hooks=hooks)
+        outcome = loop.run(problem, None)
+        joint = solver.joint
+        assert joint is not None
+        per_run_time = outcome.elapsed / len(seeds)
         results: list[MapperResult] = []
         for res in joint.chains:
             assignment = problem.check_assignment(

@@ -47,3 +47,13 @@ class ExperimentError(ReproError):
 
 class SerializationError(ReproError):
     """An object could not be serialized to, or deserialized from, disk."""
+
+
+class CheckpointError(ReproError):
+    """A solver checkpoint is missing, malformed, or incompatible.
+
+    Raised when resuming from a checkpoint whose format/solver does not
+    match the running code, or when a solver cannot export live state
+    (e.g. the fused multi-chain CE path, which interleaves chains and has
+    no per-run resumable position).
+    """

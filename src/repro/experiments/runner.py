@@ -13,23 +13,32 @@ and each carries its own derived seed, so :func:`run_comparison` dispatches
 them across a process pool (:func:`repro.utils.parallel.parallel_map`);
 every result field except the measured ``mapping_time`` wall-clock is
 identical — record for record — to the serial loop for any worker count.
-The default mapper factories are small frozen dataclasses rather than
-closures precisely so cells stay picklable.
+
+Heuristics are addressed through the solver registry
+(:mod:`repro.runtime.registry`): a cell's mapper is rebuilt in the worker
+from a picklable :class:`~repro.runtime.registry.SolverSpec` (name +
+constructor params), so any registered solver — built-in or third-party —
+plugs into the §5.3 protocol by name. ``mappers`` values may be specs
+directly or ``size -> spec``/``size -> Mapper`` callables; the historical
+:class:`MatchFactory` / :class:`GAFactory` classes remain as thin
+spec-backed wrappers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
 from repro.baselines.base import Mapper
-from repro.baselines.ga import FastMapGA, GAConfig
-from repro.core.config import MatchConfig
-from repro.core.match import MatchMapper
+from repro.exceptions import ConfigurationError
 from repro.experiments.spec import ScaleProfile
 from repro.experiments.suite import SuiteInstance, build_suite
+from repro.runtime.budget import EvaluationBudget
+from repro.runtime.checkpoint import CheckpointWriter
+from repro.runtime.hooks import SearchHooks
+from repro.runtime.registry import SolverSpec
 from repro.stats.comparison import SeriesBySize
 from repro.utils.parallel import parallel_map
 from repro.utils.rng import RngStreams
@@ -42,10 +51,15 @@ __all__ = [
     "default_mappers",
     "MatchFactory",
     "GAFactory",
+    "SpecFactory",
     "run_instance",
 ]
 
-MapperFactory = Callable[[int], Mapper]
+#: A heuristic entry in ``run_comparison``: either a fixed spec, or a
+#: callable from instance size to a spec (or to a ready mapper, for
+#: heuristics that bypass the registry).
+MapperFactory = Callable[[int], "Mapper | SolverSpec"]
+MapperLike = "SolverSpec | MapperFactory"
 
 
 @dataclass(frozen=True)
@@ -86,28 +100,39 @@ class ComparisonData:
 
 
 @dataclass(frozen=True)
+class SpecFactory:
+    """Picklable factory returning the same registry spec at every size."""
+
+    spec: SolverSpec
+
+    def __call__(self, size: int) -> SolverSpec:
+        return self.spec
+
+
+@dataclass(frozen=True)
 class MatchFactory:
-    """Picklable factory for :class:`MatchMapper` at fixed parameters."""
+    """Picklable factory for the ``"match"`` registry solver at fixed params."""
 
     max_iterations: int
 
-    def __call__(self, size: int) -> Mapper:
-        return MatchMapper(MatchConfig(max_iterations=self.max_iterations))
+    def __call__(self, size: int) -> SolverSpec:
+        return SolverSpec.of("match", {"max_iterations": self.max_iterations})
 
 
 @dataclass(frozen=True)
 class GAFactory:
-    """Picklable factory for :class:`FastMapGA` at fixed parameters."""
+    """Picklable factory for the ``"fastmap-ga"`` registry solver at fixed params."""
 
     population_size: int
     generations: int
 
-    def __call__(self, size: int) -> Mapper:
-        return FastMapGA(
-            GAConfig(
-                population_size=self.population_size,
-                generations=self.generations,
-            )
+    def __call__(self, size: int) -> SolverSpec:
+        return SolverSpec.of(
+            "fastmap-ga",
+            {
+                "population_size": self.population_size,
+                "generations": self.generations,
+            },
         )
 
 
@@ -122,11 +147,60 @@ def default_mappers(profile: ScaleProfile) -> dict[str, MapperFactory]:
     }
 
 
+def _build_mapper(entry: "Mapper | SolverSpec | MapperLike", size: int) -> Mapper:
+    """Resolve a heuristic entry to a fresh mapper for a given size."""
+    if isinstance(entry, SolverSpec):
+        return entry.build()
+    made = entry(size) if callable(entry) else entry
+    if isinstance(made, SolverSpec):
+        return made.build()
+    if isinstance(made, Mapper):
+        return made
+    raise ConfigurationError(
+        f"mapper entry must yield a Mapper or SolverSpec, got {type(made).__name__}"
+    )
+
+
 def run_instance(
-    mapper: Mapper, instance: SuiteInstance, rng_seed: int
+    mapper: Mapper,
+    instance: SuiteInstance,
+    rng_seed: int,
+    *,
+    budget: EvaluationBudget | None = None,
+    hooks: SearchHooks | None = None,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int = 1,
 ) -> tuple[float, float, int]:
-    """Run one heuristic once; returns (ET, MT, evaluations)."""
-    result = mapper.map(instance.problem, rng_seed)
+    """Run one heuristic once; returns (ET, MT, evaluations).
+
+    ``checkpoint_path`` attaches a :class:`CheckpointWriter` (writing
+    every ``checkpoint_every`` iterations) so the run can be picked up by
+    :func:`repro.runtime.resume_run` after a kill; it requires the mapper
+    to carry a registry identity (``registry_name``), since that identity
+    is what the checkpoint stores to rebuild the mapper on resume.
+    """
+    checkpointer = None
+    if checkpoint_path is not None:
+        if mapper.registry_name is None:
+            raise ConfigurationError(
+                f"{mapper.name} has no solver-registry identity; "
+                "checkpointing needs a registered solver"
+            )
+        checkpointer = CheckpointWriter(
+            checkpoint_path,
+            solver_name=mapper.registry_name,
+            params=mapper.checkpoint_params(),
+            problem=instance.problem,
+            seed=rng_seed,
+            every=checkpoint_every,
+        )
+    result = mapper.map(
+        instance.problem,
+        rng_seed,
+        budget=budget,
+        hooks=hooks,
+        checkpointer=checkpointer,
+    )
     return result.execution_time, result.mapping_time, result.n_evaluations
 
 
@@ -134,23 +208,24 @@ def run_instance(
 class _ComparisonCell:
     """One self-contained (heuristic, instance, repetition) unit of work.
 
-    Carries everything a worker process needs: the picklable mapper
-    factory, the problem instance, and the cell's own derived seed — so
-    execution order (and process placement) cannot influence any result.
+    Carries everything a worker process needs: the picklable solver spec
+    (or factory), the problem instance, and the cell's own derived seed —
+    so execution order (and process placement) cannot influence any
+    result.
     """
 
     heuristic: str
     size: int
     pair_index: int
     run_index: int
-    factory: MapperFactory
+    factory: Any  # SolverSpec or MapperFactory (both picklable)
     instance: SuiteInstance
     run_seed: int
 
 
 def _run_cell(cell: _ComparisonCell) -> RunRecord:
     """Top-level (picklable) worker: execute one comparison cell."""
-    mapper = cell.factory(cell.size)
+    mapper = _build_mapper(cell.factory, cell.size)
     et, mt, evals = run_instance(mapper, cell.instance, cell.run_seed)
     return RunRecord(
         heuristic=cell.heuristic,
@@ -167,7 +242,7 @@ def run_comparison(
     profile: ScaleProfile,
     *,
     seed: int = 2005,
-    mappers: dict[str, MapperFactory] | None = None,
+    mappers: "dict[str, SolverSpec | MapperFactory] | None" = None,
     progress: Callable[[str], None] | None = None,
     n_workers: int | None = None,
 ) -> ComparisonData:

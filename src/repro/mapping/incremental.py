@@ -145,6 +145,31 @@ class IncrementalEvaluator:
         """Recompute the per-resource times from scratch (drift guard)."""
         self._exec = self.model.per_resource_times(self._x).astype(np.float64)
 
+    # -- checkpoint support --------------------------------------------------------
+    def export_state(self) -> dict:
+        """JSON-able snapshot of the live state (assignment + delta-maintained times).
+
+        The per-resource times are serialized verbatim rather than recomputed
+        on restore: ``_exec`` is delta-maintained, so a fresh Eq. (1) pass can
+        differ from the accumulated floats in the last ulps — enough to flip a
+        ``cost < current - 1e-12`` comparison and desynchronize a resumed
+        search from the uninterrupted one.
+        """
+        return {"assignment": self._x.tolist(), "exec": self._exec.tolist()}
+
+    @classmethod
+    def from_state(cls, model: CostModel, state: dict) -> "IncrementalEvaluator":
+        """Rebuild an evaluator mid-run from :meth:`export_state` output."""
+        inc = cls(model, np.asarray(state["assignment"], dtype=np.int64))
+        exec_s = np.asarray(state["exec"], dtype=np.float64)
+        if exec_s.shape != inc._exec.shape:
+            raise MappingError(
+                f"checkpointed per-resource times have shape {exec_s.shape}, "
+                f"expected {inc._exec.shape}"
+            )
+        inc._exec = exec_s
+        return inc
+
     # -- checks --------------------------------------------------------------------
     def _check_task(self, task: int) -> None:
         if not 0 <= task < self.model.problem.n_tasks:

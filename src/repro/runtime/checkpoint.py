@@ -1,0 +1,151 @@
+"""Checkpoint format and mid-run save/restore for solver runs.
+
+A checkpoint is a single self-contained JSON file (format
+``repro-checkpoint/1``) holding everything needed to resume a run on a
+fresh process — no pickles, no references back to the writing process:
+
+* the solver's registry identity (``name`` + constructor ``params``);
+* the problem instance itself (both graphs, via the versioned
+  ``repro.graph/1`` schema from :mod:`repro.graphs.io`);
+* the shared :class:`~repro.runtime.budget.EvaluationBudget` (limits and
+  evaluations already spent);
+* the heuristic-only elapsed seconds so the resumed run's MT covers the
+  whole logical run;
+* the solver's live state — incumbent, data structures, and the exact RNG
+  stream position (:func:`repro.utils.rng.generator_state`) — so the
+  resumed run is *bit-identical* to an uninterrupted one.
+
+:class:`CheckpointWriter` is attached to a
+:class:`~repro.runtime.loop.SearchLoop` and writes every ``every``-th
+iteration (plus an emergency write on ``KeyboardInterrupt``); writes
+happen while the loop's MT stopwatch is stopped, so durability is free in
+the Fig. 8/9 measurements. Files are written atomically (temp file +
+``os.replace``) so a kill mid-write never leaves a truncated checkpoint.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import CheckpointError
+from repro.graphs.io import graph_from_dict, graph_to_dict
+from repro.mapping.problem import MappingProblem
+from repro.runtime.budget import EvaluationBudget
+from repro.runtime.solver import SearchSolver
+from repro.utils.serialization import dump_json, load_json
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CheckpointWriter",
+    "problem_to_payload",
+    "problem_from_payload",
+    "load_checkpoint",
+]
+
+CHECKPOINT_FORMAT = "repro-checkpoint/1"
+
+
+def problem_to_payload(problem: MappingProblem) -> dict[str, Any]:
+    """Serialize a :class:`MappingProblem` into the checkpoint's problem field."""
+    return {
+        "tig": graph_to_dict(problem.tig),
+        "resources": graph_to_dict(problem.resources),
+    }
+
+
+def problem_from_payload(payload: dict[str, Any]) -> MappingProblem:
+    """Rebuild the problem instance stored in a checkpoint."""
+    try:
+        tig = graph_from_dict(payload["tig"])
+        resources = graph_from_dict(payload["resources"])
+    except (KeyError, TypeError) as exc:
+        raise CheckpointError(f"malformed problem payload in checkpoint: {exc}") from exc
+    return MappingProblem(tig, resources)  # type: ignore[arg-type]
+
+
+class CheckpointWriter:
+    """Periodically persist a running solver; attached to a ``SearchLoop``.
+
+    Parameters
+    ----------
+    path:
+        Where the checkpoint JSON is written (atomically, overwritten in
+        place — the file always holds the latest snapshot).
+    solver_name / params:
+        The solver's registry identity; ``resume_run`` rebuilds the mapper
+        from these, so they must be the registry name and the
+        ``checkpoint_params()`` of the mapper being run.
+    problem:
+        The instance being solved (serialized into every checkpoint).
+    seed:
+        The integer seed of this run, recorded for provenance (the live
+        RNG position in the solver state is what resume actually uses).
+    every:
+        Write frequency in completed iterations (>= 1).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        solver_name: str,
+        params: dict[str, Any],
+        problem: MappingProblem,
+        seed: int | None = None,
+        every: int = 1,
+    ) -> None:
+        if every < 1:
+            raise CheckpointError(f"checkpoint frequency must be >= 1, got {every}")
+        self.path = Path(path)
+        self.solver_name = solver_name
+        self.params = dict(params)
+        self.seed = seed
+        self.every = every
+        self._problem_payload = problem_to_payload(problem)
+        self.n_writes = 0
+
+    def maybe_save(
+        self, solver: SearchSolver, budget: EvaluationBudget, elapsed: float
+    ) -> bool:
+        """Write a checkpoint if the iteration count hits the cadence."""
+        if solver.iteration % self.every != 0:
+            return False
+        self.save_now(solver, budget, elapsed)
+        return True
+
+    def save_now(
+        self, solver: SearchSolver, budget: EvaluationBudget, elapsed: float
+    ) -> Path:
+        """Write a checkpoint unconditionally (atomic replace)."""
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "solver": {"name": self.solver_name, "params": self.params},
+            "seed": self.seed,
+            "iteration": solver.iteration,
+            "elapsed": elapsed,
+            "checkpoint_every": self.every,
+            "budget": budget.export_state(),
+            "problem": self._problem_payload,
+            "state": solver.export_state(),
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        dump_json(payload, tmp)
+        os.replace(tmp, self.path)
+        self.n_writes += 1
+        return self.path
+
+
+def load_checkpoint(path: str | Path) -> dict[str, Any]:
+    """Load and format-check a checkpoint file; returns the raw payload."""
+    payload = load_json(path)
+    if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"{path} is not a {CHECKPOINT_FORMAT!r} checkpoint "
+            f"(format={payload.get('format') if isinstance(payload, dict) else None!r})"
+        )
+    for key in ("solver", "problem", "state"):
+        if key not in payload:
+            raise CheckpointError(f"checkpoint {path} is missing the {key!r} field")
+    return payload

@@ -1,0 +1,81 @@
+"""EvaluationBudget: limits, charging, trip order, serialization."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.runtime import EvaluationBudget
+from repro.runtime.budget import BUDGET_EVALUATIONS, BUDGET_SECONDS, BUDGET_TARGET
+
+
+class TestValidation:
+    def test_rejects_non_positive_evaluations(self):
+        with pytest.raises(ConfigurationError):
+            EvaluationBudget(max_evaluations=0)
+
+    def test_rejects_non_positive_seconds(self):
+        with pytest.raises(ConfigurationError):
+            EvaluationBudget(max_seconds=0.0)
+
+
+class TestCharging:
+    def test_unlimited_budget_never_exhausts(self):
+        b = EvaluationBudget()
+        b.charge(10**9)
+        assert not b.limited
+        assert b.exhausted(elapsed=1e9, best_cost=0.0) is None
+        assert b.evaluations_remaining() == math.inf
+
+    def test_charge_accumulates(self):
+        b = EvaluationBudget(max_evaluations=100)
+        b.charge(30)
+        b.charge()  # default n=1
+        assert b.used == 31
+        assert b.evaluations_remaining() == 69
+
+    def test_evaluation_limit_trips(self):
+        b = EvaluationBudget(max_evaluations=10)
+        b.charge(9)
+        assert b.exhausted() is None
+        b.charge(1)
+        kind, reason = b.exhausted()
+        assert kind == BUDGET_EVALUATIONS
+        assert "10" in reason
+
+    def test_time_limit_trips(self):
+        b = EvaluationBudget(max_seconds=1.5)
+        assert b.exhausted(elapsed=1.4) is None
+        kind, _ = b.exhausted(elapsed=1.5)
+        assert kind == BUDGET_SECONDS
+
+    def test_target_cost_trips(self):
+        b = EvaluationBudget(target_cost=100.0)
+        assert b.exhausted(best_cost=100.5) is None
+        kind, _ = b.exhausted(best_cost=100.0)
+        assert kind == BUDGET_TARGET
+
+    def test_trip_priority_target_then_evals_then_seconds(self):
+        b = EvaluationBudget(max_evaluations=1, max_seconds=0.001, target_cost=50.0)
+        b.charge(5)
+        # All three limits are tripped; target wins, then evaluations.
+        assert b.exhausted(elapsed=10.0, best_cost=10.0)[0] == BUDGET_TARGET
+        assert b.exhausted(elapsed=10.0, best_cost=math.inf)[0] == BUDGET_EVALUATIONS
+
+
+class TestSerialization:
+    def test_round_trip_preserves_limits_and_consumption(self):
+        b = EvaluationBudget(max_evaluations=500, max_seconds=2.0, target_cost=7.0)
+        b.charge(123)
+        clone = EvaluationBudget.from_state(b.export_state())
+        assert clone.max_evaluations == 500
+        assert clone.max_seconds == 2.0
+        assert clone.target_cost == 7.0
+        assert clone.used == 123
+
+    def test_round_trip_unlimited(self):
+        clone = EvaluationBudget.from_state(EvaluationBudget().export_state())
+        assert not clone.limited
+        assert clone.used == 0

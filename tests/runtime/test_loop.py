@@ -1,0 +1,292 @@
+"""SearchLoop: hook ordering, budget stops, MT measurement discipline.
+
+A scripted solver gives the loop a fully deterministic workload so the
+ordering guarantees and stop kinds of DESIGN.md §8 can be asserted
+exactly; the measurement-discipline tests use deliberately slow hooks and
+checkpoint writes to prove they never reach the reported elapsed time.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    STOP_CONVERGED,
+    STOP_INTERRUPTED,
+    BestCostRecorder,
+    CheckpointWriter,
+    EvaluationBudget,
+    HookList,
+    LoopOutcome,
+    SearchHooks,
+    SearchLoop,
+    SearchSolver,
+    SolveOutput,
+    StepReport,
+)
+from repro.runtime.budget import BUDGET_EVALUATIONS, BUDGET_SECONDS, BUDGET_TARGET
+
+
+class ScriptedSolver(SearchSolver):
+    """Follows a fixed cost script; charges a fixed amount per step."""
+
+    def __init__(
+        self,
+        costs: list[float],
+        *,
+        charge_per_step: int = 10,
+        step_sleep: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.costs = costs
+        self.charge_per_step = charge_per_step
+        self.step_sleep = step_sleep
+        self.best = math.inf
+        self.external_stops: list[tuple[str, str]] = []
+        self.started = False
+
+    def start(self, problem: Any, seed: Any) -> None:
+        self.started = True
+
+    @property
+    def finished(self) -> bool:
+        return self._iteration >= len(self.costs)
+
+    def step(self) -> StepReport:
+        if self.step_sleep:
+            time.sleep(self.step_sleep)
+        cost = self.costs[self._iteration]
+        self.budget.charge(self.charge_per_step)
+        improved = cost < self.best
+        if improved:
+            self.best = cost
+        it = self._iteration
+        self._iteration += 1
+        return StepReport(iteration=it, best_cost=self.best, improved=improved)
+
+    def note_external_stop(self, kind: str, reason: str) -> None:
+        self.external_stops.append((kind, reason))
+
+    def finalize(self) -> SolveOutput:
+        return SolveOutput(
+            assignment=np.arange(3, dtype=np.int64),
+            n_evaluations=self._iteration * self.charge_per_step,
+        )
+
+    def export_state(self) -> dict[str, Any]:
+        return {"iteration": self._iteration, "best": self.best}
+
+    def restore_state(self, problem: Any, state: dict[str, Any]) -> None:
+        self.started = True
+        self._iteration = int(state["iteration"])
+        self.best = float(state["best"])
+
+
+class EventLog(SearchHooks):
+    """Record the exact firing order of every lifecycle event."""
+
+    def __init__(self) -> None:
+        self.events: list[tuple] = []
+
+    def on_start(self, solver, problem) -> None:
+        self.events.append(("start",))
+
+    def on_iteration(self, solver, report) -> None:
+        self.events.append(("iteration", report.iteration))
+
+    def on_improvement(self, solver, report) -> None:
+        self.events.append(("improvement", report.iteration))
+
+    def on_stop(self, solver, kind, reason) -> None:
+        self.events.append(("stop", kind))
+
+
+class TestHookOrdering:
+    def test_full_lifecycle_order(self):
+        log = EventLog()
+        solver = ScriptedSolver([5.0, 7.0, 3.0])  # improves at steps 0 and 2
+        outcome = SearchLoop(solver, hooks=log).run(None, None)
+        assert log.events == [
+            ("start",),
+            ("improvement", 0),
+            ("iteration", 0),
+            ("iteration", 1),
+            ("improvement", 2),
+            ("iteration", 2),
+            ("stop", STOP_CONVERGED),
+        ]
+        assert isinstance(outcome, LoopOutcome)
+        assert outcome.iterations == 3
+
+    def test_hook_list_fires_in_attachment_order(self):
+        a, b = EventLog(), EventLog()
+        SearchLoop(ScriptedSolver([1.0]), hooks=HookList([a, b])).run(None, None)
+        assert a.events == b.events
+        assert a.events[0] == ("start",)
+
+    def test_best_cost_recorder(self):
+        rec = BestCostRecorder()
+        SearchLoop(ScriptedSolver([5.0, 7.0, 3.0]), hooks=rec).run(None, None)
+        assert rec.history == [5.0, 5.0, 3.0]
+        assert rec.improvements == [(0, 5.0), (2, 3.0)]
+        assert rec.stop_kind == STOP_CONVERGED
+
+
+class TestBudgetStops:
+    def test_evaluation_budget_stops_between_steps(self):
+        solver = ScriptedSolver([5.0] * 100, charge_per_step=10)
+        budget = EvaluationBudget(max_evaluations=25)
+        outcome = SearchLoop(solver, budget=budget).run(None, None)
+        # Checked between steps: trips after the 3rd step crosses 25.
+        assert outcome.iterations == 3
+        assert budget.used == 30
+        assert outcome.stop_kind == BUDGET_EVALUATIONS
+        assert solver.external_stops == [(BUDGET_EVALUATIONS, outcome.stop_reason)]
+
+    def test_target_cost_stops(self):
+        solver = ScriptedSolver([9.0, 4.0, 1.0, 0.5])
+        outcome = SearchLoop(solver, budget=EvaluationBudget(target_cost=4.0)).run(
+            None, None
+        )
+        assert outcome.stop_kind == BUDGET_TARGET
+        assert outcome.iterations == 2  # stops once best 4.0 is visible
+
+    def test_time_budget_stops(self):
+        solver = ScriptedSolver([5.0] * 50, step_sleep=0.02)
+        outcome = SearchLoop(solver, budget=EvaluationBudget(max_seconds=0.01)).run(
+            None, None
+        )
+        assert outcome.stop_kind == BUDGET_SECONDS
+        assert outcome.iterations < 50
+
+    def test_unlimited_budget_runs_to_convergence(self):
+        outcome = SearchLoop(ScriptedSolver([5.0, 4.0])).run(None, None)
+        assert outcome.stop_kind == STOP_CONVERGED
+        assert outcome.stop_reason == "solver stopping rule satisfied"
+
+
+class TestMeasurementDiscipline:
+    def test_hook_time_excluded_from_elapsed(self):
+        class SlowHook(SearchHooks):
+            def on_iteration(self, solver, report) -> None:
+                time.sleep(0.05)
+
+        solver = ScriptedSolver([5.0] * 6)
+        outcome = SearchLoop(solver, hooks=SlowHook()).run(None, None)
+        # 6 × 50ms of hook time; the heuristic itself is microseconds.
+        assert outcome.elapsed < 0.05
+
+    def test_checkpoint_time_excluded_from_elapsed(self, tmp_path, golden_problem):
+        class SlowWriter(CheckpointWriter):
+            def save_now(self, solver, budget, elapsed):
+                time.sleep(0.05)
+                return super().save_now(solver, budget, elapsed)
+
+        writer = SlowWriter(
+            tmp_path / "c.json",
+            solver_name="scripted",
+            params={},
+            problem=golden_problem,
+            every=1,
+        )
+        solver = ScriptedSolver([5.0] * 6)
+        outcome = SearchLoop(solver, checkpointer=writer).run(None, None)
+        assert writer.n_writes == 6
+        assert outcome.elapsed < 0.05
+
+    def test_initial_elapsed_carried_into_outcome(self):
+        outcome = SearchLoop(ScriptedSolver([5.0])).run(
+            None, None, resume_state={"iteration": 0, "best": math.inf}
+        )
+        assert outcome.elapsed < 1.0
+        resumed = SearchLoop(ScriptedSolver([5.0])).run(
+            None, None, resume_state={"iteration": 0, "best": math.inf},
+            initial_elapsed=100.0,
+        )
+        assert resumed.elapsed > 100.0
+
+
+class TestInterrupt:
+    def test_interrupt_writes_emergency_checkpoint_and_reraises(
+        self, tmp_path, golden_problem
+    ):
+        path = tmp_path / "emergency.json"
+        writer = CheckpointWriter(
+            path, solver_name="scripted", params={}, problem=golden_problem, every=10**6
+        )
+
+        class KillAfter(SearchHooks):
+            def __init__(self, n: int) -> None:
+                self.n = n
+                self.stop_kind = None
+
+            def on_iteration(self, solver, report) -> None:
+                if report.iteration + 1 >= self.n:
+                    raise KeyboardInterrupt
+
+            def on_stop(self, solver, kind, reason) -> None:
+                self.stop_kind = kind
+
+        hook = KillAfter(2)
+        solver = ScriptedSolver([5.0] * 10)
+        with pytest.raises(KeyboardInterrupt):
+            SearchLoop(solver, hooks=hook, checkpointer=writer).run(None, None)
+        assert hook.stop_kind == STOP_INTERRUPTED
+        assert path.exists()  # the `every` cadence never fired; this is the emergency save
+
+    def test_interrupt_without_checkpointer_still_reraises(self):
+        class Kill(SearchHooks):
+            def on_iteration(self, solver, report) -> None:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            SearchLoop(ScriptedSolver([5.0] * 3), hooks=Kill()).run(None, None)
+
+    def test_mid_step_interrupt_keeps_last_boundary_checkpoint(
+        self, tmp_path, golden_problem
+    ):
+        """A real SIGINT can land inside ``step()``; state is mid-mutation
+        there, so the emergency save must NOT clobber the consistent
+        boundary checkpoint written after the previous step."""
+        from repro.runtime import load_checkpoint
+
+        class MidStepKill(ScriptedSolver):
+            def step(self) -> StepReport:
+                if self._iteration == 2:
+                    # Mutate state first, as a half-finished real step would.
+                    self.best = -1.0
+                    raise KeyboardInterrupt
+                return super().step()
+
+        path = tmp_path / "boundary.json"
+        writer = CheckpointWriter(
+            path, solver_name="scripted", params={}, problem=golden_problem, every=1
+        )
+        solver = MidStepKill([5.0] * 10)
+        with pytest.raises(KeyboardInterrupt):
+            SearchLoop(solver, checkpointer=writer).run(None, None)
+        payload = load_checkpoint(path)
+        # The file still holds the step-2 boundary, not the poisoned state.
+        assert payload["iteration"] == 2
+        assert payload["state"]["best"] == 5.0
+
+    def test_mid_step_interrupt_with_no_prior_write_leaves_no_file(
+        self, tmp_path, golden_problem
+    ):
+        class KillImmediately(ScriptedSolver):
+            def step(self) -> StepReport:
+                raise KeyboardInterrupt
+
+        path = tmp_path / "never.json"
+        writer = CheckpointWriter(
+            path, solver_name="scripted", params={}, problem=golden_problem, every=1
+        )
+        with pytest.raises(KeyboardInterrupt):
+            SearchLoop(KillImmediately([5.0] * 3), checkpointer=writer).run(None, None)
+        # No consistent state ever existed — better no checkpoint than a lie.
+        assert not path.exists()

@@ -1,0 +1,107 @@
+"""Solver registry: names, specs, and experiment-layer integration."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.runtime import SolverSpec, create_mapper, register_solver, solver_names
+from tests.runtime.conftest import SMALL_PARAMS
+
+EXPECTED_SOLVERS = {
+    "match",
+    "fastmap-ga",
+    "fastmap-hier",
+    "sim-anneal",
+    "tabu",
+    "local-search",
+    "random",
+    "greedy",
+}
+
+
+class TestRegistry:
+    def test_all_builtins_registered(self):
+        assert EXPECTED_SOLVERS <= set(solver_names())
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SOLVERS))
+    def test_create_mapper_matches_registry_identity(self, name):
+        mapper = create_mapper(name, SMALL_PARAMS[name])
+        assert mapper.registry_name == name
+        # checkpoint_params() must round-trip through the registry: the
+        # resume path rebuilds the mapper with exactly these kwargs.
+        clone = create_mapper(name, mapper.checkpoint_params())
+        assert type(clone) is type(mapper)
+
+    def test_unknown_solver_lists_known_names(self):
+        with pytest.raises(ConfigurationError, match="registered solvers"):
+            create_mapper("no-such-solver")
+
+    def test_register_rejects_uppercase_and_duplicates(self):
+        with pytest.raises(ConfigurationError, match="lowercase"):
+            register_solver("Match", lambda: None)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_solver("match", lambda: None)
+
+
+class TestSolverSpec:
+    def test_spec_is_picklable_and_hashable(self):
+        spec = SolverSpec.of("tabu", {"n_iterations": 30, "tenure": 5})
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert hash(clone) == hash(spec)
+        assert {spec: 1}[clone] == 1
+
+    def test_of_canonicalizes_param_order(self):
+        a = SolverSpec.of("tabu", {"a": 1, "b": 2})
+        b = SolverSpec.of("tabu", {"b": 2, "a": 1})
+        assert a == b
+        assert a.params_dict() == {"a": 1, "b": 2}
+
+    def test_build_creates_fresh_mappers(self):
+        spec = SolverSpec.of("greedy")
+        assert spec.build() is not spec.build()
+
+    def test_str_shows_identity(self):
+        assert str(SolverSpec.of("random", {"n_samples": 5})) == "random(n_samples=5)"
+
+
+class TestExperimentsIntegration:
+    def test_run_comparison_accepts_specs(self):
+        from repro.experiments.runner import run_comparison
+        from repro.experiments.spec import ScaleProfile
+
+        profile = ScaleProfile(
+            name="spec-tiny",
+            sizes=(6,),
+            n_pairs=1,
+            runs_per_pair=1,
+            ga_population=8,
+            ga_generations=4,
+            anova_runs=2,
+            anova_ga_configs=((8, 4),),
+            match_max_iterations=20,
+        )
+        data = run_comparison(
+            profile,
+            seed=5,
+            mappers={
+                "tabu": SolverSpec.of("tabu", {"n_iterations": 10, "stall_limit": 5}),
+                "greedy": SolverSpec.of("greedy"),
+            },
+            n_workers=1,
+        )
+        assert set(data.et_series.values) == {"tabu", "greedy"}
+        assert all(r.n_evaluations > 0 for r in data.records)
+
+    def test_default_factories_resolve_through_registry(self):
+        from repro.experiments.runner import GAFactory, MatchFactory, _build_mapper
+
+        match = _build_mapper(MatchFactory(max_iterations=7), 6)
+        assert match.registry_name == "match"
+        assert match.config.max_iterations == 7
+        ga = _build_mapper(GAFactory(population_size=8, generations=3), 6)
+        assert ga.registry_name == "fastmap-ga"
+        assert ga.config.population_size == 8

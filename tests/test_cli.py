@@ -50,3 +50,29 @@ class TestMain:
         # fig3 is profile-independent and fast at n=10
         assert main(["fig3", "--seed", "3"]) == 0
         assert "Figure 3 (measured)" in capsys.readouterr().out
+
+    def test_solve_any_heuristic_with_budget(self, capsys):
+        code = main(
+            ["solve", "--size", "6", "--seed", "3",
+             "--heuristic", "tabu", "--budget-evals", "500"]
+        )
+        assert code == 0
+        assert "TabuSearch" in capsys.readouterr().out
+
+    def test_solve_checkpoint_then_resume(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "run.ckpt")
+        assert main(
+            ["solve", "--size", "6", "--seed", "3",
+             "--heuristic", "sim-anneal", "--checkpoint", ckpt]
+        ) == 0
+        first = capsys.readouterr().out
+        # The finished run's checkpoint restores an exhausted budget-free
+        # state; resuming reproduces the identical final result.
+        assert main(["resume", ckpt]) == 0
+        resumed = capsys.readouterr().out
+        assert "resumed from" in resumed
+        assert first.split("assignment")[1] == resumed.split("assignment")[1]
+
+    def test_resume_missing_file_errors(self, capsys, tmp_path):
+        assert main(["resume", str(tmp_path / "nope.ckpt")]) == 1
+        assert "error:" in capsys.readouterr().err

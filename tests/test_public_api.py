@@ -54,6 +54,7 @@ SUBPACKAGES = [
     "repro.simulate",
     "repro.stats",
     "repro.experiments",
+    "repro.runtime",
     "repro.utils",
 ]
 
