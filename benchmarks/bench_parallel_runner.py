@@ -1,0 +1,275 @@
+"""Execution-fabric benchmark — writes ``BENCH_parallel_runner.json``.
+
+Measures suite-style dispatch traffic (many map calls of small independent
+cells, the shape every table/figure regeneration produces) through four
+stages of the experiment runner's history:
+
+* **per_call** — the pre-fabric baseline: every map call constructs a fresh
+  ``ProcessPoolExecutor`` and every cell pickles the full problem graphs
+  (this is exactly what chaining ``parallel_map`` calls used to do);
+* **warm** — one :class:`~repro.utils.parallel.WorkerPool` serves every
+  call (workers fork once), cells still pickle full problems;
+* **warm_shared** — warm pool plus the shared-memory problem plane: each
+  instance is published once and cells carry a few-hundred-byte handle;
+* **warm_shared_lpt** — the shipped configuration: warm pool, shared
+  plane, and straggler-aware longest-processing-time-first scheduling.
+
+Every stage runs the identical cell set with identical per-cell seeds, and
+the script aborts unless all four stages return bit-identical execution
+times — the fabric is pure overhead removal, never a results change.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_runner.py [--smoke] [--out PATH]
+
+``--smoke`` shrinks the workload so the script finishes in seconds while
+still exercising all four stages (the test suite runs it that way); the
+acceptance ratio (warm+shared+LPT vs per-call at >= 4 workers) is only
+recorded as met/not-met on full runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.experiments.suite import build_suite
+from repro.runtime.registry import SolverSpec
+from repro.utils.parallel import WorkerPool
+from repro.utils.rng import RngStreams
+from repro.utils.shared_plane import resolve_problem
+
+#: The acceptance bar: shipped fabric vs the per-call baseline on
+#: suite-style dispatch traffic at >= 4 workers.
+TARGET_SPEEDUP = 2.0
+
+#: Cheap registered heuristics — cells small enough that dispatch overhead,
+#: not solver arithmetic, dominates (the regime the fabric exists for).
+HEURISTICS = (
+    SolverSpec.of("greedy"),
+    SolverSpec.of("random", {"n_samples": 64, "batch_size": 64}),
+    SolverSpec.of("local-search", {"restarts": 1, "max_sweeps": 2}),
+)
+
+
+def _run_cell(cell) -> float:
+    """Top-level (picklable) worker: one (solver, problem, seed) cell's ET."""
+    solver, problem_ref, seed, _size = cell
+    return solver.build().map(resolve_problem(problem_ref), seed).execution_time
+
+
+def _cell_weight(cell) -> float:
+    """LPT weight (evaluated in the parent): cost grows with instance size."""
+    return float(cell[3]) ** 3
+
+
+def _build_calls(sizes, n_pairs, rounds, reps, seed):
+    """Suite-style traffic: one map call per (round, heuristic).
+
+    Each call spans every size, pair and repetition — the mixed-size cell
+    list :func:`repro.experiments.runner.run_comparison` produces, where
+    LPT ordering matters. Returns ``(instances, calls)``; each cell is
+    ``(solver, problem, seed, size)`` with the live problem in the problem
+    slot (shared-plane stages swap in the handle). Seeds are derived per
+    cell up front, identically for every stage.
+    """
+    suite = build_suite(sizes, n_pairs, seed=seed)
+    streams = RngStreams(seed=seed)
+    instances = [inst for size in sizes for inst in suite[size]]
+    calls = []
+    for rnd in range(rounds):
+        for h_index, solver in enumerate(HEURISTICS):
+            calls.append(
+                [
+                    (
+                        solver,
+                        inst.problem,
+                        streams.seed_for(
+                            "bench-fabric",
+                            round=rnd,
+                            heuristic=h_index,
+                            size=size,
+                            pair=inst.pair_index,
+                            rep=rep,
+                        ),
+                        size,
+                    )
+                    for size in sizes
+                    for inst in suite[size]
+                    for rep in range(reps)
+                ]
+            )
+    return instances, calls
+
+
+def _timed(fn: Callable[[], list[list[float]]]) -> tuple[float, list[list[float]]]:
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def stage_per_call(calls, n_workers) -> tuple[float, list[list[float]]]:
+    """Fresh executor per map call, full problems pickled per cell."""
+
+    def run():
+        results = []
+        for cells in calls:
+            with ProcessPoolExecutor(max_workers=n_workers) as executor:
+                results.append(list(executor.map(_run_cell, cells, chunksize=1)))
+        return results
+
+    return _timed(run)
+
+
+def stage_warm(calls, n_workers) -> tuple[float, list[list[float]]]:
+    """One warm pool for every call; problems still pickled per cell."""
+
+    def run():
+        with WorkerPool(n_workers) as pool:
+            return [pool.map(_run_cell, cells) for cells in calls]
+
+    return _timed(run)
+
+
+def _with_handles(calls, pool):
+    """The same calls with each problem swapped for its shared-plane handle."""
+    return [
+        [
+            (solver, pool.publish_problem(problem), cell_seed, size)
+            for solver, problem, cell_seed, size in cells
+        ]
+        for cells in calls
+    ]
+
+
+def stage_warm_shared(calls, n_workers, *, weighted: bool) -> tuple[float, list[list[float]]]:
+    """Warm pool + shared plane; ``weighted`` adds LPT scheduling."""
+
+    def run():
+        with WorkerPool(n_workers) as pool:
+            shared_calls = _with_handles(calls, pool)
+            weight = _cell_weight if weighted else None
+            return [
+                pool.map(_run_cell, cells, weight=weight) for cells in shared_calls
+            ]
+
+    return _timed(run)
+
+
+def run(smoke: bool = False, out: str | Path | None = None) -> dict:
+    """Execute all four stages and write the JSON report."""
+    if smoke:
+        sizes, n_pairs, rounds, reps, n_workers, repeats = (6, 8), 2, 2, 1, 2, 1
+    else:
+        sizes, n_pairs, rounds, reps, n_workers, repeats = (8, 10, 12), 2, 6, 2, 4, 3
+
+    instances, calls = _build_calls(sizes, n_pairs, rounds, reps, seed=2005)
+    n_cells = sum(len(c) for c in calls)
+
+    stages: dict[str, tuple[float, list[list[float]]]] = {}
+    for _ in range(repeats):  # keep the best-of timing per stage
+        for name, runner in (
+            ("per_call", lambda: stage_per_call(calls, n_workers)),
+            ("warm", lambda: stage_warm(calls, n_workers)),
+            ("warm_shared", lambda: stage_warm_shared(calls, n_workers, weighted=False)),
+            ("warm_shared_lpt", lambda: stage_warm_shared(calls, n_workers, weighted=True)),
+        ):
+            seconds, ets = runner()
+            if name not in stages or seconds < stages[name][0]:
+                stages[name] = (seconds, ets)
+
+    baseline_ets = stages["per_call"][1]
+    for name, (_, ets) in stages.items():
+        if ets != baseline_ets:
+            raise AssertionError(
+                f"stage {name!r} changed results — the fabric must be "
+                "bit-identical to per-call dispatch"
+            )
+
+    per_call_s = stages["per_call"][0]
+    report: dict = {
+        "benchmark": "parallel_runner",
+        "smoke": smoke,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": __import__("os").cpu_count(),
+        },
+        "workload": {
+            "sizes": list(sizes),
+            "n_pairs": n_pairs,
+            "rounds": rounds,
+            "n_instances": len(instances),
+            "map_calls": len(calls),
+            "cells_total": n_cells,
+            "n_workers": n_workers,
+            "heuristics": [str(h) for h in HEURISTICS],
+            "repeats_best_of": repeats,
+        },
+        "stages": {
+            name: {
+                "seconds": seconds,
+                "cells_per_s": n_cells / seconds,
+                "speedup_vs_per_call": per_call_s / seconds,
+            }
+            for name, (seconds, _) in stages.items()
+        },
+        "results_bit_identical_across_stages": True,
+    }
+
+    measured = report["stages"]["warm_shared_lpt"]["speedup_vs_per_call"]
+    report["acceptance"] = {
+        "criterion": (
+            "warm pool + shared plane + LPT >= 2x faster than per-call "
+            "pool dispatch on suite-style traffic at >= 4 workers"
+        ),
+        "target_speedup": TARGET_SPEEDUP,
+        "measured_speedup": measured,
+        "met": bool(measured >= TARGET_SPEEDUP) if not smoke else None,
+    }
+
+    out_path = (
+        Path(out)
+        if out is not None
+        else Path(__file__).parent.parent / "BENCH_parallel_runner.json"
+    )
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny workload (seconds, CI-friendly)"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: repo-root BENCH_parallel_runner.json)",
+    )
+    args = parser.parse_args()
+    report = run(smoke=args.smoke, out=args.out)
+    for name, row in report["stages"].items():
+        print(
+            f"{name:16s} {row['seconds']:7.3f}s  "
+            f"{row['cells_per_s']:8.1f} cells/s  "
+            f"{row['speedup_vs_per_call']:5.2f}x vs per_call"
+        )
+    acc = report["acceptance"]
+    print(
+        f"acceptance: {acc['measured_speedup']:.2f}x "
+        f"(target {acc['target_speedup']}x, met={acc['met']})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,13 @@ pool/executor-named receivers:
 * no argument expression may construct a Generator inline
   (``as_generator`` / ``default_rng`` / ``spawn_generators``) — spawn
   integer seeds and build the Generator inside the worker.
+
+It additionally guards the execution fabric's monopoly on pool
+construction: outside ``repro/utils/parallel.py``, instantiating
+``ProcessPoolExecutor`` or ``multiprocessing.Pool`` directly is flagged —
+raw pools bypass the warm-worker reuse, the shared-memory plane's
+guaranteed cleanup, and the ``REPRO_WORKERS`` override that
+:class:`repro.utils.parallel.WorkerPool` provides.
 """
 
 from __future__ import annotations
@@ -24,7 +31,7 @@ from __future__ import annotations
 import ast
 
 from repro.analysis.checkers.base import Checker, CheckContext, dotted_name
-from repro.analysis.rules import PARALLEL_SAFETY
+from repro.analysis.rules import PARALLEL_SAFETY, path_matches
 
 __all__ = ["ParallelSafetyChecker"]
 
@@ -33,6 +40,28 @@ DISPATCH_METHODS = frozenset(
 )
 POOLISH = ("pool", "executor")
 GENERATOR_BUILDERS = frozenset({"as_generator", "default_rng", "spawn_generators"})
+#: The one module allowed to construct raw process pools.
+FABRIC_PATHS = ("repro/utils/parallel.py",)
+
+
+def _multiprocessing_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """``(names bound to multiprocessing's Pool, multiprocessing module aliases)``."""
+    pool_names: set[str] = set()
+    module_aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "multiprocessing" or alias.name.startswith(
+                    "multiprocessing."
+                ):
+                    module_aliases.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "multiprocessing" or module.startswith("multiprocessing."):
+                for alias in node.names:
+                    if alias.name == "Pool":
+                        pool_names.add(alias.asname or alias.name)
+    return pool_names, module_aliases
 
 
 def _nested_def_names(tree: ast.Module) -> set[str]:
@@ -56,6 +85,8 @@ class ParallelSafetyChecker(Checker):
     def __init__(self, ctx: CheckContext) -> None:
         super().__init__(ctx)
         self._nested_defs = _nested_def_names(ctx.tree)
+        self._mp_pool_names, self._mp_aliases = _multiprocessing_aliases(ctx.tree)
+        self._in_fabric = path_matches(ctx.path, FABRIC_PATHS)
 
     def visit_Call(self, node: ast.Call) -> None:
         task = self._dispatched_callable(node)
@@ -63,6 +94,7 @@ class ParallelSafetyChecker(Checker):
             self._check_callable(task)
             for arg in [*node.args, *[kw.value for kw in node.keywords]]:
                 self._check_no_generator_capture(arg)
+        self._check_pool_construction(node)
         self.generic_visit(node)
 
     # -- dispatch-site detection -------------------------------------------
@@ -100,6 +132,33 @@ class ParallelSafetyChecker(Checker):
             inner = dotted_name(task.func) or ""
             if inner.split(".")[-1] == "partial" and task.args:
                 self._check_callable(task.args[0])
+
+    def _check_pool_construction(self, node: ast.Call) -> None:
+        """Raw pool constructors are the fabric module's exclusive business."""
+        if self._in_fabric:
+            return
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        parts = name.split(".")
+        constructed = None
+        if parts[-1] == "ProcessPoolExecutor":
+            constructed = "ProcessPoolExecutor"
+        elif parts[-1] == "Pool":
+            if len(parts) == 1 and name in self._mp_pool_names:
+                constructed = "multiprocessing.Pool"
+            elif len(parts) > 1 and (
+                parts[0] in self._mp_aliases or parts[0] == "multiprocessing"
+            ):
+                constructed = "multiprocessing.Pool"
+        if constructed is not None:
+            self.report(
+                node,
+                f"direct {constructed}() construction bypasses the execution "
+                "fabric; go through repro.utils.parallel (WorkerPool / "
+                "parallel_map) so runs get warm-worker reuse, shared-memory "
+                "cleanup and the REPRO_WORKERS override",
+            )
 
     def _check_no_generator_capture(self, arg: ast.AST) -> None:
         for sub in ast.walk(arg):

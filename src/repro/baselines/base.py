@@ -37,15 +37,24 @@ from repro.runtime.hooks import SearchHooks
 from repro.runtime.loop import LoopOutcome, SearchLoop
 from repro.runtime.solver import SearchSolver, SolveOutput, StepReport
 from repro.types import SeedLike
-from repro.utils.parallel import parallel_map
+from repro.utils.parallel import WorkerPool
+from repro.utils.shared_plane import ProblemRef, resolve_problem
 
 __all__ = ["MapperResult", "Mapper", "MapperSolver"]
 
 
-def _map_one(task: "tuple[Mapper, MappingProblem, SeedLike]") -> "MapperResult":
-    """Top-level (picklable) worker for :meth:`Mapper.map_many`."""
-    mapper, problem, seed = task
-    return mapper.map(problem, seed)
+def _map_one(task: "tuple[Any, ProblemRef, SeedLike]") -> "MapperResult":
+    """Top-level (picklable) worker for :meth:`Mapper.map_many`.
+
+    The solver arrives as a :class:`~repro.runtime.registry.SolverSpec`
+    when the mapper is registry-backed (rebuilt fresh per call), else as
+    the pickled mapper itself; the problem as a shared-plane reference.
+    """
+    from repro.runtime.registry import SolverSpec
+
+    solver, problem_ref, seed = task
+    mapper = solver.build() if isinstance(solver, SolverSpec) else solver
+    return mapper.map(resolve_problem(problem_ref), seed)
 
 
 @dataclass
@@ -216,20 +225,34 @@ class Mapper:
         seeds: Sequence[SeedLike],
         *,
         n_workers: int | None = None,
+        pool: "WorkerPool | None" = None,
     ) -> list[MapperResult]:
         """Independent repetitions of :meth:`map`, one per seed.
 
-        The default implementation dispatches the runs across a process
-        pool (:func:`repro.utils.parallel.parallel_map`; ``n_workers <= 1``
-        runs serially in-process). Every run carries its own seed, so the
-        returned results are identical — seed for seed, in order — to
-        calling :meth:`map` in a loop, regardless of worker count.
-        Heuristics with a fused batch implementation (MaTCH) override this
-        with something faster than run-at-a-time dispatch.
+        The default implementation dispatches the runs over the execution
+        fabric: a one-shot :class:`~repro.utils.parallel.WorkerPool`
+        (``n_workers <= 1`` runs serially in-process), or a caller-owned
+        warm ``pool`` that keeps its workers across many ``map_many``
+        calls. The problem is published once to the shared-memory plane
+        and registry-backed mappers travel as their
+        :class:`~repro.runtime.registry.SolverSpec`, so per-seed dispatch
+        ships only a handle and a seed. Every run carries its own seed,
+        so the returned results are identical — seed for seed, in
+        order — to calling :meth:`map` in a loop, regardless of worker
+        count. Heuristics with a fused batch implementation (MaTCH)
+        override this with something faster than run-at-a-time dispatch.
         """
-        return parallel_map(
-            _map_one, [(self, problem, s) for s in seeds], n_workers=n_workers
-        )
+        from repro.runtime.registry import SolverSpec
+
+        def _dispatch(active: WorkerPool) -> list[MapperResult]:
+            solver = SolverSpec.for_mapper(self) or self
+            problem_ref = active.publish_problem(problem)
+            return active.map(_map_one, [(solver, problem_ref, s) for s in seeds])
+
+        if pool is not None:
+            return _dispatch(pool)
+        with WorkerPool(n_workers) as one_shot:
+            return _dispatch(one_shot)
 
     # -- subclass hook ---------------------------------------------------------
     def _solve(

@@ -106,6 +106,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="scale profile (default: REPRO_SCALE env or 'smoke')",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for the execution fabric (default: experiment-"
+            "specific; REPRO_WORKERS overrides the host default). Results "
+            "are identical for every worker count."
+        ),
+    )
 
 
 def _add_budget_args(parser: argparse.ArgumentParser) -> None:
@@ -251,7 +262,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             from repro.experiments.reporting import build_report, render_report_markdown
 
             profile = _resolve_profile(args.scale)
-            text = render_report_markdown(build_report(profile, seed=args.seed))
+            text = render_report_markdown(
+                build_report(profile, seed=args.seed, n_workers=args.workers)
+            )
             if args.out:
                 Path(args.out).write_text(text, encoding="utf-8")
                 print(f"wrote {args.out}")
@@ -261,12 +274,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "all":
             profile = _resolve_profile(args.scale)
             for exp_id in experiment_ids():
-                print(run_experiment(exp_id, profile=profile, seed=args.seed))
+                print(
+                    run_experiment(
+                        exp_id, profile=profile, seed=args.seed,
+                        n_workers=args.workers,
+                    )
+                )
                 print("\n" + "#" * 72 + "\n")
             return 0
         exp_id = args.experiment if args.command == "run" else args.command
         profile = _resolve_profile(args.scale)
-        print(run_experiment(exp_id, profile=profile, seed=args.seed))
+        print(
+            run_experiment(
+                exp_id, profile=profile, seed=args.seed, n_workers=args.workers
+            )
+        )
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -49,6 +49,15 @@ class SerializationError(ReproError):
     """An object could not be serialized to, or deserialized from, disk."""
 
 
+class WorkerPoolError(ReproError):
+    """The process-pool execution fabric failed.
+
+    Raised when a :class:`repro.utils.parallel.WorkerPool` is used after
+    :meth:`close`, or when its worker processes die mid-dispatch (e.g.
+    OOM-killed) — surfaced as a clean error instead of a hang.
+    """
+
+
 class CheckpointError(ReproError):
     """A solver checkpoint is missing, malformed, or incompatible.
 

@@ -9,7 +9,12 @@ sentence of justification each; these sweeps supply the missing evidence:
 * ABL-N — quality/time vs. the sample-size rule (``n²``, ``2n²``, ``4n²``).
 
 Each sweep runs MaTCH with one knob varied on a fixed instance set and
-reports mean ET, MT and iteration counts per knob value.
+reports mean ET, MT and iteration counts per knob value. The
+(value × repetition) cells are independent and carry pre-derived seeds,
+so :func:`sweep` can dispatch them over a warm
+:class:`~repro.utils.parallel.WorkerPool` (``n_workers > 1``) with the
+instance published once to the shared-memory plane — bit-identical to
+the default serial loop.
 """
 
 from __future__ import annotations
@@ -22,7 +27,9 @@ import numpy as np
 from repro.core.config import MatchConfig
 from repro.core.match import MatchMapper
 from repro.experiments.suite import build_suite
+from repro.utils.parallel import WorkerPool
 from repro.utils.rng import RngStreams
+from repro.utils.shared_plane import ProblemRef, resolve_problem
 from repro.utils.tables import format_table
 
 __all__ = [
@@ -73,6 +80,25 @@ class AblationResult:
         )
 
 
+def _run_ablation_cell(
+    task: "tuple[MatchConfig, ProblemRef, int]",
+) -> tuple[float, float, float, int]:
+    """Top-level (picklable) worker: one (knob value, repetition) cell.
+
+    The config is built in the parent (``config_for`` may be a lambda,
+    which cannot cross the pipe); only the picklable config, the shared
+    problem reference and the seed travel.
+    """
+    config, problem_ref, run_seed = task
+    result = MatchMapper(config).map(resolve_problem(problem_ref), run_seed)
+    return (
+        result.execution_time,
+        result.mapping_time,
+        float(result.extras["iterations"]),
+        result.n_evaluations,
+    )
+
+
 def sweep(
     knob: str,
     values: Sequence[float],
@@ -81,21 +107,34 @@ def sweep(
     size: int = 15,
     runs: int = 3,
     seed: int = 2005,
+    n_workers: int | None = 1,
 ) -> AblationResult:
-    """Generic MaTCH knob sweep on one suite instance."""
+    """Generic MaTCH knob sweep on one suite instance.
+
+    All (value × repetition) cells share one :class:`WorkerPool` and one
+    shared-memory copy of the instance; ``n_workers=1`` (the default)
+    keeps the historical serial behaviour, and any other worker count
+    produces the same points because every cell's seed is derived up
+    front.
+    """
     instance = build_suite((size,), 1, seed=seed)[size][0]
     streams = RngStreams(seed=seed)
+    with WorkerPool(n_workers) as pool:
+        problem_ref = pool.publish_problem(instance.problem)
+        cells = [
+            (
+                config_for(value),
+                problem_ref,
+                streams.seed_for("ablation", knob=knob, value=value, rep=rep),
+            )
+            for value in values
+            for rep in range(runs)
+        ]
+        outcomes = pool.map(_run_ablation_cell, cells)
     points = []
-    for value in values:
-        ets, mts, its, evs = [], [], [], []
-        for rep in range(runs):
-            mapper = MatchMapper(config_for(value))
-            run_seed = streams.seed_for("ablation", knob=knob, value=value, rep=rep)
-            result = mapper.map(instance.problem, run_seed)
-            ets.append(result.execution_time)
-            mts.append(result.mapping_time)
-            its.append(result.extras["iterations"])
-            evs.append(result.n_evaluations)
+    for i, value in enumerate(values):
+        group = outcomes[i * runs : (i + 1) * runs]
+        ets, mts, its, evs = zip(*group)
         points.append(
             AblationPoint(
                 knob_value=float(value),
@@ -129,6 +168,7 @@ def elite_mode_sweep(
     size: int = 15,
     runs: int = 3,
     seed: int = 2005,
+    n_workers: int | None = 1,
 ) -> AblationResult:
     """ABL-ELITE: exact-k vs threshold (tie-inclusive) elite selection.
 
@@ -143,6 +183,7 @@ def elite_mode_sweep(
         size=size,
         runs=runs,
         seed=seed,
+        n_workers=n_workers,
     )
 
 

@@ -86,16 +86,30 @@ def render_fig3(result: Fig3Result) -> str:
 
 
 # ------------------------------------------------------------------- Figs 7, 8, 9
-def compute_fig7(profile: ScaleProfile | None = None, *, seed: int = 2005) -> SeriesBySize:
-    """Figure 7's data: the ET series per heuristic."""
+def compute_fig7(
+    profile: ScaleProfile | None = None,
+    *,
+    seed: int = 2005,
+    n_workers: int | None = None,
+) -> SeriesBySize:
+    """Figure 7's data: the ET series per heuristic.
+
+    ``n_workers`` sizes the execution fabric on a comparison-cache miss;
+    the series itself is worker-count invariant.
+    """
     profile = profile if profile is not None else active_profile()
-    return get_comparison(profile, seed=seed).et_series
+    return get_comparison(profile, seed=seed, n_workers=n_workers).et_series
 
 
-def compute_fig8(profile: ScaleProfile | None = None, *, seed: int = 2005) -> SeriesBySize:
+def compute_fig8(
+    profile: ScaleProfile | None = None,
+    *,
+    seed: int = 2005,
+    n_workers: int | None = None,
+) -> SeriesBySize:
     """Figure 8's data: the MT series per heuristic."""
     profile = profile if profile is not None else active_profile()
-    return get_comparison(profile, seed=seed).mt_series
+    return get_comparison(profile, seed=seed, n_workers=n_workers).mt_series
 
 
 def compute_fig9(
@@ -103,10 +117,11 @@ def compute_fig9(
     *,
     seed: int = 2005,
     seconds_per_unit: float = 1.0,
+    n_workers: int | None = None,
 ) -> SeriesBySize:
     """Figure 9's data: the ATN = ET + MT series per heuristic."""
     profile = profile if profile is not None else active_profile()
-    return get_comparison(profile, seed=seed).atn_series(
+    return get_comparison(profile, seed=seed, n_workers=n_workers).atn_series(
         seconds_per_unit=seconds_per_unit
     )
 

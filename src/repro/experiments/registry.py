@@ -35,77 +35,81 @@ from repro.experiments.table3 import compute_table3, render_table3
 __all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
 
 
-def _table1(profile: ScaleProfile, seed: int) -> str:
-    return render_table1(compute_table1(profile, seed=seed))
+def _table1(profile: ScaleProfile, seed: int, n_workers: int | None = None) -> str:
+    return render_table1(compute_table1(profile, seed=seed, n_workers=n_workers))
 
 
-def _table2(profile: ScaleProfile, seed: int) -> str:
-    return render_table2(compute_table2(profile, seed=seed))
+def _table2(profile: ScaleProfile, seed: int, n_workers: int | None = None) -> str:
+    return render_table2(compute_table2(profile, seed=seed, n_workers=n_workers))
 
 
-def _table3(profile: ScaleProfile, seed: int) -> str:
-    return render_table3(compute_table3(profile, seed=seed))
+def _table3(profile: ScaleProfile, seed: int, n_workers: int | None = None) -> str:
+    return render_table3(compute_table3(profile, seed=seed, n_workers=n_workers or 1))
 
 
-def _fig3(profile: ScaleProfile, seed: int) -> str:
+def _fig3(profile: ScaleProfile, seed: int, n_workers: int | None = None) -> str:
     return render_fig3(compute_fig3(seed=seed))
 
 
-def _fig7(profile: ScaleProfile, seed: int) -> str:
+def _fig7(profile: ScaleProfile, seed: int, n_workers: int | None = None) -> str:
     return render_series_chart(
-        compute_fig7(profile, seed=seed),
+        compute_fig7(profile, seed=seed, n_workers=n_workers),
         title="Figure 7 (measured): execution time (units) by size",
     )
 
 
-def _fig8(profile: ScaleProfile, seed: int) -> str:
+def _fig8(profile: ScaleProfile, seed: int, n_workers: int | None = None) -> str:
     return render_series_chart(
-        compute_fig8(profile, seed=seed),
+        compute_fig8(profile, seed=seed, n_workers=n_workers),
         title="Figure 8 (measured): mapping time (seconds) by size",
     )
 
 
-def _fig9(profile: ScaleProfile, seed: int) -> str:
+def _fig9(profile: ScaleProfile, seed: int, n_workers: int | None = None) -> str:
     return render_series_chart(
-        compute_fig9(profile, seed=seed),
+        compute_fig9(profile, seed=seed, n_workers=n_workers),
         title="Figure 9 (measured): application turnaround time (ATN) by size",
     )
 
 
-def _abl_rho(profile: ScaleProfile, seed: int) -> str:
-    return rho_sweep(seed=seed).render()
+def _abl_rho(profile: ScaleProfile, seed: int, n_workers: int | None = None) -> str:
+    return rho_sweep(seed=seed, n_workers=n_workers or 1).render()
 
 
-def _abl_zeta(profile: ScaleProfile, seed: int) -> str:
-    return zeta_sweep(seed=seed).render()
+def _abl_zeta(profile: ScaleProfile, seed: int, n_workers: int | None = None) -> str:
+    return zeta_sweep(seed=seed, n_workers=n_workers or 1).render()
 
 
-def _abl_samples(profile: ScaleProfile, seed: int) -> str:
-    return samples_sweep(seed=seed).render()
+def _abl_samples(profile: ScaleProfile, seed: int, n_workers: int | None = None) -> str:
+    return samples_sweep(seed=seed, n_workers=n_workers or 1).render()
 
 
-def _abl_elite(profile: ScaleProfile, seed: int) -> str:
-    return elite_mode_sweep(seed=seed).render()
+def _abl_elite(profile: ScaleProfile, seed: int, n_workers: int | None = None) -> str:
+    return elite_mode_sweep(seed=seed, n_workers=n_workers or 1).render()
 
 
-def _scaling_heterogeneity(profile: ScaleProfile, seed: int) -> str:
+def _scaling_heterogeneity(
+    profile: ScaleProfile, seed: int, n_workers: int | None = None
+) -> str:
     return heterogeneity_sweep(seed=seed).render()
 
 
-def _scaling_ccr(profile: ScaleProfile, seed: int) -> str:
+def _scaling_ccr(profile: ScaleProfile, seed: int, n_workers: int | None = None) -> str:
     return ccr_sweep(seed=seed).render()
 
 
-def _convergence(profile: ScaleProfile, seed: int) -> str:
+def _convergence(profile: ScaleProfile, seed: int, n_workers: int | None = None) -> str:
     return convergence_study(seed=seed).render()
 
 
-def _deviation_ga(profile: ScaleProfile, seed: int) -> str:
+def _deviation_ga(profile: ScaleProfile, seed: int, n_workers: int | None = None) -> str:
     return ga_variant_study(seed=seed).render()
 
 
-#: id → (description, callable(profile, seed) -> printable artifact).
-EXPERIMENTS: dict[str, tuple[str, Callable[[ScaleProfile, int], str]]] = {
+#: id → (description, callable(profile, seed, n_workers=None) -> printable
+#: artifact). ``n_workers`` sizes the execution fabric for experiments that
+#: dispatch independent cells; artifacts are worker-count invariant.
+EXPERIMENTS: dict[str, tuple[str, Callable[..., str]]] = {
     "table1": ("Table 1: ET comparison FastMap-GA vs MaTCH", _table1),
     "table2": ("Table 2: MT comparison FastMap-GA vs MaTCH", _table2),
     "table3": ("Table 3: ANOVA study at n=10", _table3),
@@ -135,13 +139,22 @@ def experiment_ids() -> list[str]:
 
 
 def run_experiment(
-    exp_id: str, *, profile: ScaleProfile | None = None, seed: int = 2005
+    exp_id: str,
+    *,
+    profile: ScaleProfile | None = None,
+    seed: int = 2005,
+    n_workers: int | None = None,
 ) -> str:
-    """Regenerate one artifact by id; raises :class:`ExperimentError` on typos."""
+    """Regenerate one artifact by id; raises :class:`ExperimentError` on typos.
+
+    ``n_workers`` is forwarded to the experiment's execution fabric
+    (``None`` keeps each experiment's default); the rendered artifact is
+    identical for every worker count.
+    """
     if exp_id not in EXPERIMENTS:
         raise ExperimentError(
             f"unknown experiment {exp_id!r}; available: {', '.join(experiment_ids())}"
         )
     profile = profile if profile is not None else active_profile()
     _, fn = EXPERIMENTS[exp_id]
-    return fn(profile, seed)
+    return fn(profile, seed, n_workers)

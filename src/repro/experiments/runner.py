@@ -10,8 +10,13 @@ artifacts does not re-run the heuristics).
 
 The (size × pair × heuristic × repetition) cells are mutually independent
 and each carries its own derived seed, so :func:`run_comparison` dispatches
-them across a process pool (:func:`repro.utils.parallel.parallel_map`);
-every result field except the measured ``mapping_time`` wall-clock is
+them over the persistent execution fabric
+(:class:`repro.utils.parallel.WorkerPool`): one warm pool serves instance
+generation and every cell, each instance's arrays are published once to the
+shared-memory problem plane (cells carry a handle plus a
+:class:`~repro.runtime.registry.SolverSpec` instead of pickled graphs), and
+cells are scheduled longest-first so big-``n`` stragglers cannot hold the
+tail. Every result field except the measured ``mapping_time`` wall-clock is
 identical — record for record — to the serial loop for any worker count.
 
 Heuristics are addressed through the solver registry
@@ -40,8 +45,9 @@ from repro.runtime.checkpoint import CheckpointWriter
 from repro.runtime.hooks import SearchHooks
 from repro.runtime.registry import SolverSpec
 from repro.stats.comparison import SeriesBySize
-from repro.utils.parallel import parallel_map
+from repro.utils.parallel import WorkerPool
 from repro.utils.rng import RngStreams
+from repro.utils.shared_plane import ProblemRef, resolve_problem
 
 __all__ = [
     "RunRecord",
@@ -204,37 +210,71 @@ def run_instance(
     return result.execution_time, result.mapping_time, result.n_evaluations
 
 
+def _resolve_solver(entry: "Mapper | SolverSpec | MapperLike", size: int) -> Any:
+    """Resolve a heuristic entry to its cheapest picklable form for a cell.
+
+    Registry-backed mappers travel as their :class:`SolverSpec` (name +
+    params, a few hundred bytes); unregistered mappers fall back to pickling
+    the object itself. Factories are evaluated here, in the parent, so the
+    cell carries a concrete solver rather than a closure.
+    """
+    if isinstance(entry, SolverSpec):
+        return entry
+    made = entry(size) if callable(entry) and not isinstance(entry, Mapper) else entry
+    if isinstance(made, SolverSpec):
+        return made
+    if isinstance(made, Mapper):
+        return SolverSpec.for_mapper(made) or made
+    raise ConfigurationError(
+        f"mapper entry must yield a Mapper or SolverSpec, got {type(made).__name__}"
+    )
+
+
 @dataclass(frozen=True)
 class _ComparisonCell:
     """One self-contained (heuristic, instance, repetition) unit of work.
 
-    Carries everything a worker process needs: the picklable solver spec
-    (or factory), the problem instance, and the cell's own derived seed —
-    so execution order (and process placement) cannot influence any
-    result.
+    Carries everything a worker process needs — and nothing heavy: the
+    solver travels as a :class:`SolverSpec` (or, for unregistered
+    heuristics, the pickled mapper), the problem as a shared-memory handle
+    (:class:`~repro.utils.shared_plane.SharedProblemHandle`) when a plane
+    is active, and the cell's own pre-derived seed. Execution order and
+    process placement therefore cannot influence any result.
     """
 
     heuristic: str
     size: int
     pair_index: int
     run_index: int
-    factory: Any  # SolverSpec or MapperFactory (both picklable)
-    instance: SuiteInstance
+    solver: Any  # SolverSpec or picklable Mapper
+    problem_ref: ProblemRef
     run_seed: int
 
 
+def _cell_weight(cell: _ComparisonCell) -> float:
+    """LPT weight: heuristic cost grows roughly cubically in instance size."""
+    return float(cell.size) ** 3
+
+
 def _run_cell(cell: _ComparisonCell) -> RunRecord:
-    """Top-level (picklable) worker: execute one comparison cell."""
-    mapper = _build_mapper(cell.factory, cell.size)
-    et, mt, evals = run_instance(mapper, cell.instance, cell.run_seed)
+    """Top-level (picklable) worker: execute one comparison cell.
+
+    The problem is resolved through the shared plane (zero-copy attach in
+    a pool worker, passthrough in-process) and the mapper rebuilt from its
+    spec, so the only bytes crossing the pipe per cell are the spec, the
+    handle, and the seed.
+    """
+    problem = resolve_problem(cell.problem_ref)
+    mapper = cell.solver.build() if isinstance(cell.solver, SolverSpec) else cell.solver
+    result = mapper.map(problem, cell.run_seed)
     return RunRecord(
         heuristic=cell.heuristic,
         size=cell.size,
         pair_index=cell.pair_index,
         run_index=cell.run_index,
-        execution_time=et,
-        mapping_time=mt,
-        n_evaluations=evals,
+        execution_time=result.execution_time,
+        mapping_time=result.mapping_time,
+        n_evaluations=result.n_evaluations,
     )
 
 
@@ -249,42 +289,50 @@ def run_comparison(
     """Execute the full §5.3 measurement protocol.
 
     For every size, pair, heuristic and repetition: run, record ET/MT;
-    report the mean over (pairs × repetitions) per size. The cells are
-    dispatched through :func:`parallel_map` (``n_workers=None`` picks the
-    host default, ``<= 1`` runs serially); seeds are derived per cell
-    up front, so the records — order included — are identical for every
+    report the mean over (pairs × repetitions) per size. The whole
+    protocol runs over one :class:`WorkerPool` lifetime
+    (``n_workers=None`` picks the host default, ``<= 1`` runs serially):
+    the suite is generated on the warm pool, each instance's arrays are
+    published once to the shared-memory plane, and the cells are
+    dispatched heaviest-first (longest-processing-time order) so the
+    big-``n`` stragglers start early. Seeds are derived per cell up
+    front, so the records — order included — are identical for every
     worker count, apart from the measured ``mapping_time`` wall-clock.
     ``progress`` messages are emitted as cells are *enqueued*, before any
     of them execute.
     """
     mappers = mappers if mappers is not None else default_mappers(profile)
-    suite = build_suite(profile.sizes, profile.n_pairs, seed=seed)
     streams = RngStreams(seed=seed)
 
-    cells: list[_ComparisonCell] = []
-    for size in profile.sizes:
-        for instance in suite[size]:
-            for name, factory in mappers.items():
-                for run in range(profile.runs_per_pair):
-                    if progress is not None:
-                        progress(
-                            f"{name} size={size} pair={instance.pair_index} run={run}"
+    with WorkerPool(n_workers) as pool:
+        suite = build_suite(profile.sizes, profile.n_pairs, seed=seed, pool=pool)
+
+        cells: list[_ComparisonCell] = []
+        for size in profile.sizes:
+            for instance in suite[size]:
+                problem_ref = pool.publish_problem(instance.problem)
+                for name, factory in mappers.items():
+                    solver = _resolve_solver(factory, size)
+                    for run in range(profile.runs_per_pair):
+                        if progress is not None:
+                            progress(
+                                f"{name} size={size} pair={instance.pair_index} run={run}"
+                            )
+                        cells.append(
+                            _ComparisonCell(
+                                heuristic=name,
+                                size=size,
+                                pair_index=instance.pair_index,
+                                run_index=run,
+                                solver=solver,
+                                problem_ref=problem_ref,
+                                run_seed=streams.seed_for(
+                                    "run", heuristic=name, size=size,
+                                    pair=instance.pair_index, rep=run,
+                                ),
+                            )
                         )
-                    cells.append(
-                        _ComparisonCell(
-                            heuristic=name,
-                            size=size,
-                            pair_index=instance.pair_index,
-                            run_index=run,
-                            factory=factory,
-                            instance=instance,
-                            run_seed=streams.seed_for(
-                                "run", heuristic=name, size=size,
-                                pair=instance.pair_index, rep=run,
-                            ),
-                        )
-                    )
-    records = parallel_map(_run_cell, cells, n_workers=n_workers)
+        records = pool.map(_run_cell, cells, weight=_cell_weight)
 
     def mean_series(metric: str, get: Callable[[RunRecord], float]) -> SeriesBySize:
         values: dict[str, tuple[float, ...]] = {}
@@ -310,9 +358,15 @@ def run_comparison(
 _CACHE: dict[tuple[str, int], ComparisonData] = {}
 
 
-def get_comparison(profile: ScaleProfile, *, seed: int = 2005) -> ComparisonData:
-    """Memoized :func:`run_comparison` keyed on ``(profile.name, seed)``."""
+def get_comparison(
+    profile: ScaleProfile, *, seed: int = 2005, n_workers: int | None = None
+) -> ComparisonData:
+    """Memoized :func:`run_comparison` keyed on ``(profile.name, seed)``.
+
+    ``n_workers`` only affects how a cache miss is computed — results are
+    worker-count invariant, so it is deliberately not part of the memo key.
+    """
     key = (profile.name, seed)
     if key not in _CACHE:
-        _CACHE[key] = run_comparison(profile, seed=seed)
+        _CACHE[key] = run_comparison(profile, seed=seed, n_workers=n_workers)
     return _CACHE[key]

@@ -38,11 +38,14 @@ class Table1Result:
 
 
 def compute_table1(
-    profile: ScaleProfile | None = None, *, seed: int = 2005
+    profile: ScaleProfile | None = None,
+    *,
+    seed: int = 2005,
+    n_workers: int | None = None,
 ) -> Table1Result:
     """Run (or reuse) the suite comparison and extract the Table 1 rows."""
     profile = profile if profile is not None else active_profile()
-    data: ComparisonData = get_comparison(profile, seed=seed)
+    data: ComparisonData = get_comparison(profile, seed=seed, n_workers=n_workers)
     et = data.et_series
     ratio = et.ratio_row("FastMap-GA", "MaTCH")
     return Table1Result(

@@ -36,11 +36,14 @@ class Table2Result:
 
 
 def compute_table2(
-    profile: ScaleProfile | None = None, *, seed: int = 2005
+    profile: ScaleProfile | None = None,
+    *,
+    seed: int = 2005,
+    n_workers: int | None = None,
 ) -> Table2Result:
     """Run (or reuse) the suite comparison and extract the Table 2 rows."""
     profile = profile if profile is not None else active_profile()
-    data = get_comparison(profile, seed=seed)
+    data = get_comparison(profile, seed=seed, n_workers=n_workers)
     mt = data.mt_series
     ratio = mt.ratio_row("MaTCH", "FastMap-GA")
     return Table2Result(

@@ -10,9 +10,11 @@ the reproduced claim is the verdict (F ≫ 1, p ≪ 0.05), not the F value.
 Execution: the thirty MaTCH repetitions run as ONE fused multi-chain CE
 call (:meth:`MatchMapper.map_many` — seed-for-seed identical to a serial
 repetition loop, several times faster); the GA repetitions are independent
-cells dispatched through :func:`repro.utils.parallel.parallel_map`. Every
-repetition's seed is derived statelessly from the root seed, so the
-reported samples are bit-identical for any ``n_workers``.
+cells dispatched over one warm :class:`repro.utils.parallel.WorkerPool`
+shared by both GA configurations, with the n = 10 instance published once
+to the shared-memory problem plane. Every repetition's seed is derived
+statelessly from the root seed, so the reported samples are bit-identical
+for any ``n_workers``.
 """
 
 from __future__ import annotations
@@ -25,19 +27,24 @@ from repro.core.match import MatchMapper
 from repro.experiments import paper_data
 from repro.experiments.spec import ScaleProfile, active_profile
 from repro.experiments.suite import build_suite
-from repro.mapping.problem import MappingProblem
 from repro.stats.anova import AnovaResult, one_way_anova
 from repro.stats.descriptive import SampleSummary, summarize_sample
-from repro.utils.parallel import parallel_map
+from repro.utils.parallel import WorkerPool
 from repro.utils.rng import RngStreams
+from repro.utils.shared_plane import ProblemRef, resolve_problem
 from repro.utils.tables import format_table, render_kv_block
 
 __all__ = ["Table3Result", "compute_table3", "render_table3"]
 
 
-def _run_ga_rep(task: "tuple[int, int, MappingProblem, int]") -> float:
-    """Top-level (picklable) worker: one FastMap-GA repetition's ET."""
-    pop, gen, problem, run_seed = task
+def _run_ga_rep(task: "tuple[int, int, ProblemRef, int]") -> float:
+    """Top-level (picklable) worker: one FastMap-GA repetition's ET.
+
+    The problem arrives as a shared-plane reference (a zero-copy handle
+    in pool workers, the live problem in-process).
+    """
+    pop, gen, problem_ref, run_seed = task
+    problem = resolve_problem(problem_ref)
     mapper = FastMapGA(GAConfig(population_size=pop, generations=gen))
     return mapper.map(problem, run_seed).execution_time
 
@@ -61,10 +68,11 @@ def compute_table3(
 ) -> Table3Result:
     """Run the three-heuristic ANOVA study at n = 10.
 
-    The MaTCH group runs as one fused multi-chain call; the GA groups
-    dispatch per-repetition cells through :func:`parallel_map` with
-    ``n_workers`` workers (default serial). Seeds are per repetition, so
-    the samples do not depend on the worker count.
+    The MaTCH group runs as one fused multi-chain call; both GA groups
+    dispatch their per-repetition cells over one warm
+    :class:`WorkerPool` (``n_workers=1`` — the default — runs serially),
+    attaching to a single shared-memory copy of the instance. Seeds are
+    per repetition, so the samples do not depend on the worker count.
     """
     profile = profile if profile is not None else active_profile()
     size = 10
@@ -85,14 +93,16 @@ def compute_table3(
         r.execution_time for r in match_mapper.map_many(instance.problem, match_seeds)
     )
 
-    for pop, gen in ((pop_a, gen_a), (pop_b, gen_b)):
-        name = f"FastMap-GA {pop}/{gen}"
-        tasks = [
-            (pop, gen, instance.problem,
-             streams.seed_for("anova", heuristic=name, rep=rep))
-            for rep in range(profile.anova_runs)
-        ]
-        samples[name] = tuple(parallel_map(_run_ga_rep, tasks, n_workers=n_workers))
+    with WorkerPool(n_workers) as pool:
+        problem_ref = pool.publish_problem(instance.problem)
+        for pop, gen in ((pop_a, gen_a), (pop_b, gen_b)):
+            name = f"FastMap-GA {pop}/{gen}"
+            tasks = [
+                (pop, gen, problem_ref,
+                 streams.seed_for("anova", heuristic=name, rep=rep))
+                for rep in range(profile.anova_runs)
+            ]
+            samples[name] = tuple(pool.map(_run_ga_rep, tasks))
 
     summaries = tuple(
         summarize_sample(vals, label=name) for name, vals in samples.items()

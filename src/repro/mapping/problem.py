@@ -9,6 +9,8 @@ immutable numeric view of the instance.
 
 from __future__ import annotations
 
+from typing import Mapping as TypingMapping
+
 import numpy as np
 
 from repro.exceptions import MappingError, ValidationError
@@ -117,6 +119,73 @@ class MappingProblem:
         """True iff no two tasks share a resource (a permutation when square)."""
         arr = self.check_assignment(assignment)
         return np.unique(arr).size == arr.size
+
+    # -- shared-memory plane export/attach ----------------------------------
+    def plane_arrays(self) -> dict[str, np.ndarray]:
+        """Every numeric array a worker needs, keyed for the problem plane.
+
+        This is the instance's complete wire format for
+        :mod:`repro.utils.shared_plane`: the TIG arrays, the resource-graph
+        arrays, and the already-closed communication-cost matrix (published
+        so workers skip re-running the Floyd–Warshall closure).
+        :meth:`from_plane_arrays` inverts it bit-for-bit.
+        """
+        return {
+            "task_weights": self.task_weights,
+            "tig_edges": self.edges,
+            "tig_edge_weights": self.edge_weights,
+            "proc_weights": self.proc_weights,
+            "res_edges": self.resources.edges,
+            "res_edge_weights": self.resources.edge_weights,
+            "comm_costs": self.comm_costs,
+        }
+
+    @classmethod
+    def from_plane_arrays(
+        cls,
+        arrays: "TypingMapping[str, np.ndarray]",
+        *,
+        tig_name: str = "",
+        res_name: str = "",
+    ) -> "MappingProblem":
+        """Rebuild a problem from :meth:`plane_arrays` output (zero-copy).
+
+        The graphs are reconstructed through their normal validating
+        constructors (the arrays are tiny and already canonical), but the
+        dense ``comm_costs`` matrix — the one O(n²) payload — is adopted
+        as-is instead of being recomputed, so a worker attaching to a
+        shared-memory segment reads the parent's pages directly. The result
+        is numerically identical to the published problem: same weights,
+        same canonical edge order, same closed cost matrix.
+        """
+        tig = TaskInteractionGraph(
+            arrays["task_weights"],
+            arrays["tig_edges"],
+            arrays["tig_edge_weights"],
+            name=tig_name,
+        )
+        resources = ResourceGraph(
+            arrays["proc_weights"],
+            arrays["res_edges"],
+            arrays["res_edge_weights"],
+            name=res_name,
+        )
+        problem = cls.__new__(cls)
+        problem.tig = tig
+        problem.resources = resources
+        problem.task_weights = tig.computation_weights
+        problem.proc_weights = resources.processing_weights
+        comm = np.asarray(arrays["comm_costs"], dtype=np.float64)
+        if comm.shape != (resources.n_nodes, resources.n_nodes):
+            raise ValidationError(
+                f"comm_costs must be ({resources.n_nodes}, {resources.n_nodes}), "
+                f"got {comm.shape}"
+            )
+        comm.setflags(write=False)
+        problem.comm_costs = comm
+        problem.edges = tig.edges
+        problem.edge_weights = tig.edge_weights
+        return problem
 
     # -- misc ---------------------------------------------------------------
     def search_space_size(self) -> float:

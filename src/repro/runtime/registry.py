@@ -84,6 +84,21 @@ class SolverSpec:
         """Build a spec from a params dict (canonicalized by key order)."""
         return cls(name, tuple(sorted((params or {}).items())))
 
+    @classmethod
+    def for_mapper(cls, mapper: "Mapper") -> "SolverSpec | None":
+        """The spec that rebuilds ``mapper``, or None for unregistered ones.
+
+        This is the execution fabric's wire format: a registry-backed
+        mapper crossing a process boundary travels as its
+        ``(registry_name, checkpoint_params)`` pair — a few hundred bytes —
+        instead of a pickled object graph. The golden-fixture suite pins
+        that ``checkpoint_params`` rebuilds every built-in solver
+        bit-for-bit, so the conversion cannot change a result.
+        """
+        if mapper.registry_name is None:
+            return None
+        return cls.of(mapper.registry_name, mapper.checkpoint_params())
+
     def params_dict(self) -> dict[str, Any]:
         """The params as a plain dict (constructor keyword arguments)."""
         return dict(self.params)

@@ -11,7 +11,12 @@ from repro.utils.rng import (
     derive_seed,
     spawn_generators,
 )
-from repro.utils.parallel import default_worker_count, parallel_map
+from repro.utils.parallel import WorkerPool, default_worker_count, parallel_map
+from repro.utils.shared_plane import (
+    ProblemPlane,
+    SharedProblemHandle,
+    resolve_problem,
+)
 from repro.utils.timing import Stopwatch, TimingRecord, time_call
 from repro.utils.tables import format_table, render_kv_block
 from repro.utils.validation import (
@@ -32,6 +37,10 @@ __all__ = [
     "spawn_generators",
     "parallel_map",
     "default_worker_count",
+    "WorkerPool",
+    "ProblemPlane",
+    "SharedProblemHandle",
+    "resolve_problem",
     "Stopwatch",
     "TimingRecord",
     "time_call",

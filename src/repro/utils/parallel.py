@@ -1,34 +1,236 @@
-"""Parallel map utilities for embarrassingly parallel experiment sweeps.
+"""The persistent execution fabric for embarrassingly parallel sweeps.
 
 Suite runs (sizes × pairs × heuristics × repetitions) are independent of
-each other, so they parallelise trivially across processes. This module
-provides :func:`parallel_map` — a ``ProcessPoolExecutor`` map with ordered
-results, a serial fallback (``n_workers <= 1`` or single-CPU hosts), and
-chunking — following the HPC guidance of preferring coarse-grained process
-parallelism for CPU-bound numpy work (the GIL rules out threads here).
+each other, so they parallelise trivially across processes. Historically
+every dispatch spun up a fresh ``ProcessPoolExecutor`` and pickled the full
+problem graphs into each task; at suite scale the fork/warm-up and
+serialization overhead dominates wall-clock long before the solvers do.
+This module replaces that with :class:`WorkerPool` — a warm, reusable pool
+that serves many map calls per lifetime, owns a shared-memory problem plane
+(:mod:`repro.utils.shared_plane`) so instances are published once instead
+of pickled per cell, and schedules straggler-prone cells first
+(cost-weighted longest-processing-time-first with per-cell futures).
+
+:func:`parallel_map` remains as the one-shot convenience wrapper — exact
+same public signature and serial-fallback semantics as before, now a thin
+shim over a single-use :class:`WorkerPool`.
 
 Tasks must be picklable top-level callables; per-task arguments should
 carry their own seeds (see :class:`repro.utils.rng.RngStreams`) so results
 are identical regardless of worker count — a property the tests assert.
+This module is the only place in the library allowed to construct a raw
+``ProcessPoolExecutor`` (the ``parallel-safety`` lint rule enforces it).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import weakref
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
-from repro.exceptions import ValidationError
+from repro.exceptions import ConfigurationError, ValidationError, WorkerPoolError
+from repro.utils.shared_plane import ProblemPlane, ProblemRef
 
-__all__ = ["parallel_map", "default_worker_count"]
+__all__ = ["WorkerPool", "parallel_map", "default_worker_count"]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 
 def default_worker_count() -> int:
-    """A sensible worker count: CPUs - 1, at least 1."""
+    """The fabric-wide worker count: ``REPRO_WORKERS`` if set, else CPUs - 1.
+
+    The environment override lets one shell line repin every sweep in a
+    session (CI pins ``REPRO_WORKERS=2`` for determinism-under-parallelism
+    tests; a dedicated box can claim every core). Always at least 1.
+    """
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_WORKERS must be a positive integer, got {raw!r}"
+            ) from None
+        if value < 1:
+            raise ConfigurationError(f"REPRO_WORKERS must be >= 1, got {value}")
+        return value
     return max(1, (os.cpu_count() or 1) - 1)
+
+
+def _shutdown_executor(executor: ProcessPoolExecutor | None) -> None:
+    """Module-level shutdown helper usable by a ``weakref.finalize`` guard."""
+    if executor is not None:
+        executor.shutdown(wait=True, cancel_futures=True)
+
+
+class WorkerPool:
+    """A warm process pool plus shared-memory problem plane.
+
+    One pool serves arbitrarily many :meth:`map` calls; workers fork once
+    and stay warm, so successive dispatches pay queue latency instead of
+    executor construction. ``n_workers <= 1`` turns every operation into
+    its in-process serial equivalent — no forks, no pickling, no shared
+    memory — which keeps single-CPU hosts and debug sessions exactly as
+    deterministic and steppable as before.
+
+    Use as a context manager (or call :meth:`close`); either way the plane's
+    segments are unlinked on normal exit, on exceptions and on SIGINT, and a
+    ``weakref.finalize`` guard covers pools abandoned without closing.
+    """
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        self.n_workers = default_worker_count() if n_workers is None else int(n_workers)
+        self._executor: ProcessPoolExecutor | None = None
+        self._plane = ProblemPlane()
+        self._closed = False
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def is_parallel(self) -> bool:
+        """True when map calls actually cross process boundaries."""
+        return self.n_workers > 1
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of live worker processes (empty before the first dispatch)."""
+        if self._executor is None:
+            return []
+        return list(self._executor._processes)
+
+    # -- the problem plane -------------------------------------------------
+    def publish_problem(self, problem) -> ProblemRef:
+        """Publish a problem for zero-copy worker access; returns the cell ref.
+
+        On the serial path the problem itself is returned — the "workers"
+        are this process, so sharing memory with them is a no-op. Parallel
+        pools return a :class:`~repro.utils.shared_plane.SharedProblemHandle`
+        (idempotent per problem object: the arrays are written once no
+        matter how many cells reference them).
+        """
+        if self._closed:
+            raise WorkerPoolError("cannot publish on a closed WorkerPool")
+        if not self.is_parallel:
+            return problem
+        return self._plane.publish(problem)
+
+    # -- dispatch ----------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        *,
+        chunksize: int = 1,
+        weight: Callable[[T], float] | None = None,
+    ) -> list[R]:
+        """Map ``fn`` over ``items``; results always in input order.
+
+        With ``weight`` the pool runs straggler-aware LPT scheduling: one
+        future per item, submitted heaviest-first, so the longest cells
+        start immediately and the tail of a mixed-size sweep collapses
+        (FIFO chunking leaves workers idle behind whichever chunk drew the
+        big-``n`` cells last). Weights order execution only — results are
+        reordered to input order, so they cannot influence any value.
+
+        Without ``weight`` the call is a plain FIFO ``Executor.map`` with
+        ``chunksize``. Exceptions from ``fn`` propagate to the caller (the
+        first failing item in input order, as with ``Executor.map``); dead
+        workers surface as :class:`WorkerPoolError` rather than a hang.
+        """
+        if chunksize < 1:
+            raise ValidationError(f"chunksize must be >= 1, got {chunksize}")
+        if self._closed:
+            raise WorkerPoolError("cannot map on a closed WorkerPool")
+        item_list: Sequence[T] = list(items)
+        if not self.is_parallel or len(item_list) <= 1:
+            return [fn(item) for item in item_list]
+        executor = self._ensure_executor()
+        try:
+            if weight is None:
+                return list(executor.map(fn, item_list, chunksize=chunksize))
+            return self._map_lpt(executor, fn, item_list, weight)
+        except BrokenProcessPool as exc:
+            raise WorkerPoolError(
+                f"worker pool died mid-dispatch ({self.n_workers} workers): "
+                f"{exc}; results for this call are lost — rerun, or use "
+                "n_workers=1 to diagnose in-process"
+            ) from exc
+
+    @staticmethod
+    def _map_lpt(
+        executor: ProcessPoolExecutor,
+        fn: Callable[[T], R],
+        item_list: Sequence[T],
+        weight: Callable[[T], float],
+    ) -> list[R]:
+        """Per-item futures, heaviest submitted first, gathered in input order."""
+        order = sorted(
+            range(len(item_list)),
+            key=lambda i: (-float(weight(item_list[i])), i),
+        )
+        futures: dict[int, Future] = {i: executor.submit(fn, item_list[i]) for i in order}
+        results: list[R] = []
+        try:
+            for i in range(len(item_list)):
+                results.append(futures[i].result())
+        except BaseException:
+            for fut in futures.values():
+                fut.cancel()
+            raise
+        return results
+
+    # -- lifecycle ---------------------------------------------------------
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            # Start the parent's resource tracker *before* forking workers.
+            # Workers must inherit its fd: a worker whose first shared-memory
+            # attach finds no tracker spawns a private one that never hears
+            # the parent's unlink and cries "leaked" at shutdown. The first
+            # publish starts it implicitly, but this pool may well dispatch
+            # plane-free work (suite generation) before anything is published.
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+            except Exception:  # pragma: no cover - platform-specific
+                pass
+            self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
+            self._exec_finalizer = weakref.finalize(
+                self, _shutdown_executor, self._executor
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut workers down, then unlink every published segment. Idempotent.
+
+        Ordered so no worker can outlive the segments it may be reading.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            _shutdown_executor(self._executor)
+        finally:
+            self._executor = None
+            self._plane.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "warm" if self._executor else "cold"
+        return (
+            f"WorkerPool(n_workers={self.n_workers}, {state}, "
+            f"published={self._plane.n_published})"
+        )
 
 
 def parallel_map(
@@ -46,7 +248,9 @@ def parallel_map(
     on single-CPU hosts, keeping behaviour deterministic and debuggable.
 
     Exceptions raised by ``fn`` propagate to the caller (the first failing
-    item's exception, as with ``Executor.map``).
+    item's exception, as with ``Executor.map``). This is the one-shot
+    convenience form; callers dispatching more than once should hold a
+    :class:`WorkerPool` open and amortize the worker warm-up.
     """
     if chunksize < 1:
         raise ValidationError(f"chunksize must be >= 1, got {chunksize}")
@@ -54,5 +258,5 @@ def parallel_map(
     item_list: Sequence[T] = list(items)
     if workers <= 1 or len(item_list) <= 1:
         return [fn(item) for item in item_list]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, item_list, chunksize=chunksize))
+    with WorkerPool(workers) as pool:
+        return pool.map(fn, item_list, chunksize=chunksize)

@@ -1,0 +1,237 @@
+"""The shared-memory problem plane: publish instances once, attach zero-copy.
+
+Suite-scale dispatch used to pickle every :class:`MappingProblem` — graphs,
+edge lists and the dense O(n²) communication-cost matrix — into **every**
+cell task shipped to a worker. The plane inverts that: the parent publishes
+each instance's numeric arrays into one ``multiprocessing.shared_memory``
+segment, workers attach by name and rebuild the problem as read-only views
+over the same physical pages, and a cell task shrinks to a
+``(problem handle, solver spec, seed)`` tuple a few hundred bytes long.
+
+Lifecycle guarantees (the leak tests in ``tests/utils`` pin all three):
+
+* segments are unlinked when the owning :class:`ProblemPlane` (usually via
+  :class:`repro.utils.parallel.WorkerPool`) is closed — on normal exit,
+  on exceptions, and on SIGINT (``KeyboardInterrupt`` unwinds the ``with``
+  block like any exception);
+* a plane that is garbage-collected or still alive at interpreter exit is
+  cleaned up by its ``weakref.finalize`` guard, so no segment survives the
+  owning process;
+* worker-side attachments are unregistered from the ``resource_tracker``
+  (see :func:`_attach_segment`), so a worker's exit neither unlinks a
+  segment the parent still serves nor warns about "leaked" memory.
+
+Workers cache attachments per segment name: the first cell touching an
+instance pays one ``shm_open`` + array-header rebuild, every later cell on
+the same instance is a dict lookup.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Any, Union
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mapping.problem import MappingProblem
+
+__all__ = [
+    "SharedProblemHandle",
+    "ProblemPlane",
+    "ProblemRef",
+    "resolve_problem",
+]
+
+#: Byte alignment for array starts inside a segment (numpy is happiest on
+#: 16-byte boundaries; also keeps dtypes naturally aligned).
+_ALIGN = 16
+
+
+@dataclass(frozen=True)
+class SharedProblemHandle:
+    """Picklable zero-copy reference to one published problem.
+
+    ``fields`` is the segment's wire manifest: one
+    ``(name, dtype, shape, offset)`` row per array, in publication order.
+    The handle is a value object — hashable, comparable, and a few hundred
+    bytes on the wire regardless of instance size.
+    """
+
+    key: str
+    shm_name: str
+    fields: tuple[tuple[str, str, tuple[int, ...], int], ...]
+    tig_name: str = ""
+    res_name: str = ""
+
+
+#: What experiment cells carry: a live problem (serial path — same process,
+#: nothing to share) or a shared-memory handle (process-pool path).
+ProblemRef = Union["MappingProblem", SharedProblemHandle]
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting cleanup duty.
+
+    On Python < 3.13 attaching registers the segment with a
+    ``resource_tracker`` exactly as creating does (bpo-39959). For a
+    *standalone* attacher — a process with its own tracker — that tracker
+    would unlink the owner's segment when the attacher exits, so we
+    unregister immediately. Pool workers, however, **share** the parent's
+    tracker (the fd is inherited), where re-registering an existing name
+    is a no-op; unregistering there would strip the parent's own entry
+    and make the final unlink complain. 3.13+ has ``track=False`` for
+    exactly this.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        import multiprocessing
+
+        shm = shared_memory.SharedMemory(name=name)
+        if multiprocessing.parent_process() is None:
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - best-effort, platform-specific
+                pass
+        return shm
+
+
+def _unlink_segments(segments: dict[str, shared_memory.SharedMemory]) -> None:
+    """Close and unlink every segment; idempotent and exception-proof.
+
+    Module-level so a ``weakref.finalize`` can call it after the owning
+    plane object is gone.
+    """
+    for shm in segments.values():
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+    segments.clear()
+
+
+class ProblemPlane:
+    """Registry of problems published to shared memory by this process.
+
+    One plane is owned per :class:`~repro.utils.parallel.WorkerPool`;
+    :meth:`publish` is idempotent per problem object, so enqueuing many
+    cells over the same instance publishes its arrays exactly once.
+    """
+
+    _seq = 0  # process-wide publication counter (keys must never collide)
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._handles: dict[int, SharedProblemHandle] = {}
+        self._pinned: list[Any] = []  # keep published problems alive so id() keys stay valid
+        self._closed = False
+        self._finalizer = weakref.finalize(self, _unlink_segments, self._segments)
+
+    # -- publication -------------------------------------------------------
+    def publish(self, problem: "MappingProblem") -> SharedProblemHandle:
+        """Copy ``problem``'s arrays into one segment; return its handle."""
+        if self._closed:
+            raise ValidationError("cannot publish to a closed ProblemPlane")
+        cached = self._handles.get(id(problem))
+        if cached is not None:
+            return cached
+
+        arrays = problem.plane_arrays()
+        fields: list[tuple[str, str, tuple[int, ...], int]] = []
+        offset = 0
+        for name, arr in arrays.items():
+            offset = _aligned(offset)
+            fields.append((name, arr.dtype.str, tuple(arr.shape), offset))
+            offset += arr.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
+        for (name, dtype, shape, off), arr in zip(fields, arrays.values()):
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=off)
+            view[...] = arr
+
+        ProblemPlane._seq += 1
+        handle = SharedProblemHandle(
+            key=f"plane-{os.getpid()}-{ProblemPlane._seq}",
+            shm_name=shm.name,
+            fields=tuple(fields),
+            tig_name=problem.tig.name,
+            res_name=problem.resources.name,
+        )
+        self._segments[handle.key] = shm
+        self._handles[id(problem)] = handle
+        self._pinned.append(problem)
+        return handle
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def n_published(self) -> int:
+        """Number of live segments this plane owns."""
+        return len(self._segments)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Unlink every owned segment. Idempotent."""
+        self._closed = True
+        self._handles.clear()
+        self._pinned.clear()
+        self._finalizer()  # runs _unlink_segments exactly once
+
+    def __enter__(self) -> "ProblemPlane":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# -- worker side ------------------------------------------------------------
+
+#: Per-process attachment cache: segment key -> (segment, rebuilt problem).
+#: The SharedMemory object must stay referenced or its mapping is freed.
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, "MappingProblem"]] = {}
+
+
+def resolve_problem(ref: ProblemRef) -> "MappingProblem":
+    """The problem behind a cell's reference, attaching if it is a handle.
+
+    Live problems pass through untouched (the serial path ships the object
+    itself). Handles are attached once per process and cached, so repeated
+    cells on one instance share a single zero-copy reconstruction.
+    """
+    from repro.mapping.problem import MappingProblem
+
+    if isinstance(ref, MappingProblem):
+        return ref
+    if not isinstance(ref, SharedProblemHandle):
+        raise ValidationError(
+            f"problem ref must be a MappingProblem or SharedProblemHandle, "
+            f"got {type(ref).__name__}"
+        )
+    cached = _ATTACHED.get(ref.key)
+    if cached is not None:
+        return cached[1]
+    shm = _attach_segment(ref.shm_name)
+    arrays: dict[str, np.ndarray] = {}
+    for name, dtype, shape, offset in ref.fields:
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+        view.setflags(write=False)
+        arrays[name] = view
+    problem = MappingProblem.from_plane_arrays(
+        arrays, tig_name=ref.tig_name, res_name=ref.res_name
+    )
+    _ATTACHED[ref.key] = (shm, problem)
+    return problem

@@ -236,6 +236,54 @@ class TestParallelSafety:
         # builtins.map with a lambda never crosses a process boundary
         assert rules_hit("out = list(map(lambda x: x, items))\n") == set()
 
+    def test_raw_process_pool_executor_flagged(self):
+        src = """
+            from concurrent.futures import ProcessPoolExecutor
+            def run(worker, items):
+                with ProcessPoolExecutor(max_workers=4) as ex:
+                    return list(ex.map(worker, items))
+        """
+        hits = [f for f in findings_for(src) if f.rule == "parallel-safety"]
+        assert hits and "execution fabric" in hits[0].message
+
+    def test_dotted_process_pool_executor_flagged(self):
+        src = """
+            import concurrent.futures
+            pool = concurrent.futures.ProcessPoolExecutor()
+        """
+        assert "parallel-safety" in rules_hit(src)
+
+    def test_raw_multiprocessing_pool_flagged(self):
+        src = """
+            import multiprocessing as mp
+            def run(worker, items):
+                with mp.Pool(4) as pool:
+                    return pool.map(worker, items)
+        """
+        assert "parallel-safety" in rules_hit(src)
+
+    def test_bare_pool_import_flagged(self):
+        src = """
+            from multiprocessing import Pool
+            p = Pool(2)
+        """
+        assert "parallel-safety" in rules_hit(src)
+
+    def test_fabric_module_may_construct_pools(self):
+        src = """
+            from concurrent.futures import ProcessPoolExecutor
+            executor = ProcessPoolExecutor(max_workers=2)
+        """
+        assert rules_hit(src, path="src/repro/utils/parallel.py") == set()
+
+    def test_unrelated_pool_name_clean(self):
+        # An object pool that is not multiprocessing's is fine.
+        src = """
+            from mylib.objects import Pool
+            p = Pool(2)
+        """
+        assert rules_hit(src) == set()
+
 
 class TestMutableState:
     def test_mutable_default_list_flagged(self):

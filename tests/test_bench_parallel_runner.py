@@ -1,0 +1,64 @@
+"""Smoke-test the execution-fabric benchmark script.
+
+Runs ``benchmarks/bench_parallel_runner.py`` in its ``--smoke``
+configuration (tiny suite, two workers, one repeat) so all four dispatch
+stages — per-call pool, warm pool, warm+shared plane, warm+shared+LPT —
+and the cross-stage bit-identity assertion are exercised by the suite
+without meaningful runtime cost.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+BENCH_PATH = Path(__file__).parent.parent / "benchmarks" / "bench_parallel_runner.py"
+
+STAGES = ("per_call", "warm", "warm_shared", "warm_shared_lpt")
+
+
+def load_bench_module():
+    spec = importlib.util.spec_from_file_location("bench_parallel_runner", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    # Register before exec so worker processes can unpickle the module's
+    # top-level cell function by reference (fork inherits sys.modules).
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_smoke_run_writes_report(tmp_path):
+    bench = load_bench_module()
+    out = tmp_path / "BENCH_parallel_runner.json"
+    report = bench.run(smoke=True, out=out)
+
+    on_disk = json.loads(out.read_text())
+    assert on_disk == report
+    assert report["smoke"] is True
+
+    assert tuple(report["stages"]) == STAGES
+    for name in STAGES:
+        row = report["stages"][name]
+        assert row["seconds"] > 0
+        assert row["cells_per_s"] > 0
+    assert report["stages"]["per_call"]["speedup_vs_per_call"] == 1.0
+
+    # The script itself aborts if any stage's ETs diverge; the report
+    # records that the check ran and passed.
+    assert report["results_bit_identical_across_stages"] is True
+
+    # Smoke scale (2 workers) cannot judge the >= 4-worker acceptance
+    # bar; it must be recorded as unjudged rather than a pass or fail.
+    assert report["acceptance"]["met"] is None
+
+
+def test_committed_report_is_full_scale_and_meets_target():
+    committed = BENCH_PATH.parent.parent / "BENCH_parallel_runner.json"
+    report = json.loads(committed.read_text())
+    assert report["smoke"] is False
+    assert report["workload"]["n_workers"] >= 4
+    acc = report["acceptance"]
+    assert acc["measured_speedup"] >= acc["target_speedup"]
+    assert acc["met"] is True

@@ -56,6 +56,7 @@ class TestParallelMap:
         with pytest.raises(ValidationError):
             parallel_map(square, [1], chunksize=0)
 
-    def test_default_worker_count_positive(self):
+    def test_default_worker_count_positive(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
         assert default_worker_count() >= 1
         assert default_worker_count() <= max(1, (os.cpu_count() or 1))

@@ -1,0 +1,211 @@
+"""Tests for the shared-memory problem plane.
+
+Round-trip fidelity (published arrays == attached arrays, bit for bit) and
+the lifecycle guarantees the module docstring promises: no segment survives
+a normal close, an exception unwind, a dead worker pool, or the owning
+process's exit.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError, WorkerPoolError
+from repro.experiments.suite import build_suite
+from repro.mapping.cost_model import CostModel
+from repro.utils.parallel import WorkerPool
+from repro.utils.shared_plane import (
+    ProblemPlane,
+    SharedProblemHandle,
+    resolve_problem,
+)
+
+
+def make_problem(size: int = 8, seed: int = 11):
+    return build_suite((size,), 1, seed=seed)[size][0].problem
+
+
+def segment_exists(shm_name: str) -> bool:
+    """True iff a shared-memory segment with this OS name still exists."""
+    try:
+        shm = shared_memory.SharedMemory(name=shm_name)
+    except FileNotFoundError:
+        return False
+    shm.close()
+    return True
+
+
+def kill_self(x: int) -> int:
+    os.kill(os.getpid(), signal.SIGKILL)
+    return x
+
+
+def check_costs(task: "tuple[object, int]") -> float:
+    """Worker: evaluate a fixed assignment on the attached problem."""
+    ref, size = task
+    problem = resolve_problem(ref)
+    return float(CostModel(problem).evaluate(np.arange(size, dtype=np.int64)))
+
+
+class TestRoundTrip:
+    def test_publish_then_resolve_is_bit_identical(self):
+        problem = make_problem()
+        with ProblemPlane() as plane:
+            handle = plane.publish(problem)
+            rebuilt = resolve_problem(handle)
+            for name, arr in problem.plane_arrays().items():
+                np.testing.assert_array_equal(
+                    arr, rebuilt.plane_arrays()[name], err_msg=name
+                )
+            assert rebuilt.tig.name == problem.tig.name
+            assert rebuilt.resources.name == problem.resources.name
+
+    def test_cost_model_identical_on_rebuilt_problem(self):
+        problem = make_problem()
+        assignment = np.arange(problem.n_tasks, dtype=np.int64)
+        with ProblemPlane() as plane:
+            rebuilt = resolve_problem(plane.publish(problem))
+            assert CostModel(problem).evaluate(assignment) == CostModel(
+                rebuilt
+            ).evaluate(assignment)
+
+    def test_publish_is_idempotent_per_problem(self):
+        problem = make_problem()
+        with ProblemPlane() as plane:
+            h1 = plane.publish(problem)
+            h2 = plane.publish(problem)
+            assert h1 is h2
+            assert plane.n_published == 1
+
+    def test_distinct_problems_get_distinct_segments(self):
+        with ProblemPlane() as plane:
+            h1 = plane.publish(make_problem(seed=1))
+            h2 = plane.publish(make_problem(seed=2))
+            assert h1.key != h2.key
+            assert plane.n_published == 2
+
+    def test_handle_is_small_on_the_wire(self):
+        import pickle
+
+        problem = make_problem(size=10)
+        with ProblemPlane() as plane:
+            handle = plane.publish(problem)
+            assert len(pickle.dumps(handle)) < len(pickle.dumps(problem)) / 2
+
+    def test_resolve_passthrough_for_live_problem(self):
+        problem = make_problem()
+        assert resolve_problem(problem) is problem
+
+    def test_resolve_rejects_other_types(self):
+        with pytest.raises(ValidationError, match="problem ref"):
+            resolve_problem(42)
+
+
+class TestLifecycle:
+    def test_segments_unlinked_on_normal_close(self):
+        problem = make_problem()
+        plane = ProblemPlane()
+        handle = plane.publish(problem)
+        assert segment_exists(handle.shm_name)
+        plane.close()
+        assert not segment_exists(handle.shm_name)
+        with pytest.raises(ValidationError, match="closed"):
+            plane.publish(problem)
+
+    def test_segments_unlinked_when_with_block_raises(self):
+        problem = make_problem()
+        handle = None
+        with pytest.raises(RuntimeError, match="mid-suite failure"):
+            with ProblemPlane() as plane:
+                handle = plane.publish(problem)
+                assert segment_exists(handle.shm_name)
+                raise RuntimeError("mid-suite failure")
+        assert handle is not None and not segment_exists(handle.shm_name)
+
+    def test_worker_pool_exit_unlinks_after_raising_cell(self):
+        problem = make_problem()
+        handle = None
+        with pytest.raises(WorkerPoolError):
+            with WorkerPool(2) as pool:
+                handle = pool.publish_problem(problem)
+                assert isinstance(handle, SharedProblemHandle)
+                pool.map(kill_self, range(8))
+        assert handle is not None and not segment_exists(handle.shm_name)
+
+    def test_worker_pool_normal_exit_unlinks(self):
+        problem = make_problem()
+        with WorkerPool(2) as pool:
+            handle = pool.publish_problem(problem)
+            costs = pool.map(
+                check_costs, [(handle, problem.n_tasks)] * 4
+            )
+        assert len(set(costs)) == 1
+        assert not segment_exists(handle.shm_name)
+
+    def test_no_tracker_noise_when_pool_warms_before_publish(self):
+        """Workers forked before the first publish share the parent tracker.
+
+        run_comparison warms its pool on suite generation (no shared
+        memory yet) before any problem is published. A worker forked
+        without an inherited tracker fd would start a private tracker on
+        first attach, never hear the parent's unlink, and spray "leaked
+        shared_memory" warnings at shutdown — so the whole run's stderr
+        must stay silent.
+        """
+        src_root = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        script = (
+            "from repro.experiments.suite import build_suite\n"
+            "from repro.utils.parallel import WorkerPool\n"
+            "from tests.utils.test_shared_plane import check_costs\n"
+            "problem = build_suite((6,), 1, seed=3)[6][0].problem\n"
+            "with WorkerPool(2) as pool:\n"
+            "    pool.map(abs, range(4))\n"  # warm the workers plane-free
+            "    handle = pool.publish_problem(problem)\n"
+            "    pool.map(check_costs, [(handle, problem.n_tasks)] * 4)\n"
+        )
+        env = dict(os.environ)
+        repo_root = os.path.abspath(os.path.join(src_root, ".."))
+        env["PYTHONPATH"] = os.pathsep.join([os.path.abspath(src_root), repo_root])
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+            check=True,
+        )
+        assert "resource_tracker" not in out.stderr, out.stderr
+        assert "leaked" not in out.stderr, out.stderr
+
+    def test_no_segment_survives_process_exit(self, tmp_path):
+        """A child that publishes and exits without closing leaks nothing."""
+        src_root = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        script = (
+            "from repro.experiments.suite import build_suite\n"
+            "from repro.utils.shared_plane import ProblemPlane\n"
+            "problem = build_suite((6,), 1, seed=3)[6][0].problem\n"
+            "plane = ProblemPlane()\n"
+            "handle = plane.publish(problem)\n"
+            "print(handle.shm_name)\n"
+            # no close(): the finalize guard must clean up at interpreter exit
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src_root)
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+            check=True,
+        )
+        shm_name = out.stdout.strip().splitlines()[-1]
+        assert shm_name
+        assert not segment_exists(shm_name)
