@@ -23,7 +23,11 @@ construction: outside ``repro/utils/parallel.py``, instantiating
 ``ProcessPoolExecutor`` or ``multiprocessing.Pool`` directly is flagged —
 raw pools bypass the warm-worker reuse, the shared-memory plane's
 guaranteed cleanup, and the ``REPRO_WORKERS`` override that
-:class:`repro.utils.parallel.WorkerPool` provides.
+:class:`repro.utils.parallel.WorkerPool` provides. The same monopoly
+covers shared-memory allocation: ``SharedMemory(create=True)`` outside
+``repro/utils/shared_plane.py`` is flagged, because only the plane's
+owner-tracked segments are guaranteed to be unlinked on close, SIGINT and
+abandoned pools — an ad-hoc segment is a leak the fabric cannot see.
 """
 
 from __future__ import annotations
@@ -42,6 +46,8 @@ POOLISH = ("pool", "executor")
 GENERATOR_BUILDERS = frozenset({"as_generator", "default_rng", "spawn_generators"})
 #: The one module allowed to construct raw process pools.
 FABRIC_PATHS = ("repro/utils/parallel.py",)
+#: The one module allowed to allocate shared-memory segments.
+PLANE_PATHS = ("repro/utils/shared_plane.py",)
 
 
 def _multiprocessing_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
@@ -87,6 +93,7 @@ class ParallelSafetyChecker(Checker):
         self._nested_defs = _nested_def_names(ctx.tree)
         self._mp_pool_names, self._mp_aliases = _multiprocessing_aliases(ctx.tree)
         self._in_fabric = path_matches(ctx.path, FABRIC_PATHS)
+        self._in_plane = path_matches(ctx.path, PLANE_PATHS)
 
     def visit_Call(self, node: ast.Call) -> None:
         task = self._dispatched_callable(node)
@@ -95,6 +102,7 @@ class ParallelSafetyChecker(Checker):
             for arg in [*node.args, *[kw.value for kw in node.keywords]]:
                 self._check_no_generator_capture(arg)
         self._check_pool_construction(node)
+        self._check_shm_allocation(node)
         self.generic_visit(node)
 
     # -- dispatch-site detection -------------------------------------------
@@ -158,6 +166,35 @@ class ParallelSafetyChecker(Checker):
                 "fabric; go through repro.utils.parallel (WorkerPool / "
                 "parallel_map) so runs get warm-worker reuse, shared-memory "
                 "cleanup and the REPRO_WORKERS override",
+            )
+
+    def _check_shm_allocation(self, node: ast.Call) -> None:
+        """Creating shared-memory segments is the problem plane's business.
+
+        Only ``SharedMemory(create=True)`` is flagged — attaching to an
+        existing segment by name is how workers are *supposed* to reach the
+        plane. Allocation outside the plane module escapes its owner
+        tracking, so nothing unlinks the segment on close/SIGINT and the
+        resource tracker reports a leak at interpreter exit.
+        """
+        if self._in_plane:
+            return
+        name = dotted_name(node.func)
+        if name is None or name.split(".")[-1] != "SharedMemory":
+            return
+        creates = any(
+            kw.arg == "create"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in node.keywords
+        )
+        if creates:
+            self.report(
+                node,
+                "SharedMemory(create=True) outside repro/utils/shared_plane.py "
+                "allocates a segment the fabric's cleanup cannot see; go "
+                "through the problem plane (publish/attach helpers) so the "
+                "segment is owner-tracked and unlinked on close",
             )
 
     def _check_no_generator_capture(self, arg: ast.AST) -> None:

@@ -130,7 +130,8 @@ class _LegacySolveAdapter(MapperSolver):
         assignment, n_evals, extras = self.mapper._solve(
             self._problem, self.model, self._seed
         )
-        self.budget.charge(n_evals)
+        if n_evals:  # a legacy mapper may legitimately report zero evaluations
+            self.budget.charge(n_evals)
         self._output = SolveOutput(
             assignment=np.asarray(assignment, dtype=np.int64),
             n_evaluations=n_evals,

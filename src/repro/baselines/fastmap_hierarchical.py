@@ -160,13 +160,21 @@ class _HierarchicalSolver(MapperSolver):
         one_to_one = n_tasks <= n_res
         probes = 0
         improved = False
+        # Final-sweep clamp: stop probing once the evaluation cap is spent
+        # (the nested GA phase shares this budget, so a sweep may only be
+        # able to afford a prefix of its candidate moves).
+        remaining = self.budget.evaluations_remaining()
         order = self._gen.permutation(n_tasks)
         for t in order:
+            if probes >= remaining:
+                break
             current = inc.current_cost
             if one_to_one:
                 best_partner = -1
                 best_cost = current
                 for t2 in range(n_tasks):
+                    if probes >= remaining:
+                        break
                     if t2 == t:
                         continue
                     cost = inc.swap_cost(int(t), t2)
@@ -181,6 +189,8 @@ class _HierarchicalSolver(MapperSolver):
                 best_dest = -1
                 best_cost = current
                 for r in range(n_res):
+                    if probes >= remaining:
+                        break
                     cost = inc.move_cost(int(t), r)
                     probes += 1
                     if cost < best_cost - 1e-12:
@@ -190,7 +200,8 @@ class _HierarchicalSolver(MapperSolver):
                     inc.apply_move(int(t), best_dest)
                     improved = True
         self._refine_probes += probes
-        self.budget.charge(probes)
+        if probes:
+            self.budget.charge(probes)
         self._sweep += 1
         if not improved or self._sweep >= self.config.refine_sweeps:
             self._assignment = inc.assignment

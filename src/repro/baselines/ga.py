@@ -96,10 +96,16 @@ class _GASolver(MapperSolver):
         M = cfg.population_size
 
         # Initial population: random permutations (random one-to-one maps).
+        # A capped budget clamps how many individuals are scored; the rest
+        # cost +inf (never selected as incumbent) so `used` cannot overshoot
+        # max_evaluations even when the cap is smaller than one population.
         self._pop = np.stack([gen.permutation(n) for _ in range(M)]).astype(np.int64)
-        self._costs = self.model.evaluate_batch(self._pop)
-        self.budget.charge(M)
-        self._n_evals = M
+        n_score = self.budget.clamp_batch(M)
+        self._costs = np.full(M, np.inf)
+        if n_score:
+            self._costs[:n_score] = self.model.evaluate_batch(self._pop[:n_score])
+            self.budget.charge(n_score)
+        self._n_evals = n_score
         best_idx = int(np.argmin(self._costs))
         self._best_x = self._pop[best_idx].copy()
         self._best_cost = float(self._costs[best_idx])
@@ -122,9 +128,15 @@ class _GASolver(MapperSolver):
         )
         children = swap_mutation(children, gen, p_mutation=cfg.p_mutation)
 
-        child_costs = self.model.evaluate_batch(children)
-        self.budget.charge(M)
-        self._n_evals += M
+        # Final-generation clamp: score only the affordable prefix, +inf for
+        # the rest (see start()); the RNG draws above are unconditional, so
+        # unbudgeted runs are byte-identical to the historical stream.
+        n_score = self.budget.clamp_batch(M)
+        child_costs = np.full(M, np.inf)
+        if n_score:
+            child_costs[:n_score] = self.model.evaluate_batch(children[:n_score])
+            self.budget.charge(n_score)
+        self._n_evals += n_score
 
         if cfg.elitism:
             # The incumbent best replaces the worst child.

@@ -69,7 +69,13 @@ class _GreedySolver(MapperSolver):
         best_r = -1
         best_makespan = np.inf
         probes = 0
+        # Final-placement clamp: probe only as many candidate resources as
+        # the evaluation cap affords (at least one is affordable whenever
+        # the driving loop let this step run, so a placement always lands).
+        remaining = self.budget.evaluations_remaining()
         for r in np.flatnonzero(free):
+            if probes >= remaining:
+                break
             # Candidate per-resource times if t goes to r.
             cand = exec_s.copy()
             cand[r] += W[t] * w[r]
@@ -90,7 +96,8 @@ class _GreedySolver(MapperSolver):
             np.add.at(exec_s, nbr_res, vols * ccm[nbr_res, best_r])
 
         self._n_evals += probes
-        self.budget.charge(probes)
+        if probes:
+            self.budget.charge(probes)
         self._pos += 1
         it = self._iteration
         self._iteration += 1

@@ -88,11 +88,18 @@ class _LocalSearchSolver(MapperSolver):
         current = inc.current_cost
         moved = False
         probes = 0
+        # Final-sweep clamp: the scan stops once the evaluation cap is
+        # spent, so a capped sweep probes a prefix instead of overshooting.
+        remaining = self.budget.evaluations_remaining()
         if self.strategy == "steepest":
             best_delta = 0.0
             best_pair: tuple[int, int] | None = None
             for t1 in range(n - 1):
+                if probes >= remaining:
+                    break
                 for t2 in range(t1 + 1, n):
+                    if probes >= remaining:
+                        break
                     c = inc.swap_cost(t1, t2)
                     probes += 1
                     if c < current - 1e-12 and current - c > best_delta:
@@ -105,6 +112,8 @@ class _LocalSearchSolver(MapperSolver):
             pairs = [(t1, t2) for t1 in range(n - 1) for t2 in range(t1 + 1, n)]
             gen.shuffle(pairs)
             for t1, t2 in pairs:
+                if probes >= remaining:
+                    break
                 c = inc.swap_cost(t1, t2)
                 probes += 1
                 if c < current - 1e-12:
@@ -112,7 +121,8 @@ class _LocalSearchSolver(MapperSolver):
                     moved = True
                     break
         self._total_probes += probes
-        self.budget.charge(probes)
+        if probes:
+            self.budget.charge(probes)
         self._sweep += 1
 
         improved_best = False

@@ -43,15 +43,30 @@ class _RandomSearchSolver(MapperSolver):
         self._best_x: np.ndarray | None = None
         self._best_cost = np.inf
         self._remaining = self.n_samples
+        self._exhausted = False  # evaluation cap hit before the sample allowance
 
     @property
     def finished(self) -> bool:
-        return self._remaining <= 0
+        return self._remaining <= 0 or self._exhausted
 
     def step(self) -> StepReport:
         problem, gen = self._problem, self._gen
         n = problem.n_tasks
-        m = min(self._remaining, self.batch_size)
+        # Final-batch clamp: never draw (or charge) more rows than the
+        # evaluation cap still affords.
+        m = self.budget.clamp_batch(min(self._remaining, self.batch_size))
+        if m < 1:
+            # Only reachable when step() is driven without a budget-checking
+            # loop; mark the run exhausted so it terminates cleanly.
+            self._exhausted = True
+            it = self._iteration
+            self._iteration += 1
+            return StepReport(
+                iteration=it,
+                best_cost=self._best_cost,
+                improved=False,
+                info={"batch_size": 0},
+            )
         if problem.is_square:
             batch = np.stack([gen.permutation(n) for _ in range(m)]).astype(np.int64)
         else:
@@ -105,6 +120,7 @@ class _RandomSearchSolver(MapperSolver):
         self._best_cost = float(state["best_cost"])
         self._remaining = int(state["remaining"])
         self._iteration = int(state["iteration"])
+        self._exhausted = False
 
 
 class RandomSearchMapper(Mapper):

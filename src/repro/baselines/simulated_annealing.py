@@ -69,15 +69,23 @@ class _SimulatedAnnealingSolver(MapperSolver):
     def _calibrate_t0(
         self, inc: IncrementalEvaluator, gen: np.random.Generator, n: int
     ) -> float:
-        """Pick T0 so the configured fraction of uphill moves is accepted."""
+        """Pick T0 so the configured fraction of uphill moves is accepted.
+
+        The 64 calibration probes are real cost evaluations, so a capped
+        budget clamps them like any other batch (a clamped calibration
+        draws fewer pairs, which only happens in runs that are about to
+        stop anyway).
+        """
         deltas = []
         cur = inc.current_cost
-        for _ in range(64):
+        n_cal = self.budget.clamp_batch(64)
+        for _ in range(n_cal):
             t1, t2 = gen.choice(n, size=2, replace=False)
             d = inc.swap_cost(int(t1), int(t2)) - cur
             if d > 0:
                 deltas.append(d)
-        self.budget.charge(64)
+        if n_cal:
+            self.budget.charge(n_cal)
         if not deltas:
             return 1.0
         mean_up = float(np.mean(deltas))
@@ -122,9 +130,18 @@ class _SimulatedAnnealingSolver(MapperSolver):
         pairs, us = self._pairs, self._us
         T = self._T
         end = min(self._pos + _STEP_CHUNK, cfg.n_steps)
+        # Final-chunk clamp: stop probing once the evaluation cap is spent
+        # (the schedule position freezes there, so a resumed or
+        # seconds-limited run continues exactly where the cap bit).
+        remaining = self.budget.evaluations_remaining()
         probes = 0
         improved = False
-        for step in range(self._pos, end):
+        pos = self._pos
+        while pos < end:
+            if probes >= remaining:
+                break
+            step = pos
+            pos += 1
             t1, t2 = int(pairs[step, 0]), int(pairs[step, 1])
             if t1 == t2:
                 continue
@@ -141,8 +158,9 @@ class _SimulatedAnnealingSolver(MapperSolver):
                     improved = True
             T *= cfg.cooling
         self._T = T
-        self._pos = end
-        self.budget.charge(probes)
+        self._pos = pos
+        if probes:
+            self.budget.charge(probes)
         it = self._iteration
         self._iteration += 1
         return StepReport(

@@ -99,6 +99,12 @@ class _TabuSolver(MapperSolver):
             pairs = [self._all_pairs[i] for i in idx]
         else:
             pairs = self._all_pairs
+        # Final-sweep clamp: probe only the prefix the evaluation cap can
+        # afford (the candidate draw above is unconditional, so unbudgeted
+        # runs keep the historical RNG stream).
+        n_probe = self.budget.clamp_batch(len(pairs))
+        if n_probe < len(pairs):
+            pairs = pairs[:n_probe]
 
         chosen: tuple[int, int] | None = None
         chosen_cost = np.inf
@@ -111,7 +117,8 @@ class _TabuSolver(MapperSolver):
                 continue
             chosen = (t1, t2)
             chosen_cost = cost
-        self.budget.charge(len(pairs))
+        if pairs:
+            self.budget.charge(len(pairs))
 
         improved = False
         if chosen is None:

@@ -212,29 +212,45 @@ class MultiChainCE:
         sample from slowly-moving distributions, so late iterations find
         almost every unique candidate already scored. The memo is exact —
         a hit returns the very float the objective computed for that row.
+
+        A capped budget clamps how many *fresh* rows are scored: rows past
+        the cap receive ``+inf`` (they can never become an incumbent best)
+        and are neither charged nor memoized, so ``used`` stops exactly at
+        ``max_evaluations`` while the chains' sampling RNG streams remain
+        byte-identical to an uncapped run.
         """
         result.n_evaluations += flat.shape[0]
         if not self.config.dedup:
-            costs = np.asarray(self.objective(flat), dtype=np.float64)
-            if costs.shape != (flat.shape[0],):
-                raise ConfigurationError(
-                    f"objective returned shape {costs.shape}, expected ({flat.shape[0]},)"
-                )
-            result.n_unique_evaluations += flat.shape[0]
-            self.budget.charge(flat.shape[0])
+            n_score = self.budget.clamp_batch(flat.shape[0])
+            costs = np.full(flat.shape[0], np.inf)
+            if n_score:
+                scored = np.asarray(self.objective(flat[:n_score]), dtype=np.float64)
+                if scored.shape != (n_score,):
+                    raise ConfigurationError(
+                        f"objective returned shape {scored.shape}, expected ({n_score},)"
+                    )
+                costs[:n_score] = scored
+                self.budget.charge(n_score)
+            result.n_unique_evaluations += n_score
             return costs
         keys = pack_rows(flat, self.n_cols)
         if keys is None:
             unique_rows, inverse = collapse_duplicate_rows(flat, self.n_cols)
-            unique_costs = np.asarray(self.objective(unique_rows), dtype=np.float64)
-            if unique_costs.shape != (unique_rows.shape[0],):
-                raise ConfigurationError(
-                    f"objective returned shape {unique_costs.shape}, "
-                    f"expected ({unique_rows.shape[0]},)"
+            n_score = self.budget.clamp_batch(unique_rows.shape[0])
+            unique_costs = np.full(unique_rows.shape[0], np.inf)
+            if n_score:
+                scored = np.asarray(
+                    self.objective(unique_rows[:n_score]), dtype=np.float64
                 )
-            result.n_unique_evaluations += unique_rows.shape[0]
-            self.budget.charge(unique_rows.shape[0])
-            result.dedup_rate_history.append(1.0 - unique_rows.shape[0] / flat.shape[0])
+                if scored.shape != (n_score,):
+                    raise ConfigurationError(
+                        f"objective returned shape {scored.shape}, "
+                        f"expected ({n_score},)"
+                    )
+                unique_costs[:n_score] = scored
+                self.budget.charge(n_score)
+            result.n_unique_evaluations += n_score
+            result.dedup_rate_history.append(1.0 - n_score / flat.shape[0])
             return unique_costs[inverse]
         # Resolve every row against the memo first; only keys never seen in
         # any iteration are deduped and scored. Once chains sharpen, whole
@@ -248,40 +264,51 @@ class MultiChainCE:
         costs = np.empty(keys.shape[0])
         if hit.any():
             costs[hit] = self._memo_costs[pos[hit]]
-        n_fresh = 0
+        n_score = 0
         if not hit.all():
             miss = ~hit
             miss_keys, minv = np.unique(keys[miss], return_inverse=True)
             n_fresh = miss_keys.shape[0]
-            # Unpack the packed keys back into rows (bijective, so the
-            # unpacked digits are exactly the original row values).
-            rem = miss_keys.copy()
-            miss_rows = np.empty((n_fresh, self.n_rows), dtype=np.int64)
-            for c in range(self.n_rows - 1, -1, -1):
-                np.mod(rem, self.n_cols, out=miss_rows[:, c])
-                rem //= self.n_cols
-            miss_costs = np.asarray(self.objective(miss_rows), dtype=np.float64)
-            if miss_costs.shape != (n_fresh,):
-                raise ConfigurationError(
-                    f"objective returned shape {miss_costs.shape}, expected ({n_fresh},)"
-                )
+            # Budget clamp: score only the affordable prefix of the fresh
+            # keys; the remainder costs +inf and stays OUT of the memo (an
+            # unscored row must be rescored if a later run can afford it).
+            n_score = self.budget.clamp_batch(n_fresh)
+            miss_costs = np.full(n_fresh, np.inf)
+            if n_score:
+                # Unpack the packed keys back into rows (bijective, so the
+                # unpacked digits are exactly the original row values).
+                rem = miss_keys[:n_score].copy()
+                miss_rows = np.empty((n_score, self.n_rows), dtype=np.int64)
+                for c in range(self.n_rows - 1, -1, -1):
+                    np.mod(rem, self.n_cols, out=miss_rows[:, c])
+                    rem //= self.n_cols
+                scored = np.asarray(self.objective(miss_rows), dtype=np.float64)
+                if scored.shape != (n_score,):
+                    raise ConfigurationError(
+                        f"objective returned shape {scored.shape}, "
+                        f"expected ({n_score},)"
+                    )
+                miss_costs[:n_score] = scored
+                self.budget.charge(n_score)
             costs[miss] = miss_costs[minv]
-            self.budget.charge(n_fresh)
-            # One-pass sorted merge of the fresh keys into the memo.
-            ins = np.searchsorted(self._memo_keys, miss_keys)
-            tgt = ins + np.arange(n_fresh)
-            new_keys = np.empty(K + n_fresh, dtype=np.int64)
-            new_costs = np.empty(K + n_fresh)
-            keep = np.ones(K + n_fresh, dtype=bool)
-            keep[tgt] = False
-            new_keys[tgt] = miss_keys
-            new_costs[tgt] = miss_costs
-            new_keys[keep] = self._memo_keys
-            new_costs[keep] = self._memo_costs
-            self._memo_keys = new_keys
-            self._memo_costs = new_costs
-        result.n_unique_evaluations += n_fresh
-        result.dedup_rate_history.append(1.0 - n_fresh / flat.shape[0])
+            if n_score:
+                # One-pass sorted merge of the freshly *scored* keys into
+                # the memo (np.unique returns sorted keys, so the prefix is
+                # itself sorted).
+                ins = np.searchsorted(self._memo_keys, miss_keys[:n_score])
+                tgt = ins + np.arange(n_score)
+                new_keys = np.empty(K + n_score, dtype=np.int64)
+                new_costs = np.empty(K + n_score)
+                keep = np.ones(K + n_score, dtype=bool)
+                keep[tgt] = False
+                new_keys[tgt] = miss_keys[:n_score]
+                new_costs[tgt] = miss_costs[:n_score]
+                new_keys[keep] = self._memo_keys
+                new_costs[keep] = self._memo_costs
+                self._memo_keys = new_keys
+                self._memo_costs = new_costs
+        result.n_unique_evaluations += n_score
+        result.dedup_rate_history.append(1.0 - n_score / flat.shape[0])
         return costs
 
     # -- the joint loop ---------------------------------------------------------

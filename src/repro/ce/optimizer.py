@@ -318,11 +318,25 @@ class CrossEntropyOptimizer:
         return float(self._best_cost)
 
     def step(self) -> bool:
-        """One CE iteration (Fig. 5 steps 2-7); returns True on improvement."""
+        """One CE iteration (Fig. 5 steps 2-7); returns True on improvement.
+
+        The sample batch is clamped to the evaluations the budget can still
+        afford, so the final iteration of a capped run shrinks instead of
+        overshooting ``max_evaluations`` (dedup can only make the charged
+        count smaller than the draw, never larger). Unlimited budgets pass
+        ``n_samples`` through untouched — the RNG stream of unbudgeted runs
+        is byte-identical to before.
+        """
         cfg = self.config
         result = self._require_started()
         k = self._k + 1
-        X = self._sample(self.matrix.view(), cfg.n_samples, self.rng)
+        n_draw = self.budget.clamp_batch(cfg.n_samples)
+        if n_draw < 1:
+            # Only reachable when step() is driven without a budget-checking
+            # loop; record a clean external stop instead of spinning forever.
+            self.note_external_stop("evaluation budget exhausted before sampling")
+            return False
+        X = self._sample(self.matrix.view(), n_draw, self.rng)
         costs = self._score(X, result)
         result.n_evaluations += X.shape[0]
 

@@ -117,6 +117,28 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
             "are identical for every worker count."
         ),
     )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "re-dispatches per failed cell beyond its first attempt "
+            "(default: 2, or REPRO_MAX_RETRIES). Retries replay the cell's "
+            "own seed, so a salvaged run is bit-identical to a fault-free one."
+        ),
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "per-attempt deadline in seconds for one dispatch cell "
+            "(default: none, or REPRO_CELL_TIMEOUT); an overrunning cell's "
+            "worker is killed and the cell retried instead of hanging the sweep"
+        ),
+    )
 
 
 def _add_budget_args(parser: argparse.ArgumentParser) -> None:
@@ -278,6 +300,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                     run_experiment(
                         exp_id, profile=profile, seed=args.seed,
                         n_workers=args.workers,
+                        max_retries=args.max_retries,
+                        cell_timeout=args.cell_timeout,
                     )
                 )
                 print("\n" + "#" * 72 + "\n")
@@ -286,7 +310,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         profile = _resolve_profile(args.scale)
         print(
             run_experiment(
-                exp_id, profile=profile, seed=args.seed, n_workers=args.workers
+                exp_id, profile=profile, seed=args.seed, n_workers=args.workers,
+                max_retries=args.max_retries, cell_timeout=args.cell_timeout,
             )
         )
         return 0

@@ -58,6 +58,25 @@ class WorkerPoolError(ReproError):
     """
 
 
+class FaultInjectionError(ReproError):
+    """A deterministic injected fault fired (``REPRO_FAULTS`` harness).
+
+    Raised inside a pool worker when the fault plan says the current cell
+    attempt must fail with an exception. Tests and the CI chaos job use it
+    to distinguish injected failures from genuine bugs; it never escapes a
+    production run because ``REPRO_FAULTS`` is unset there.
+    """
+
+
+class CellTimeoutError(ReproError):
+    """A dispatched cell exceeded its per-attempt deadline.
+
+    Recorded in the salvage manifest when the fault-tolerant dispatcher
+    kills a worker whose cell ran past ``RetryPolicy.cell_timeout`` and the
+    cell has no retries left.
+    """
+
+
 class CheckpointError(ReproError):
     """A solver checkpoint is missing, malformed, or incompatible.
 

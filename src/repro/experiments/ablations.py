@@ -19,6 +19,8 @@ the default serial loop.
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -27,7 +29,7 @@ import numpy as np
 from repro.core.config import MatchConfig
 from repro.core.match import MatchMapper
 from repro.experiments.suite import build_suite
-from repro.utils.parallel import WorkerPool
+from repro.utils.parallel import CellFailure, WorkerPool
 from repro.utils.rng import RngStreams
 from repro.utils.shared_plane import ProblemRef, resolve_problem
 from repro.utils.tables import format_table
@@ -56,12 +58,18 @@ class AblationPoint:
 
 @dataclass(frozen=True)
 class AblationResult:
-    """One full sweep."""
+    """One full sweep.
+
+    ``failures`` carries the dispatch cells the fault-tolerant fabric could
+    not complete; each point's means cover its completed repetitions (a
+    point that lost every repetition reads as ``nan``).
+    """
 
     knob: str
     size: int
     runs: int
     points: tuple[AblationPoint, ...]
+    failures: tuple[CellFailure, ...] = ()
 
     def best_point(self) -> AblationPoint:
         """The knob value with the lowest mean ET."""
@@ -130,21 +138,48 @@ def sweep(
             for value in values
             for rep in range(runs)
         ]
-        outcomes = pool.map(_run_ablation_cell, cells)
+        report = pool.map_salvage(_run_ablation_cell, cells)
+    failed = {f.index for f in report.failures}
+    if failed:
+        named = ", ".join(
+            f"{knob}={values[f.index // runs]} rep {f.index % runs}"
+            f" ({f.kind} after {f.attempts} attempts)"
+            for f in report.failures
+        )
+        warnings.warn(
+            f"ablation sweep salvaged with {len(failed)} failed cell(s): "
+            f"{named}; their knob means exclude them",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     points = []
     for i, value in enumerate(values):
-        group = outcomes[i * runs : (i + 1) * runs]
-        ets, mts, its, evs = zip(*group)
+        group = [
+            report.results[j]
+            for j in range(i * runs, (i + 1) * runs)
+            if j not in failed
+        ]
+        if group:
+            ets, mts, its, evs = zip(*group)
+            means = tuple(float(np.mean(m)) for m in (ets, mts, its, evs))
+        else:
+            means = (math.nan, math.nan, math.nan, math.nan)
         points.append(
             AblationPoint(
                 knob_value=float(value),
-                mean_et=float(np.mean(ets)),
-                mean_mt=float(np.mean(mts)),
-                mean_iterations=float(np.mean(its)),
-                mean_evaluations=float(np.mean(evs)),
+                mean_et=means[0],
+                mean_mt=means[1],
+                mean_iterations=means[2],
+                mean_evaluations=means[3],
             )
         )
-    return AblationResult(knob=knob, size=size, runs=runs, points=tuple(points))
+    return AblationResult(
+        knob=knob,
+        size=size,
+        runs=runs,
+        points=tuple(points),
+        failures=report.failures,
+    )
 
 
 def rho_sweep(

@@ -7,7 +7,9 @@ to a zero-argument callable returning the printable artifact. The CLI
 
 from __future__ import annotations
 
-from typing import Callable
+import os
+from contextlib import contextmanager
+from typing import Callable, Iterator
 
 from repro.exceptions import ExperimentError
 from repro.experiments.ablations import (
@@ -138,18 +140,52 @@ def experiment_ids() -> list[str]:
     return sorted(EXPERIMENTS)
 
 
+@contextmanager
+def _fault_tolerance_env(
+    max_retries: int | None, cell_timeout: float | None
+) -> Iterator[None]:
+    """Temporarily pin the fabric's retry knobs through their env overrides.
+
+    Every experiment dispatches through
+    :meth:`repro.utils.parallel.RetryPolicy.default`, which reads
+    ``REPRO_MAX_RETRIES`` / ``REPRO_CELL_TIMEOUT``; scoping the override to
+    the environment threads one CLI flag to every fabric call inside the
+    experiment without widening fifteen callable signatures.
+    """
+    pins = {}
+    if max_retries is not None:
+        pins["REPRO_MAX_RETRIES"] = str(int(max_retries))
+    if cell_timeout is not None:
+        pins["REPRO_CELL_TIMEOUT"] = repr(float(cell_timeout))
+    saved = {key: os.environ.get(key) for key in pins}
+    os.environ.update(pins)
+    try:
+        yield
+    finally:
+        for key, old in saved.items():
+            if old is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = old
+
+
 def run_experiment(
     exp_id: str,
     *,
     profile: ScaleProfile | None = None,
     seed: int = 2005,
     n_workers: int | None = None,
+    max_retries: int | None = None,
+    cell_timeout: float | None = None,
 ) -> str:
     """Regenerate one artifact by id; raises :class:`ExperimentError` on typos.
 
     ``n_workers`` is forwarded to the experiment's execution fabric
     (``None`` keeps each experiment's default); the rendered artifact is
-    identical for every worker count.
+    identical for every worker count. ``max_retries`` / ``cell_timeout``
+    override the fabric's fault-tolerance policy for the duration of the
+    experiment (``None`` keeps the defaults and any ambient
+    ``REPRO_MAX_RETRIES`` / ``REPRO_CELL_TIMEOUT``).
     """
     if exp_id not in EXPERIMENTS:
         raise ExperimentError(
@@ -157,4 +193,5 @@ def run_experiment(
         )
     profile = profile if profile is not None else active_profile()
     _, fn = EXPERIMENTS[exp_id]
-    return fn(profile, seed, n_workers)
+    with _fault_tolerance_env(max_retries, cell_timeout):
+        return fn(profile, seed, n_workers)

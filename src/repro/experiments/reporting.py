@@ -14,6 +14,7 @@ from repro.experiments import paper_data
 from repro.experiments.convergence import ConvergenceStudy, convergence_study
 from repro.experiments.deviation import DeviationStudy, ga_variant_study
 from repro.experiments.figures import compute_fig3
+from repro.experiments.runner import get_comparison
 from repro.experiments.spec import ScaleProfile, active_profile
 from repro.experiments.table1 import Table1Result, compute_table1
 from repro.experiments.table2 import Table2Result, compute_table2
@@ -36,6 +37,10 @@ class ReproductionReport:
     fig3_iterations: int
     deviation: DeviationStudy | None = None
     convergence: ConvergenceStudy | None = None
+    #: Human-readable descriptions of suite cells the fault-tolerant fabric
+    #: could not complete; empty means every reported mean covers its full
+    #: (pairs × repetitions) sample.
+    dispatch_failures: tuple[str, ...] = ()
 
     # -- shape verdicts ------------------------------------------------------
     def verdicts(self) -> dict[str, bool]:
@@ -86,6 +91,16 @@ def build_report(
         if include_extensions
         else None
     )
+    comparison = get_comparison(profile, seed=seed, n_workers=n_workers)
+    dispatch_failures = tuple(
+        f"comparison cell {f.heuristic} size={f.size} pair={f.pair_index} "
+        f"run={f.run_index}: {f.kind} after {f.attempts} attempts ({f.message})"
+        for f in comparison.failures
+    ) + tuple(
+        f"table3 cell {group} rep={f.index}: {f.kind} after "
+        f"{f.attempts} attempts ({f.message})"
+        for group, f in t3.failures
+    )
     return ReproductionReport(
         profile=profile,
         seed=seed,
@@ -97,6 +112,7 @@ def build_report(
         fig3_iterations=f3.n_iterations,
         deviation=deviation,
         convergence=convergence,
+        dispatch_failures=dispatch_failures,
     )
 
 
@@ -219,6 +235,21 @@ def render_report_markdown(report: ReproductionReport) -> str:
             "4.7-38.6×: no conforming-ish GA reproduces the published GA "
             "weakness (see deviation 1 below).")
         add("")
+
+    # ---- dispatch integrity ----------------------------------------------------
+    add("## Dispatch integrity")
+    add("")
+    if report.dispatch_failures:
+        add(f"{len(report.dispatch_failures)} suite cell(s) permanently "
+            "failed after retries; the affected means cover the completed "
+            "repetitions only:")
+        add("")
+        for line in report.dispatch_failures:
+            add(f"- {line}")
+    else:
+        add("All dispatched cells completed — every reported mean covers its "
+            "full (pairs × repetitions) sample.")
+    add("")
 
     # ---- verdicts --------------------------------------------------------------
     add("## Shape verdicts")

@@ -31,6 +31,8 @@ spec-backed wrappers.
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -45,12 +47,13 @@ from repro.runtime.checkpoint import CheckpointWriter
 from repro.runtime.hooks import SearchHooks
 from repro.runtime.registry import SolverSpec
 from repro.stats.comparison import SeriesBySize
-from repro.utils.parallel import WorkerPool
+from repro.utils.parallel import RetryPolicy, WorkerPool
 from repro.utils.rng import RngStreams
 from repro.utils.shared_plane import ProblemRef, resolve_problem
 
 __all__ = [
     "RunRecord",
+    "CellFailureRecord",
     "ComparisonData",
     "run_comparison",
     "get_comparison",
@@ -81,6 +84,25 @@ class RunRecord:
     n_evaluations: int
 
 
+@dataclass(frozen=True)
+class CellFailureRecord:
+    """A suite cell that permanently failed, mapped back to its identity.
+
+    The execution fabric reports failures by dispatch index; this record
+    translates them into experiment coordinates so a salvaged
+    :class:`ComparisonData` names exactly which (heuristic, size, pair,
+    repetition) runs are missing from its averages.
+    """
+
+    heuristic: str
+    size: int
+    pair_index: int
+    run_index: int
+    kind: str  # "exception" | "worker-death" | "timeout"
+    attempts: int
+    message: str
+
+
 @dataclass
 class ComparisonData:
     """Aggregated suite results: the source of Tables 1-2 and Figs 7-9."""
@@ -91,6 +113,12 @@ class ComparisonData:
     et_series: SeriesBySize
     mt_series: SeriesBySize
     records: list[RunRecord] = field(default_factory=list, repr=False)
+    failures: tuple[CellFailureRecord, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        """True when every dispatched cell produced a record."""
+        return not self.failures
 
     def atn_series(self, *, seconds_per_unit: float = 1.0) -> SeriesBySize:
         """Fig. 9's ATN = ET·(s/unit) + MT series."""
@@ -285,6 +313,8 @@ def run_comparison(
     mappers: "dict[str, SolverSpec | MapperFactory] | None" = None,
     progress: Callable[[str], None] | None = None,
     n_workers: int | None = None,
+    max_retries: int | None = None,
+    cell_timeout: float | None = None,
 ) -> ComparisonData:
     """Execute the full §5.3 measurement protocol.
 
@@ -300,9 +330,21 @@ def run_comparison(
     worker count, apart from the measured ``mapping_time`` wall-clock.
     ``progress`` messages are emitted as cells are *enqueued*, before any
     of them execute.
+
+    Dispatch is fault tolerant: a cell whose worker dies is retried from
+    its own ``(spec, handle, seed)`` tuple (bit-identical by construction),
+    and a cell that permanently fails — ``max_retries`` exhausted, or its
+    per-attempt ``cell_timeout`` deadline tripped — is recorded in
+    :attr:`ComparisonData.failures` while the rest of the sweep completes.
+    Both knobs default to :meth:`repro.utils.parallel.RetryPolicy.default`
+    (environment overrides included); per-size means over partial data are
+    ``nan`` when a (heuristic, size) selection lost every record.
     """
     mappers = mappers if mappers is not None else default_mappers(profile)
     streams = RngStreams(seed=seed)
+    policy = RetryPolicy.default().with_overrides(
+        max_retries=max_retries, cell_timeout=cell_timeout
+    )
 
     with WorkerPool(n_workers) as pool:
         suite = build_suite(profile.sizes, profile.n_pairs, seed=seed, pool=pool)
@@ -332,7 +374,35 @@ def run_comparison(
                                 ),
                             )
                         )
-        records = pool.map(_run_cell, cells, weight=_cell_weight)
+        report = pool.map_salvage(
+            _run_cell, cells, weight=_cell_weight, policy=policy
+        )
+
+    records = [r for r in report.results if r is not None]
+    failures = tuple(
+        CellFailureRecord(
+            heuristic=cells[f.index].heuristic,
+            size=cells[f.index].size,
+            pair_index=cells[f.index].pair_index,
+            run_index=cells[f.index].run_index,
+            kind=f.kind,
+            attempts=f.attempts,
+            message=f.message,
+        )
+        for f in report.failures
+    )
+    if failures:
+        named = ", ".join(
+            f"{f.heuristic}/n={f.size}/pair={f.pair_index}/run={f.run_index}"
+            f" ({f.kind} after {f.attempts} attempts)"
+            for f in failures
+        )
+        warnings.warn(
+            f"comparison salvaged with {len(failures)} failed cell(s): "
+            f"{named}; reported means exclude them",
+            RuntimeWarning,
+            stacklevel=2,
+        )
 
     def mean_series(metric: str, get: Callable[[RunRecord], float]) -> SeriesBySize:
         values: dict[str, tuple[float, ...]] = {}
@@ -340,7 +410,7 @@ def run_comparison(
             per_size = []
             for size in profile.sizes:
                 sel = [get(r) for r in records if r.heuristic == name and r.size == size]
-                per_size.append(float(np.mean(sel)))
+                per_size.append(float(np.mean(sel)) if sel else math.nan)
             values[name] = tuple(per_size)
         return SeriesBySize(metric=metric, sizes=tuple(profile.sizes), values=values)
 
@@ -351,6 +421,7 @@ def run_comparison(
         et_series=mean_series("ET (units)", lambda r: r.execution_time),
         mt_series=mean_series("MT (s)", lambda r: r.mapping_time),
         records=records,
+        failures=failures,
     )
 
 

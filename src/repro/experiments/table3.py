@@ -19,6 +19,7 @@ for any ``n_workers``.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.baselines.ga import FastMapGA, GAConfig
@@ -29,7 +30,7 @@ from repro.experiments.spec import ScaleProfile, active_profile
 from repro.experiments.suite import build_suite
 from repro.stats.anova import AnovaResult, one_way_anova
 from repro.stats.descriptive import SampleSummary, summarize_sample
-from repro.utils.parallel import WorkerPool
+from repro.utils.parallel import CellFailure, WorkerPool
 from repro.utils.rng import RngStreams
 from repro.utils.shared_plane import ProblemRef, resolve_problem
 from repro.utils.tables import format_table, render_kv_block
@@ -51,13 +52,19 @@ def _run_ga_rep(task: "tuple[int, int, ProblemRef, int]") -> float:
 
 @dataclass(frozen=True)
 class Table3Result:
-    """Measured Table 3: per-heuristic summaries plus the ANOVA verdict."""
+    """Measured Table 3: per-heuristic summaries plus the ANOVA verdict.
+
+    ``failures`` lists ``(group label, cell failure)`` pairs for
+    repetitions the fault-tolerant dispatch could not complete; the
+    statistics are computed over the repetitions that did.
+    """
 
     size: int
     runs: int
     summaries: tuple[SampleSummary, ...]
     anova: AnovaResult
     samples: dict[str, tuple[float, ...]]
+    failures: tuple[tuple[str, CellFailure], ...] = ()
 
 
 def compute_table3(
@@ -93,6 +100,7 @@ def compute_table3(
         r.execution_time for r in match_mapper.map_many(instance.problem, match_seeds)
     )
 
+    failures: list[tuple[str, CellFailure]] = []
     with WorkerPool(n_workers) as pool:
         problem_ref = pool.publish_problem(instance.problem)
         for pop, gen in ((pop_a, gen_a), (pop_b, gen_b)):
@@ -102,7 +110,21 @@ def compute_table3(
                  streams.seed_for("anova", heuristic=name, rep=rep))
                 for rep in range(profile.anova_runs)
             ]
-            samples[name] = tuple(pool.map(_run_ga_rep, tasks))
+            report = pool.map_salvage(_run_ga_rep, tasks)
+            samples[name] = tuple(et for _, et in report.completed())
+            failures.extend((name, f) for f in report.failures)
+
+    if failures:
+        named = ", ".join(
+            f"{group} rep {f.index} ({f.kind} after {f.attempts} attempts)"
+            for group, f in failures
+        )
+        warnings.warn(
+            f"Table 3 salvaged with {len(failures)} failed replication(s): "
+            f"{named}; the ANOVA runs on the surviving samples",
+            RuntimeWarning,
+            stacklevel=2,
+        )
 
     summaries = tuple(
         summarize_sample(vals, label=name) for name, vals in samples.items()
@@ -114,6 +136,7 @@ def compute_table3(
         summaries=summaries,
         anova=anova,
         samples=samples,
+        failures=tuple(failures),
     )
 
 

@@ -37,7 +37,12 @@ class TurnaroundRecord:
         return self.execution_time * self.seconds_per_unit + self.mapping_time
 
     def speedup_over(self, other: "TurnaroundRecord") -> float:
-        """How many times smaller this ATN is than ``other``'s."""
+        """How many times smaller this ATN is than ``other``'s.
+
+        Two zero-turnaround records are equally fast, so 0/0 is defined as
+        ``1.0`` (no speedup either way); only a strictly positive ``other``
+        against a zero ``self`` yields ``inf``.
+        """
         if self.turnaround == 0:
-            return float("inf")
+            return 1.0 if other.turnaround == 0 else float("inf")
         return other.turnaround / self.turnaround

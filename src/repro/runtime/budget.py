@@ -29,6 +29,7 @@ the quantity a fair effort-matched comparison should equalize.
 from __future__ import annotations
 
 import math
+import numbers
 from typing import Any
 
 from repro.exceptions import ConfigurationError
@@ -78,8 +79,25 @@ class EvaluationBudget:
 
     # -- charging ----------------------------------------------------------
     def charge(self, n: int = 1) -> None:
-        """Record ``n`` cost evaluations. Called at every cost-model call site."""
-        self.used += n
+        """Record ``n`` cost evaluations. Called at every cost-model call site.
+
+        ``n`` must be a positive integer (numpy integer scalars are fine):
+        a zero charge is a call-site bug (the site did no work, so it must
+        not touch the budget), and a negative charge would silently *refund*
+        evaluations — corrupting the matched-effort accounting that Tables
+        1-3 depend on.
+        """
+        if isinstance(n, bool) or not isinstance(n, numbers.Integral):
+            raise ConfigurationError(
+                f"charge() takes a positive integer, got {n!r} "
+                f"({type(n).__name__})"
+            )
+        if n <= 0:
+            raise ConfigurationError(
+                f"charge() takes a positive integer, got {n}; a non-positive "
+                "charge would refund budget and skew effort-matched comparisons"
+            )
+        self.used += int(n)
 
     # -- queries -----------------------------------------------------------
     @property
@@ -96,6 +114,19 @@ class EvaluationBudget:
         if self.max_evaluations is None:
             return math.inf
         return max(0, self.max_evaluations - self.used)
+
+    def clamp_batch(self, n: int) -> int:
+        """Largest batch of size ``<= n`` the evaluation cap can still afford.
+
+        Solvers size their final batch with this so ``used`` never exceeds
+        ``max_evaluations``: an unlimited budget passes ``n`` through
+        untouched (the common, free case), a limited one truncates to
+        whatever is left — possibly 0, which a solver must treat as "do not
+        evaluate anything" (and must not :meth:`charge` for).
+        """
+        if self.max_evaluations is None:
+            return n
+        return int(min(n, max(0, self.max_evaluations - self.used)))
 
     def exhausted(
         self, *, elapsed: float = 0.0, best_cost: float = math.inf
@@ -142,7 +173,16 @@ class EvaluationBudget:
             max_seconds=payload.get("max_seconds"),
             target_cost=payload.get("target_cost"),
         )
-        budget.used = int(payload.get("used", 0))
+        used = payload.get("used", 0)
+        if isinstance(used, bool) or not isinstance(used, numbers.Integral):
+            raise ConfigurationError(
+                f"budget state has a non-integer 'used' field: {used!r}"
+            )
+        if used < 0:
+            raise ConfigurationError(
+                f"budget state has negative evaluations used: {used}"
+            )
+        budget.used = int(used)
         return budget
 
     def __repr__(self) -> str:

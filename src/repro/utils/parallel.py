@@ -25,15 +25,32 @@ This module is the only place in the library allowed to construct a raw
 from __future__ import annotations
 
 import os
+import signal
+import time
 import weakref
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Iterable, Sequence, TypeVar
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.exceptions import ConfigurationError, ValidationError, WorkerPoolError
-from repro.utils.shared_plane import ProblemPlane, ProblemRef
+from repro.utils.faults import inject_fault
+from repro.utils.shared_plane import (
+    HeartbeatBoard,
+    ProblemPlane,
+    ProblemRef,
+    mark_heartbeat,
+)
 
-__all__ = ["WorkerPool", "parallel_map", "default_worker_count"]
+__all__ = [
+    "WorkerPool",
+    "parallel_map",
+    "default_worker_count",
+    "RetryPolicy",
+    "CellFailure",
+    "SalvageReport",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -64,6 +81,143 @@ def _shutdown_executor(executor: ProcessPoolExecutor | None) -> None:
     """Module-level shutdown helper usable by a ``weakref.finalize`` guard."""
     if executor is not None:
         executor.shutdown(wait=True, cancel_futures=True)
+
+
+# -- fault tolerance ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How :meth:`WorkerPool.map_salvage` survives failing cells and workers.
+
+    ``max_retries`` bounds the re-dispatches of any one cell beyond its
+    first attempt — cells are pure ``(handle, spec, seed)`` functions, so a
+    replay after a worker death is bit-identical to the lost attempt.
+    ``cell_timeout`` is a per-attempt deadline in seconds (``None`` means no
+    deadline): a cell whose heartbeat says it started more than this long
+    ago gets its worker SIGKILLed and is treated as a consumed attempt.
+    ``backoff_base`` seconds doubles per failed attempt before a retry is
+    resubmitted. ``respawn_cap`` bounds executor rebuilds per pool size
+    before the dispatcher degrades: halve the worker count, and below two
+    workers finish the remaining cells serially in-process.
+    """
+
+    max_retries: int = 2
+    cell_timeout: float | None = None
+    backoff_base: float = 0.05
+    respawn_cap: int = 3
+
+    def __post_init__(self) -> None:
+        if isinstance(self.max_retries, bool) or not isinstance(self.max_retries, int):
+            raise ConfigurationError(
+                f"max_retries must be an integer >= 0, got {self.max_retries!r}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.cell_timeout is not None and not self.cell_timeout > 0:
+            raise ConfigurationError(
+                f"cell_timeout must be > 0 seconds or None, got {self.cell_timeout}"
+            )
+        if self.backoff_base < 0:
+            raise ConfigurationError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        if self.respawn_cap < 1:
+            raise ConfigurationError(f"respawn_cap must be >= 1, got {self.respawn_cap}")
+
+    @classmethod
+    def default(cls) -> "RetryPolicy":
+        """The built-in policy, with ``REPRO_MAX_RETRIES`` / ``REPRO_CELL_TIMEOUT``
+        environment overrides applied when set."""
+        kwargs: dict[str, Any] = {}
+        raw = os.environ.get("REPRO_MAX_RETRIES", "").strip()
+        if raw:
+            try:
+                kwargs["max_retries"] = int(raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"REPRO_MAX_RETRIES must be an integer, got {raw!r}"
+                ) from None
+        raw = os.environ.get("REPRO_CELL_TIMEOUT", "").strip()
+        if raw:
+            try:
+                kwargs["cell_timeout"] = float(raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"REPRO_CELL_TIMEOUT must be a number of seconds, got {raw!r}"
+                ) from None
+        return cls(**kwargs)
+
+    def with_overrides(
+        self,
+        *,
+        max_retries: int | None = None,
+        cell_timeout: float | None = None,
+    ) -> "RetryPolicy":
+        """This policy with any non-``None`` override applied (CLI plumbing)."""
+        policy = self
+        if max_retries is not None:
+            policy = replace(policy, max_retries=max_retries)
+        if cell_timeout is not None:
+            policy = replace(policy, cell_timeout=cell_timeout)
+        return policy
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One cell the dispatcher could not complete, after all retries.
+
+    ``kind`` is ``"exception"`` (the cell function raised), ``"worker-death"``
+    (the worker died mid-cell, e.g. OOM-killed) or ``"timeout"`` (the cell
+    ran past :attr:`RetryPolicy.cell_timeout` and its worker was killed).
+    ``attempts`` counts attempts that actually started.
+    """
+
+    index: int
+    kind: str
+    attempts: int
+    message: str
+
+
+@dataclass
+class SalvageReport:
+    """Everything :meth:`WorkerPool.map_salvage` managed to complete.
+
+    ``results[i]`` holds cell ``i``'s result, or ``None`` for the indices
+    named in ``failures`` — the structured manifest callers attach to their
+    experiment artifacts so a partially-failed sweep is still a usable,
+    honestly-labelled dataset instead of a crash.
+    """
+
+    results: list
+    failures: tuple[CellFailure, ...] = ()
+    n_retries: int = 0
+    n_respawns: int = 0
+    final_workers: int = 1
+    degraded_to_serial: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when every cell completed."""
+        return not self.failures
+
+    def completed(self) -> "list[tuple[int, Any]]":
+        """``(index, result)`` pairs for the cells that did complete."""
+        failed = {f.index for f in self.failures}
+        return [(i, r) for i, r in enumerate(self.results) if i not in failed]
+
+
+def _resilient_cell(task: tuple) -> Any:
+    """Worker-side envelope for fault-tolerant dispatch.
+
+    Stamps the heartbeat board (so the parent can tell started-and-died
+    from never-started after a pool death, and can enforce deadlines), then
+    fires any configured injected fault, then runs the real cell.
+    """
+    fn, item, index, attempt, board_name, n_cells = task
+    mark_heartbeat(board_name, n_cells, index, attempt)
+    inject_fault(index, attempt)
+    return fn(item)
 
 
 class WorkerPool:
@@ -184,7 +338,79 @@ class WorkerPool:
             raise
         return results
 
+    # -- fault-tolerant dispatch -------------------------------------------
+    def map_salvage(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        *,
+        weight: Callable[[T], float] | None = None,
+        policy: RetryPolicy | None = None,
+    ) -> SalvageReport:
+        """Like :meth:`map`, but failures cost cells, not the sweep.
+
+        Every cell gets bounded retries with exponential backoff (cells are
+        pure functions of their task tuple, so a replay is bit-identical to
+        the attempt that was lost); a dead worker pool is respawned instead
+        of aborting the call, degrading to fewer workers and finally to
+        serial in-process execution if deaths persist; a cell that runs past
+        ``policy.cell_timeout`` has its worker killed and its deadline
+        recorded rather than hanging the sweep. The returned
+        :class:`SalvageReport` carries completed results in input order plus
+        a manifest of the cells that permanently failed.
+
+        ``policy=None`` uses :meth:`RetryPolicy.default` (environment
+        overrides included). ``weight`` orders submission heaviest-first
+        exactly as in :meth:`map`, and cannot influence any result value.
+        """
+        if self._closed:
+            raise WorkerPoolError("cannot map on a closed WorkerPool")
+        resolved = policy if policy is not None else RetryPolicy.default()
+        item_list: Sequence[T] = list(items)
+        if not self.is_parallel or len(item_list) <= 1:
+            return self._salvage_serial(fn, item_list)
+        return _ResilientDispatch(self, fn, item_list, weight, resolved).run()
+
+    def _salvage_serial(
+        self, fn: Callable[[T], R], item_list: Sequence[T]
+    ) -> SalvageReport:
+        """In-process salvage: one attempt per cell, exceptions become manifest
+        entries. Retrying a pure function in the same process cannot change
+        its outcome, so retries would only hide nondeterminism."""
+        results: list = [None] * len(item_list)
+        failures: list[CellFailure] = []
+        for i, item in enumerate(item_list):
+            try:
+                results[i] = fn(item)
+            except Exception as exc:
+                failures.append(
+                    CellFailure(
+                        index=i,
+                        kind="exception",
+                        attempts=1,
+                        message=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+        return SalvageReport(
+            results=results, failures=tuple(failures), final_workers=self.n_workers
+        )
+
     # -- lifecycle ---------------------------------------------------------
+    def _discard_executor(self) -> None:
+        """Drop a (typically broken) executor so the next dispatch forks fresh.
+
+        The finalizer guard is detached first — it references the old
+        executor and would otherwise block interpreter exit waiting on
+        processes that are already gone.
+        """
+        if self._executor is None:
+            return
+        finalizer = getattr(self, "_exec_finalizer", None)
+        if finalizer is not None:
+            finalizer.detach()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self._executor = None
+
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
             # Start the parent's resource tracker *before* forking workers.
@@ -231,6 +457,267 @@ class WorkerPool:
             f"WorkerPool(n_workers={self.n_workers}, {state}, "
             f"published={self._plane.n_published})"
         )
+
+
+class _ResilientDispatch:
+    """One :meth:`WorkerPool.map_salvage` call: submit, monitor, retry, heal.
+
+    The dispatcher drives *generations* of a process pool. Within a
+    generation it submits unresolved cells (heaviest first when weighted),
+    gathers completions, schedules bounded backoff retries for cells that
+    raised, and SIGKILLs workers whose cells overran their deadline. When
+    the pool itself breaks — an injected kill, an OOM, a deadline kill —
+    it classifies every in-flight cell through the heartbeat board
+    (started-and-died consumes an attempt; still-queued does not), then
+    heals: respawn the executor up to ``respawn_cap`` times per size, halve
+    the worker count when a size keeps dying, and finish the tail serially
+    in-process once fewer than two workers remain. Failure is per-cell and
+    recorded, never an aborted sweep.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        fn: Callable[..., Any],
+        items: Sequence[Any],
+        weight: Callable[[Any], float] | None,
+        policy: RetryPolicy,
+    ) -> None:
+        self.pool = pool
+        self.fn = fn
+        self.items = items
+        self.policy = policy
+        n = len(items)
+        self.n = n
+        if weight is None:
+            self.order = list(range(n))
+        else:
+            self.order = sorted(range(n), key=lambda i: (-float(weight(items[i])), i))
+        self.board = HeartbeatBoard.create(n)
+        self.results: list = [None] * n
+        self.done = [False] * n
+        self.attempts = [0] * n  # attempts that actually started, per cell
+        self.failures: dict[int, CellFailure] = {}
+        self.timed_out: set[int] = set()  # cells whose current attempt we killed
+        self.inflight: dict[Future, int] = {}
+        self.n_retries = 0
+        self.n_respawns = 0
+        self.respawns_at_size = 0
+        self.degraded_to_serial = False
+
+    # -- top level ---------------------------------------------------------
+    def run(self) -> SalvageReport:
+        try:
+            while not self._resolved_all():
+                try:
+                    self._drive_generation()
+                except BrokenProcessPool:
+                    self._classify_after_death()
+                    if self._resolved_all():
+                        break
+                    if not self._heal():
+                        self._serial_tail()
+        finally:
+            self.board.close()
+        return SalvageReport(
+            results=self.results,
+            failures=tuple(self.failures[i] for i in sorted(self.failures)),
+            n_retries=self.n_retries,
+            n_respawns=self.n_respawns,
+            final_workers=self.pool.n_workers,
+            degraded_to_serial=self.degraded_to_serial,
+        )
+
+    def _resolved_all(self) -> bool:
+        return all(self.done[i] or i in self.failures for i in range(self.n))
+
+    def _unresolved(self) -> list[int]:
+        """Unresolved cells in submission (LPT) order."""
+        return [i for i in self.order if not self.done[i] and i not in self.failures]
+
+    # -- one executor generation -------------------------------------------
+    def _submit(self, executor: ProcessPoolExecutor, i: int) -> None:
+        task = (self.fn, self.items[i], i, self.attempts[i], self.board.name, self.n)
+        self.inflight[executor.submit(_resilient_cell, task)] = i
+
+    def _drive_generation(self) -> None:
+        """Dispatch every unresolved cell on a fresh/healthy executor.
+
+        Returns when all are resolved; raises ``BrokenProcessPool`` when the
+        executor dies, leaving ``self.inflight`` populated for
+        classification.
+        """
+        executor = self.pool._ensure_executor()
+        self.inflight = {}
+        for i in self._unresolved():
+            self._submit(executor, i)
+        retry_due: dict[int, float] = {}  # cell -> monotonic resubmission time
+        while self.inflight or retry_due:
+            now = time.monotonic()  # repro: noqa[wallclock] -- retry/deadline scheduling only
+            for i in sorted(retry_due):
+                if now >= retry_due[i]:
+                    del retry_due[i]
+                    self._submit(executor, i)
+            done, _ = wait(
+                list(self.inflight),
+                timeout=self._poll_timeout(retry_due),
+                return_when=FIRST_COMPLETED,
+            )
+            for fut in done:
+                i = self.inflight[fut]
+                try:
+                    result = fut.result()
+                except BrokenProcessPool:
+                    raise  # inflight still holds every unprocessed future
+                except Exception as exc:
+                    del self.inflight[fut]
+                    self._attempt_failed(
+                        i, "exception", f"{type(exc).__name__}: {exc}", retry_due
+                    )
+                else:
+                    del self.inflight[fut]
+                    self._attempt_succeeded(i, result)
+            self._enforce_deadlines()
+
+    def _attempt_succeeded(self, i: int, result: Any) -> None:
+        self.results[i] = result
+        self.done[i] = True
+        self.attempts[i] += 1
+        self.timed_out.discard(i)
+
+    def _attempt_failed(
+        self, i: int, kind: str, message: str, retry_due: dict[int, float] | None
+    ) -> None:
+        """Consume one attempt; queue a backoff retry or record the failure."""
+        self.attempts[i] += 1
+        self.timed_out.discard(i)
+        if self.attempts[i] <= self.policy.max_retries:
+            self.n_retries += 1
+            if retry_due is not None:
+                delay = self.policy.backoff_base * (2 ** (self.attempts[i] - 1))
+                retry_due[i] = time.monotonic() + delay  # repro: noqa[wallclock] -- backoff scheduling only
+        else:
+            self.failures[i] = CellFailure(
+                index=i, kind=kind, attempts=self.attempts[i], message=message
+            )
+
+    def _poll_timeout(self, retry_due: dict[int, float]) -> float | None:
+        """How long to block in ``wait``: forever when nothing needs polling."""
+        candidates: list[float] = []
+        if self.policy.cell_timeout is not None and self.inflight:
+            candidates.append(max(0.05, min(1.0, self.policy.cell_timeout / 4.0)))
+        if retry_due:
+            now = time.monotonic()  # repro: noqa[wallclock] -- backoff scheduling only
+            candidates.append(max(0.01, min(retry_due.values()) - now))
+        return min(candidates) if candidates else None
+
+    def _enforce_deadlines(self) -> None:
+        """SIGKILL the worker of any cell past its per-attempt deadline.
+
+        The kill breaks the pool (fork workers share a result queue), which
+        routes the cell through the death-classification path as a consumed
+        ``"timeout"`` attempt.
+        """
+        deadline = self.policy.cell_timeout
+        if deadline is None:
+            return
+        now = time.monotonic()  # repro: noqa[wallclock] -- deadline enforcement only
+        for fut, i in list(self.inflight.items()):
+            if fut.done() or i in self.timed_out:
+                continue
+            started = self.board.started_at(i, self.attempts[i])
+            if started and now - started > deadline:
+                self.timed_out.add(i)
+                pid = self.board.pid(i)
+                if pid > 0:
+                    try:
+                        os.kill(pid, signal.SIGKILL)
+                    except (ProcessLookupError, PermissionError):  # pragma: no cover
+                        pass
+
+    # -- pool death and healing --------------------------------------------
+    def _classify_after_death(self) -> None:
+        """Settle every in-flight future of a dead pool via the heartbeat.
+
+        A future may hold a real result or a real cell exception delivered
+        before the break — honour those. Otherwise the heartbeat decides:
+        a row stamped with the current attempt means the cell started and
+        died with its worker (a consumed ``"worker-death"`` — or
+        ``"timeout"`` if we killed it — attempt); an unstamped cell was
+        still queued and is resubmitted for free.
+        """
+        inflight, self.inflight = self.inflight, {}
+        for fut, i in inflight.items():
+            if self.done[i] or i in self.failures:
+                continue
+            try:
+                result = fut.result(timeout=0)
+            except FutureTimeoutError:  # pragma: no cover - defensive
+                continue  # never started; resubmit without consuming an attempt
+            except BrokenProcessPool as exc:
+                # still queued when the pool died: free resubmit
+                if self.board.started_at(i, self.attempts[i]) == 0.0:  # repro: noqa[float-equality] -- 0.0 is the board's exact "never stamped" sentinel
+                    continue
+                if i in self.timed_out:
+                    kind = "timeout"
+                    message = (
+                        f"cell exceeded its {self.policy.cell_timeout}s deadline "
+                        f"and its worker was killed"
+                    )
+                else:
+                    kind = "worker-death"
+                    message = f"worker died mid-cell: {exc}"
+                self._attempt_failed(i, kind, message, None)
+            except Exception as exc:
+                self._attempt_failed(
+                    i, "exception", f"{type(exc).__name__}: {exc}", None
+                )
+            else:
+                self._attempt_succeeded(i, result)
+
+    def _heal(self) -> bool:
+        """Rebuild the executor; ``False`` means go serial instead.
+
+        Up to ``respawn_cap`` respawns at the current size; past that the
+        size is halved (deaths at a size are evidence the host cannot
+        sustain it — e.g. the OOM killer culling the largest cohort), and
+        below two workers parallelism has nothing left to offer.
+        """
+        self.pool._discard_executor()
+        self.n_respawns += 1
+        self.respawns_at_size += 1
+        if self.respawns_at_size > self.policy.respawn_cap:
+            smaller = self.pool.n_workers // 2
+            if smaller < 2:
+                return False
+            self.pool.n_workers = smaller
+            self.respawns_at_size = 0
+        return True
+
+    def _serial_tail(self) -> None:
+        """Finish unresolved cells in-process: the final degradation rung.
+
+        No fault injection fires here (the harness is worker-only), so a
+        chaos plan cannot livelock the parent; pure cells still produce the
+        exact results their worker attempts would have.
+        """
+        self.degraded_to_serial = True
+        for i in range(self.n):
+            if self.done[i] or i in self.failures:
+                continue
+            self.attempts[i] += 1
+            try:
+                result = self.fn(self.items[i])
+            except Exception as exc:
+                self.failures[i] = CellFailure(
+                    index=i,
+                    kind="exception",
+                    attempts=self.attempts[i],
+                    message=f"{type(exc).__name__}: {exc}",
+                )
+            else:
+                self.results[i] = result
+                self.done[i] = True
 
 
 def parallel_map(

@@ -29,6 +29,7 @@ the same instance is a dict lookup.
 from __future__ import annotations
 
 import os
+import time
 import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -46,6 +47,8 @@ __all__ = [
     "ProblemPlane",
     "ProblemRef",
     "resolve_problem",
+    "HeartbeatBoard",
+    "mark_heartbeat",
 ]
 
 #: Byte alignment for array starts inside a segment (numpy is happiest on
@@ -79,6 +82,13 @@ def _aligned(offset: int) -> int:
     return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
 
 
+#: Segment names this process created and still owns. The serial tail of
+#: a degraded dispatch makes the *owner* attach its own segments through
+#: handles; it must keep its tracker entry or the final unlink would
+#: unregister a second time (tracker-side KeyError noise).
+_OWNED_NAMES: set[str] = set()
+
+
 def _attach_segment(name: str) -> shared_memory.SharedMemory:
     """Attach to an existing segment without adopting cleanup duty.
 
@@ -89,7 +99,9 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
     unregister immediately. Pool workers, however, **share** the parent's
     tracker (the fd is inherited), where re-registering an existing name
     is a no-op; unregistering there would strip the parent's own entry
-    and make the final unlink complain. 3.13+ has ``track=False`` for
+    and make the final unlink complain. The same applies when the owner
+    itself re-attaches by name (serial-tail dispatch): its single tracker
+    entry must survive until unlink. 3.13+ has ``track=False`` for
     exactly this.
     """
     try:
@@ -98,7 +110,10 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
         import multiprocessing
 
         shm = shared_memory.SharedMemory(name=name)
-        if multiprocessing.parent_process() is None:
+        if (
+            multiprocessing.parent_process() is None
+            and name not in _OWNED_NAMES
+        ):
             try:
                 from multiprocessing import resource_tracker
 
@@ -115,6 +130,7 @@ def _unlink_segments(segments: dict[str, shared_memory.SharedMemory]) -> None:
     plane object is gone.
     """
     for shm in segments.values():
+        _OWNED_NAMES.discard(shm.name)
         try:
             shm.close()
             shm.unlink()
@@ -157,6 +173,7 @@ class ProblemPlane:
             fields.append((name, arr.dtype.str, tuple(arr.shape), offset))
             offset += arr.nbytes
         shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
+        _OWNED_NAMES.add(shm.name)
         for (name, dtype, shape, off), arr in zip(fields, arrays.values()):
             view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=off)
             view[...] = arr
@@ -196,6 +213,124 @@ class ProblemPlane:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+# -- the heartbeat board ------------------------------------------------------
+
+
+class HeartbeatBoard:
+    """Shared per-cell liveness board for fault-tolerant dispatch.
+
+    One ``(n_cells, 3)`` float64 array in shared memory — columns are
+    ``[monotonic start time, worker pid, attempt index]`` per cell. A
+    worker stamps its row when it *begins* a cell attempt; the parent's
+    deadline monitor reads the board to (a) find cells that started but
+    never finished (they died with their worker and deserve a retry, while
+    still-queued cells did not consume an attempt) and (b) kill the worker
+    whose cell ran past its deadline. ``CLOCK_MONOTONIC`` is system-wide on
+    the platforms the fabric forks on, so parent/worker stamps compare
+    directly. These timestamps steer scheduling only — they can never reach
+    a result record.
+
+    The parent creates and unlinks the board per dispatch; workers attach
+    by name through :func:`mark_heartbeat`'s per-process cache.
+    """
+
+    _SLOTS = 3  # monotonic start, worker pid, attempt index
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, n_cells: int, *, owner: bool
+    ) -> None:
+        self.n_cells = n_cells
+        self._shm = shm
+        self._owner = owner
+        self._board = np.ndarray((n_cells, self._SLOTS), dtype=np.float64, buffer=shm.buf)
+        if owner:
+            self._board[...] = 0.0
+
+    @classmethod
+    def create(cls, n_cells: int) -> "HeartbeatBoard":
+        """Allocate a zeroed board for ``n_cells`` (parent side)."""
+        if n_cells < 1:
+            raise ValidationError(f"heartbeat board needs >= 1 cell, got {n_cells}")
+        nbytes = n_cells * cls._SLOTS * 8
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        _OWNED_NAMES.add(shm.name)
+        return cls(shm, n_cells, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, n_cells: int) -> "HeartbeatBoard":
+        """Attach to an existing board by segment name (worker side)."""
+        return cls(_attach_segment(name), n_cells, owner=False)
+
+    @property
+    def name(self) -> str:
+        """The shared-memory segment name workers attach by."""
+        return self._shm.name
+
+    # -- worker side -------------------------------------------------------
+    def mark(self, index: int, attempt: int) -> None:
+        """Stamp cell ``index`` as started by this process for ``attempt``.
+
+        The start time is written last: a non-zero start is the parent's
+        signal that pid and attempt are already valid for this row.
+        """
+        row = self._board[index]
+        row[1] = float(os.getpid())
+        row[2] = float(attempt)
+        row[0] = time.monotonic()  # repro: noqa[wallclock] -- liveness stamp for deadline monitoring; never reaches results
+
+    # -- parent side -------------------------------------------------------
+    def started_at(self, index: int, attempt: int) -> float:
+        """Monotonic start time of ``attempt`` on cell ``index`` (0.0 if unstarted).
+
+        A stale stamp from an earlier attempt reads as "not started": the
+        row must carry the queried attempt index to count.
+        """
+        row = self._board[index]
+        if row[0] > 0.0 and int(row[2]) == attempt:
+            return float(row[0])
+        return 0.0
+
+    def pid(self, index: int) -> int:
+        """The pid that last stamped cell ``index`` (0 if none)."""
+        return int(self._board[index, 1])
+
+    def close(self) -> None:
+        """Release the mapping; the owner also unlinks the segment."""
+        board = self.__dict__.pop("_board", None)
+        if board is None:
+            return
+        del board
+        if self._owner:
+            _OWNED_NAMES.discard(self._shm.name)
+        try:
+            self._shm.close()
+            if self._owner:
+                self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+#: Per-process heartbeat attachment cache: segment name -> board.
+_HB_ATTACHED: dict[str, HeartbeatBoard] = {}
+
+
+def mark_heartbeat(name: str, n_cells: int, index: int, attempt: int) -> None:
+    """Worker-side entry: stamp a cell attempt on the named board.
+
+    Attaches on first use and caches per process, so every later stamp is
+    one ndarray write. Best-effort by design: a board the parent already
+    tore down (or a platform without shared memory) must degrade to "no
+    heartbeat", never break the cell itself.
+    """
+    try:
+        board = _HB_ATTACHED.get(name)
+        if board is None:
+            board = _HB_ATTACHED[name] = HeartbeatBoard.attach(name, n_cells)
+        board.mark(index, attempt)
+    except Exception:  # pragma: no cover - platform-specific degradation
+        pass
 
 
 # -- worker side ------------------------------------------------------------

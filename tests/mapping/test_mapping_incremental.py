@@ -175,6 +175,22 @@ class TestTurnaround:
                 heuristic="x", execution_time=1.0, mapping_time=0.0, seconds_per_unit=0
             )
 
+    def test_speedup_zero_over_zero_is_one(self):
+        """Two zero-turnaround records are equally fast, not infinitely so."""
+        a = TurnaroundRecord(heuristic="a", execution_time=0.0, mapping_time=0.0)
+        b = TurnaroundRecord(heuristic="b", execution_time=0.0, mapping_time=0.0)
+        assert a.speedup_over(b) == 1.0
+
+    def test_speedup_zero_over_positive_is_inf(self):
+        zero = TurnaroundRecord(heuristic="a", execution_time=0.0, mapping_time=0.0)
+        slow = TurnaroundRecord(heuristic="b", execution_time=3.0, mapping_time=0.0)
+        assert zero.speedup_over(slow) == float("inf")
+
+    def test_speedup_positive_over_zero_is_zero(self):
+        zero = TurnaroundRecord(heuristic="a", execution_time=0.0, mapping_time=0.0)
+        slow = TurnaroundRecord(heuristic="b", execution_time=3.0, mapping_time=0.0)
+        assert slow.speedup_over(zero) == 0.0
+
 
 @settings(max_examples=20, deadline=None)
 @given(

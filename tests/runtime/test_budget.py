@@ -65,6 +65,55 @@ class TestCharging:
         assert b.exhausted(elapsed=10.0, best_cost=math.inf)[0] == BUDGET_EVALUATIONS
 
 
+class TestChargeValidation:
+    """charge() must reject refunds and fractional evaluations loudly.
+
+    A ``charge(-k)`` would silently *refund* budget and skew every
+    effort-matched comparison; a float count would desynchronize ``used``
+    from the integer evaluation ledger the fixtures assert on.
+    """
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_non_positive(self, bad):
+        b = EvaluationBudget(max_evaluations=10)
+        with pytest.raises(ConfigurationError):
+            b.charge(bad)
+        assert b.used == 0
+
+    @pytest.mark.parametrize("bad", [1.0, 2.5, "3", None, True])
+    def test_rejects_non_integers(self, bad):
+        b = EvaluationBudget(max_evaluations=10)
+        with pytest.raises(ConfigurationError):
+            b.charge(bad)
+        assert b.used == 0
+
+    def test_numpy_integer_accepted(self):
+        import numpy as np
+
+        b = EvaluationBudget(max_evaluations=10)
+        b.charge(np.int64(4))
+        assert b.used == 4
+
+
+class TestClampBatch:
+    def test_unlimited_budget_passes_through(self):
+        assert EvaluationBudget().clamp_batch(1000) == 1000
+
+    def test_clamps_to_remaining(self):
+        b = EvaluationBudget(max_evaluations=100)
+        b.charge(90)
+        assert b.clamp_batch(64) == 10
+
+    def test_exhausted_budget_clamps_to_zero(self):
+        b = EvaluationBudget(max_evaluations=10)
+        b.charge(10)
+        assert b.clamp_batch(5) == 0
+
+    def test_batch_within_budget_unchanged(self):
+        b = EvaluationBudget(max_evaluations=100)
+        assert b.clamp_batch(64) == 64
+
+
 class TestSerialization:
     def test_round_trip_preserves_limits_and_consumption(self):
         b = EvaluationBudget(max_evaluations=500, max_seconds=2.0, target_cost=7.0)
@@ -79,3 +128,10 @@ class TestSerialization:
         clone = EvaluationBudget.from_state(EvaluationBudget().export_state())
         assert not clone.limited
         assert clone.used == 0
+
+    @pytest.mark.parametrize("bad_used", [-1, 2.5, "7", None, True])
+    def test_from_state_rejects_bad_used(self, bad_used):
+        state = EvaluationBudget(max_evaluations=10).export_state()
+        state["used"] = bad_used
+        with pytest.raises(ConfigurationError):
+            EvaluationBudget.from_state(state)

@@ -1,0 +1,114 @@
+"""Tests for the deterministic fault-injection harness (REPRO_FAULTS)."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.exceptions import ConfigurationError, FaultInjectionError
+from repro.utils.faults import FAULTS_ENV, Fault, FaultPlan, inject_fault
+
+
+class TestSpecParsing:
+    def test_empty_spec_is_falsy(self):
+        assert not FaultPlan.parse("")
+        assert not FaultPlan.parse("  ;  ; ")
+
+    def test_single_clause(self):
+        plan = FaultPlan.parse("kill@3")
+        assert plan.faults == (Fault(index=3, action="kill", times=1),)
+
+    def test_multi_index_clause(self):
+        plan = FaultPlan.parse("kill@1,5")
+        assert plan.faults == (
+            Fault(index=1, action="kill"),
+            Fault(index=5, action="kill"),
+        )
+
+    def test_repeat_count(self):
+        plan = FaultPlan.parse("raise@0*3")
+        assert plan.faults == (Fault(index=0, action="raise", times=3),)
+
+    def test_multiple_clauses_and_whitespace(self):
+        plan = FaultPlan.parse(" kill@2 ; hang@4 *2 ")
+        assert [f.action for f in plan.faults] == ["kill", "hang"]
+        assert plan.faults[1].times == 2
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["explode@1", "kill", "kill@x", "kill@-1", "kill@1*0", "kill@1*x", "@3"],
+    )
+    def test_malformed_specs_raise(self, spec):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse(spec)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "raise@7")
+        assert FaultPlan.from_env().faults[0].index == 7
+        monkeypatch.delenv(FAULTS_ENV)
+        assert not FaultPlan.from_env()
+
+
+class TestActionFor:
+    def test_fires_while_attempt_below_times(self):
+        plan = FaultPlan.parse("raise@2*2")
+        assert plan.action_for(2, 0) == "raise"
+        assert plan.action_for(2, 1) == "raise"
+        assert plan.action_for(2, 2) is None
+
+    def test_unmatched_cell_is_none(self):
+        assert FaultPlan.parse("kill@1").action_for(0, 0) is None
+
+    def test_first_matching_clause_wins(self):
+        plan = FaultPlan.parse("raise@1; kill@1")
+        assert plan.action_for(1, 0) == "raise"
+
+
+class TestInjectFault:
+    def test_noop_without_env(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        inject_fault(0, 0)  # must not raise
+
+    def test_noop_in_parent_process(self, monkeypatch):
+        """Faults are worker-only: the parent never kills/hangs itself."""
+        assert multiprocessing.parent_process() is None
+        monkeypatch.setenv(FAULTS_ENV, "raise@0")
+        inject_fault(0, 0)  # must not raise despite a matching clause
+
+    def test_raise_fires_in_worker(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "raise@4")
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        proc = ctx.Process(target=_probe_inject, args=(queue, 4, 0))
+        proc.start()
+        proc.join(timeout=30)
+        assert queue.get(timeout=10) == "FaultInjectionError"
+
+    def test_exhausted_fault_is_silent_in_worker(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "raise@4*1")
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        proc = ctx.Process(target=_probe_inject, args=(queue, 4, 1))
+        proc.start()
+        proc.join(timeout=30)
+        assert queue.get(timeout=10) == "ok"
+
+
+def _probe_inject(queue, index: int, attempt: int) -> None:
+    """Child-process probe: report what inject_fault does."""
+    try:
+        inject_fault(index, attempt)
+    except FaultInjectionError:
+        queue.put("FaultInjectionError")
+    except Exception as exc:  # pragma: no cover - diagnostic
+        queue.put(type(exc).__name__)
+    else:
+        queue.put("ok")
+
+
+def test_env_name_is_stable():
+    """The spec grammar is public API; the env var name must not drift."""
+    assert FAULTS_ENV == "REPRO_FAULTS"
+    assert os.environ.get("PYTEST_CURRENT_TEST")  # sanity: running under pytest

@@ -1,0 +1,321 @@
+"""Tests for fault-tolerant dispatch: WorkerPool.map_salvage and friends.
+
+The contract under test: worker deaths, hangs and cell exceptions cost
+*cells* (and only after bounded, bit-identical retries), never the sweep;
+the dispatcher heals the pool instead of aborting; and everything that
+could not be completed is named in the salvage manifest.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.faults import FAULTS_ENV
+from repro.utils.parallel import (
+    CellFailure,
+    RetryPolicy,
+    SalvageReport,
+    WorkerPool,
+)
+from repro.utils.shared_plane import HeartbeatBoard
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def failing_on_7(x: int) -> int:
+    if x == 7:
+        raise ValueError("cell 7 always fails")
+    return x * x
+
+
+#: Fast-retry policy for tests: no multi-second backoff waits.
+FAST = RetryPolicy(max_retries=2, backoff_base=0.01)
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_retries == 2
+        assert policy.cell_timeout is None
+        assert policy.respawn_cap == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"max_retries": 1.5},
+            {"max_retries": True},
+            {"cell_timeout": 0.0},
+            {"cell_timeout": -2.0},
+            {"backoff_base": -0.1},
+            {"respawn_cap": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "5")
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "12.5")
+        policy = RetryPolicy.default()
+        assert policy.max_retries == 5
+        assert policy.cell_timeout == 12.5
+
+    def test_env_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "lots")
+        with pytest.raises(ConfigurationError):
+            RetryPolicy.default()
+
+    def test_with_overrides(self):
+        policy = RetryPolicy().with_overrides(max_retries=0, cell_timeout=3.0)
+        assert policy.max_retries == 0
+        assert policy.cell_timeout == 3.0
+        # None leaves the field untouched
+        assert RetryPolicy().with_overrides().max_retries == 2
+
+
+class TestSerialSalvage:
+    def test_all_complete(self):
+        with WorkerPool(1) as pool:
+            report = pool.map_salvage(square, [1, 2, 3])
+        assert isinstance(report, SalvageReport)
+        assert report.ok
+        assert report.results == [1, 4, 9]
+        assert report.completed() == [(0, 1), (1, 4), (2, 9)]
+
+    def test_failure_manifest(self):
+        with WorkerPool(1) as pool:
+            report = pool.map_salvage(failing_on_7, [6, 7, 8])
+        assert not report.ok
+        assert report.results == [36, None, 64]
+        (failure,) = report.failures
+        assert failure == CellFailure(
+            index=1,
+            kind="exception",
+            attempts=1,
+            message="ValueError: cell 7 always fails",
+        )
+
+    def test_empty_items(self):
+        with WorkerPool(1) as pool:
+            report = pool.map_salvage(square, [])
+        assert report.ok and report.results == []
+
+    def test_closed_pool_raises(self):
+        pool = WorkerPool(1)
+        pool.close()
+        with pytest.raises(Exception, match="closed"):
+            pool.map_salvage(square, [1])
+
+
+class TestParallelSalvage:
+    def test_matches_serial_results(self):
+        with WorkerPool(2) as pool:
+            report = pool.map_salvage(square, list(range(6)), policy=FAST)
+        assert report.ok
+        assert report.results == [x * x for x in range(6)]
+
+    def test_weighted_dispatch_keeps_input_order(self):
+        with WorkerPool(2) as pool:
+            report = pool.map_salvage(
+                square, list(range(6)), weight=float, policy=FAST
+            )
+        assert report.results == [x * x for x in range(6)]
+
+    def test_deterministic_exception_exhausts_retries(self):
+        with WorkerPool(2) as pool:
+            report = pool.map_salvage(
+                failing_on_7, [5, 6, 7, 8], policy=FAST
+            )
+        (failure,) = report.failures
+        assert failure.index == 2
+        assert failure.kind == "exception"
+        assert failure.attempts == FAST.max_retries + 1
+        assert report.n_retries == FAST.max_retries
+        assert report.results == [25, 36, None, 64]
+
+    def test_map_unchanged_by_salvage_additions(self):
+        """The strict path still exists, still raises on the first failure."""
+        with WorkerPool(2) as pool:
+            with pytest.raises(ValueError, match="cell 7"):
+                pool.map(failing_on_7, [6, 7, 8])
+
+
+class TestInjectedFaults:
+    def test_killed_cell_is_retried_bit_identical(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "kill@3")
+        with WorkerPool(2) as pool:
+            report = pool.map_salvage(square, list(range(6)), policy=FAST)
+        assert report.ok, report.failures
+        assert report.results == [x * x for x in range(6)]
+        assert report.n_respawns >= 1
+        assert report.n_retries >= 1
+
+    def test_raise_fault_is_retried_clean(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "raise@1*1")
+        with WorkerPool(2) as pool:
+            report = pool.map_salvage(square, list(range(4)), policy=FAST)
+        assert report.ok, report.failures
+        assert report.results == [0, 1, 4, 9]
+        assert report.n_retries >= 1
+
+    def test_persistent_kill_exhausts_as_worker_death(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "kill@0*99")
+        with WorkerPool(2) as pool:
+            report = pool.map_salvage(
+                square,
+                list(range(4)),
+                policy=RetryPolicy(max_retries=1, backoff_base=0.01),
+            )
+        failure = next(f for f in report.failures if f.index == 0)
+        assert failure.kind == "worker-death"
+        assert failure.attempts == 2
+        # every other cell was salvaged
+        assert report.results[1:] == [1, 4, 9]
+
+    def test_hung_cell_trips_deadline_and_retries(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "hang@1*1")
+        with WorkerPool(2) as pool:
+            report = pool.map_salvage(
+                square,
+                list(range(4)),
+                policy=RetryPolicy(
+                    max_retries=2, cell_timeout=1.0, backoff_base=0.01
+                ),
+            )
+        assert report.ok, report.failures
+        assert report.results == [0, 1, 4, 9]
+
+    def test_permanent_hang_recorded_as_timeout(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "hang@1*99")
+        with WorkerPool(2) as pool:
+            report = pool.map_salvage(
+                square,
+                list(range(3)),
+                policy=RetryPolicy(
+                    max_retries=1, cell_timeout=0.5, backoff_base=0.01
+                ),
+            )
+        failure = next(f for f in report.failures if f.index == 1)
+        assert failure.kind == "timeout"
+        assert "deadline" in failure.message
+        assert report.results[0] == 0 and report.results[2] == 4
+
+    def test_degradation_ladder_reaches_serial_tail(self, monkeypatch):
+        """Persistent worker deaths halve the pool, then finish in-process.
+
+        The serial tail runs in the parent, where the harness never fires,
+        so even a kill-every-attempt plan ends with complete results.
+        """
+        monkeypatch.setenv(FAULTS_ENV, "kill@0*99")
+        with WorkerPool(2) as pool:
+            report = pool.map_salvage(
+                square,
+                list(range(4)),
+                policy=RetryPolicy(
+                    max_retries=99, respawn_cap=2, backoff_base=0.01
+                ),
+            )
+        assert report.degraded_to_serial
+        assert report.ok, report.failures
+        assert report.results == [0, 1, 4, 9]
+        assert report.n_respawns >= 3
+
+
+class TestHeartbeatBoard:
+    def test_mark_and_read_round_trip(self):
+        board = HeartbeatBoard.create(4)
+        try:
+            assert board.started_at(2, 0) == 0.0
+            board.mark(2, 0)
+            assert board.started_at(2, 0) > 0.0
+            assert board.pid(2) > 0
+        finally:
+            board.close()
+
+    def test_stale_attempt_reads_as_unstarted(self):
+        board = HeartbeatBoard.create(2)
+        try:
+            board.mark(0, 0)
+            assert board.started_at(0, 0) > 0.0
+            # the parent asks about attempt 1: the attempt-0 stamp is stale
+            assert board.started_at(0, 1) == 0.0
+        finally:
+            board.close()
+
+    def test_attach_sees_owner_writes(self):
+        owner = HeartbeatBoard.create(3)
+        try:
+            reader = HeartbeatBoard.attach(owner.name, 3)
+            owner.mark(1, 0)
+            assert reader.started_at(1, 0) > 0.0
+            reader.close()
+        finally:
+            owner.close()
+
+    def test_close_unlinks_segment(self):
+        board = HeartbeatBoard.create(2)
+        name = board.name
+        board.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name) 
+
+    def test_close_is_idempotent(self):
+        board = HeartbeatBoard.create(2)
+        board.close()
+        board.close()
+
+
+def test_owner_self_attach_keeps_tracker_entry(monkeypatch):
+    """Attaching a segment this process *owns* must not unregister it.
+
+    The serial tail of a degraded dispatch makes the owner re-attach its
+    own plane segments by name; stripping the tracker entry there would
+    make the final ``unlink`` double-unregister (tracker KeyError noise).
+    """
+    from multiprocessing import resource_tracker
+
+    unregistered: list[str] = []
+    real_unregister = resource_tracker.unregister
+
+    def recording_unregister(name, rtype):
+        unregistered.append(name)
+        real_unregister(name, rtype)
+
+    monkeypatch.setattr(resource_tracker, "unregister", recording_unregister)
+    board = HeartbeatBoard.create(2)
+    try:
+        peer = HeartbeatBoard.attach(board.name, 2)
+        peer.close()
+        assert not any(board.name in n for n in unregistered)
+    finally:
+        board.close()
+
+
+def test_no_segment_leak_after_faulted_dispatch(monkeypatch):
+    """A kill mid-dispatch must not leak the heartbeat segment."""
+    created: list[str] = []
+    original_create = HeartbeatBoard.create.__func__
+
+    def recording_create(cls, n_cells):
+        board = original_create(cls, n_cells)
+        created.append(board.name)
+        return board
+
+    monkeypatch.setattr(
+        HeartbeatBoard, "create", classmethod(recording_create)
+    )
+    monkeypatch.setenv(FAULTS_ENV, "kill@2")
+    with WorkerPool(2) as pool:
+        report = pool.map_salvage(square, list(range(5)), policy=FAST)
+        assert report.ok
+    assert created, "dispatch should have allocated a heartbeat board"
+    for name in created:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name) 
