@@ -2,6 +2,7 @@
 
 from repro.analysis.checkers.base import Checker, CheckContext, dotted_name
 from repro.analysis.checkers.float_equality import FloatEqualityChecker
+from repro.analysis.checkers.kernel_discipline import KernelDisciplineChecker
 from repro.analysis.checkers.mutable_state import MutableStateChecker
 from repro.analysis.checkers.parallel_safety import ParallelSafetyChecker
 from repro.analysis.checkers.seed_discipline import SeedDisciplineChecker
@@ -12,6 +13,7 @@ __all__ = [
     "CheckContext",
     "dotted_name",
     "FloatEqualityChecker",
+    "KernelDisciplineChecker",
     "MutableStateChecker",
     "ParallelSafetyChecker",
     "SeedDisciplineChecker",

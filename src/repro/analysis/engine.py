@@ -18,6 +18,7 @@ from repro.analysis.baseline import apply_baseline, load_baseline
 from repro.analysis.checkers.base import Checker, CheckContext
 from repro.analysis.checkers.budget_discipline import BudgetDisciplineChecker
 from repro.analysis.checkers.float_equality import FloatEqualityChecker
+from repro.analysis.checkers.kernel_discipline import KernelDisciplineChecker
 from repro.analysis.checkers.mutable_state import MutableStateChecker
 from repro.analysis.checkers.parallel_safety import ParallelSafetyChecker
 from repro.analysis.checkers.seed_discipline import SeedDisciplineChecker
@@ -35,6 +36,7 @@ ALL_CHECKERS: tuple[Type[Checker], ...] = (
     ParallelSafetyChecker,
     MutableStateChecker,
     BudgetDisciplineChecker,
+    KernelDisciplineChecker,
 )
 
 #: Directories never worth descending into.

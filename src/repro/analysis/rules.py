@@ -29,6 +29,7 @@ __all__ = [
     "PARALLEL_SAFETY",
     "MUTABLE_STATE",
     "BUDGET_DISCIPLINE",
+    "KERNEL_DISCIPLINE",
     "PARSE_ERROR",
 ]
 
@@ -38,6 +39,7 @@ FLOAT_EQUALITY = "float-equality"
 PARALLEL_SAFETY = "parallel-safety"
 MUTABLE_STATE = "mutable-state"
 BUDGET_DISCIPLINE = "budget-discipline"
+KERNEL_DISCIPLINE = "kernel-discipline"
 #: Pseudo-rule for files the linter cannot parse; not suppressible.
 PARSE_ERROR = "parse-error"
 
@@ -142,6 +144,19 @@ RULES: dict[str, Rule] = {
                 "with a justification for loops outside the mapping runtime"
             ),
             only_globs=("repro/ce/*", "repro/baselines/*"),
+        ),
+        Rule(
+            id=KERNEL_DISCIPLINE,
+            summary="compiled-kernel access only through repro.kernels",
+            rationale=(
+                "the bit-exactness contract (numpy == numba == C, golden "
+                "fixtures invariant under REPRO_KERNEL) is enforced at the "
+                "repro.kernels dispatch boundary; a numba import, @njit "
+                "decoration, or ctypes CDLL elsewhere creates a compiled "
+                "path the parity matrix never tests and that breaks "
+                "environments without the optional toolchain"
+            ),
+            exempt_globs=("repro/kernels/*",),
         ),
         Rule(
             id=PARSE_ERROR,

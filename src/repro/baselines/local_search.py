@@ -37,6 +37,17 @@ from repro.utils.rng import (
 
 __all__ = ["LocalSearchMapper"]
 
+#: Probes per batched kernel call in first-improvement scans. Large
+#: enough to amortize dispatch, small enough that an early hit does not
+#: waste a neighborhood of probes.
+_SCAN_CHUNK = 512
+
+
+def _pair_array(n: int) -> np.ndarray:
+    """All ``(t1, t2)`` with ``t1 < t2`` in lexical order, as ``(K, 2)`` int64."""
+    iu = np.triu_indices(n, k=1)
+    return np.column_stack(iu).astype(np.int64)
+
 
 class _LocalSearchSolver(MapperSolver):
     """One neighborhood sweep per step, across sequential restarts."""
@@ -90,36 +101,43 @@ class _LocalSearchSolver(MapperSolver):
         probes = 0
         # Final-sweep clamp: the scan stops once the evaluation cap is
         # spent, so a capped sweep probes a prefix instead of overshooting.
+        # Probes run through the batched swap_costs kernel; the selection
+        # below replays the sequential scan's semantics exactly (same
+        # chosen pair, same probe count charged), so a batched sweep is
+        # bit- and budget-identical to the historical probe-by-probe loop.
         remaining = self.budget.evaluations_remaining()
         if self.strategy == "steepest":
-            best_delta = 0.0
-            best_pair: tuple[int, int] | None = None
-            for t1 in range(n - 1):
-                if probes >= remaining:
-                    break
-                for t2 in range(t1 + 1, n):
-                    if probes >= remaining:
-                        break
-                    c = inc.swap_cost(t1, t2)
-                    probes += 1
-                    if c < current - 1e-12 and current - c > best_delta:
-                        best_delta = current - c
-                        best_pair = (t1, t2)
-            if best_pair is not None:
-                inc.apply_swap(*best_pair)
-                moved = True
+            arr = _pair_array(n)  # lexical (t1, t2) order, as the loop scanned
+            n_probe = int(min(arr.shape[0], remaining))
+            if n_probe:
+                costs = inc.swap_costs(arr[:n_probe])
+                probes = n_probe
+                mask = costs < current - 1e-12
+                if mask.any():
+                    # First occurrence of the maximum improvement — the
+                    # running strict-`>` best of the sequential scan.
+                    idx = np.flatnonzero(mask)
+                    j = int(idx[np.argmax((current - costs)[idx])])
+                    inc.apply_swap(int(arr[j, 0]), int(arr[j, 1]))
+                    moved = True
         else:  # first improvement, randomized scan order
             pairs = [(t1, t2) for t1 in range(n - 1) for t2 in range(t1 + 1, n)]
             gen.shuffle(pairs)
-            for t1, t2 in pairs:
-                if probes >= remaining:
-                    break
-                c = inc.swap_cost(t1, t2)
-                probes += 1
-                if c < current - 1e-12:
-                    inc.apply_swap(t1, t2)
+            arr = np.asarray(pairs, dtype=np.int64)
+            limit = int(min(arr.shape[0], remaining))
+            # Chunked scan: probe a block at a time so an early first
+            # improvement does not pay for the whole neighborhood, but
+            # charge only the probes the sequential scan would have made.
+            for lo in range(0, limit, _SCAN_CHUNK):
+                sub = arr[lo : min(lo + _SCAN_CHUNK, limit)]
+                hits = np.flatnonzero(inc.swap_costs(sub) < current - 1e-12)
+                if hits.size:
+                    j = lo + int(hits[0])
+                    probes = j + 1
+                    inc.apply_swap(int(arr[j, 0]), int(arr[j, 1]))
                     moved = True
                     break
+                probes = lo + sub.shape[0]
         self._total_probes += probes
         if probes:
             self.budget.charge(probes)

@@ -106,18 +106,23 @@ class _TabuSolver(MapperSolver):
         if n_probe < len(pairs):
             pairs = pairs[:n_probe]
 
+        # One batched kernel call probes every candidate; the admissible
+        # pick replays the sequential scan exactly: strict running-`<`
+        # means the first occurrence of the minimum admissible cost wins,
+        # which is what argmin returns.
         chosen: tuple[int, int] | None = None
         chosen_cost = np.inf
-        for t1, t2 in pairs:
-            cost = inc.swap_cost(t1, t2)
-            self._n_probes += 1
-            is_tabu = self._tabu_until[t1, t2] >= it
-            aspirates = cost < self._best_cost - 1e-12
-            if (is_tabu and not aspirates) or cost >= chosen_cost:
-                continue
-            chosen = (t1, t2)
-            chosen_cost = cost
         if pairs:
+            arr = np.asarray(pairs, dtype=np.int64)
+            costs = inc.swap_costs(arr)
+            self._n_probes += arr.shape[0]
+            is_tabu = self._tabu_until[arr[:, 0], arr[:, 1]] >= it
+            aspirates = costs < self._best_cost - 1e-12
+            admissible = np.flatnonzero(~is_tabu | aspirates)
+            if admissible.size:
+                j = int(admissible[np.argmin(costs[admissible])])
+                chosen = (int(arr[j, 0]), int(arr[j, 1]))
+                chosen_cost = float(costs[j])
             self.budget.charge(len(pairs))
 
         improved = False

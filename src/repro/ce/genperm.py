@@ -6,13 +6,15 @@ taken yet (zero the chosen column, renormalize the remaining rows). The
 result is always a valid one-to-one mapping, i.e. a permutation when
 ``|V_t| = |V_r|``, while remaining faithful to the row distributions.
 
-:func:`sample_permutations` vectorizes the procedure across the whole batch
-of ``N`` samples: a single Python loop over the ``n`` *positions* performs
-batched row gathers, masked cumulative sums and inverse-CDF draws — the
-roulette-wheel selection §5.2 describes — so one CE iteration costs
-O(N·n²) numpy work with no per-sample Python overhead. The per-position
-work reuses preallocated gather/CDF buffers, so the loop allocates O(1)
-arrays regardless of ``n``.
+:func:`sample_permutations` runs the procedure for a whole batch of ``N``
+samples through the process-active kernel backend
+(:mod:`repro.kernels`): the masked roulette-wheel position loop §5.2
+describes — batched row gathers, masked cumulative sums and inverse-CDF
+draws — executes as compiled code (numba or C) when available and as the
+vectorized numpy reference otherwise, all backends bit-identical. The
+uniforms are pre-drawn *outside* the kernel (one block for the task
+orders, one for the roulette draws), so the RNG stream position never
+depends on the backend.
 
 :func:`sample_permutations_stacked` lifts the same position loop to a
 whole *stack* of stochastic matrices at once — ``R`` independent CE chains
@@ -29,6 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.exceptions import ValidationError
 from repro.types import AssignmentBatch, ProbabilityMatrix, SeedLike
 from repro.utils.rng import as_generator
@@ -134,111 +137,8 @@ def sample_permutations(
     # per-position draws of the original loop (numpy fills C-contiguous
     # output row by row from the same bit stream).
     rand_pos = gen.random((n_tasks, n_samples))
-    P_cols = np.ascontiguousarray(arr.T)
-    return _genperm_position_loop(P_cols, None, task_orders, rand_pos, n_res)
-
-
-def _genperm_position_loop(
-    P_cols: np.ndarray,
-    dist_offsets: np.ndarray | None,
-    task_orders: np.ndarray,
-    rand_pos: np.ndarray,
-    n_res: int,
-) -> np.ndarray:
-    """The shared GenPerm position loop over a flattened sample batch.
-
-    Parameters
-    ----------
-    P_cols:
-        ``(n_res, n_dists · n_tasks)`` column-major (transposed) stack of
-        stochastic matrices; column ``d·n_tasks + t`` is task ``t``'s row
-        of matrix ``d``. A single matrix when ``dist_offsets`` is None.
-    dist_offsets:
-        ``(B,)`` column offset of each sample's matrix block
-        (``chain · n_tasks``), or None when every sample draws from the
-        same matrix.
-    task_orders:
-        ``(B, n_tasks)`` task visit orders.
-    rand_pos:
-        ``(n_tasks, B)`` pre-drawn uniforms; row ``pos`` is consumed at
-        visit position ``pos``.
-
-    The resources-first layout keeps every per-position reduction
-    (masking, mass, CDF, inverse-CDF count) running along the long
-    contiguous sample axis — full-width SIMD passes instead of
-    length-``n_res`` strided reductions (measured: a samples-major layout
-    with last-axis ``cumsum``/bool-sum is ~4-6× slower per op at
-    ``B = 6000``) — and every scratch array (gathered columns, CDF,
-    comparison mask) is allocated once and reused across the ``n_tasks``
-    positions.
-    """
-    B, n_tasks = task_orders.shape
-    X = np.full((B, n_tasks), -1, dtype=np.int64)
-    # Float 0/1 availability mask: float·float multiplies and row copies
-    # stay pure SIMD (a bool mask would force a casting buffer per pass).
-    unused = np.ones((n_res, B), dtype=np.float64)
-    rows = np.arange(B)
-    probs = np.empty((n_res, B), dtype=np.float64)
-    cdf = np.empty((n_res, B), dtype=np.float64)
-    below = np.empty((n_res, B), dtype=bool)
-    choice = np.empty(B, dtype=np.int64)
-    u = np.empty(B, dtype=np.float64)
-    # Square case: after n-1 placements exactly one resource remains, so
-    # the last roulette draw is forced — track the remaining resource as a
-    # running index sum and skip the whole final gather/CDF pass. (The
-    # final uniform was still pre-drawn, so the RNG stream is identical.)
-    square = n_tasks == n_res
-    if square:
-        rem = np.full(B, n_res * (n_res - 1) // 2, dtype=np.int64)
-
-    for pos in range(n_tasks):
-        tasks = task_orders[:, pos]  # (B,)
-        if square and pos == n_tasks - 1:
-            X[rows, tasks] = rem
-            break
-        gather_idx = tasks if dist_offsets is None else dist_offsets + tasks
-        # mode="clip" skips per-element bounds checks (indices are valid
-        # by construction) — measurably faster than the default mode.
-        np.take(P_cols, gather_idx, axis=1, out=probs, mode="clip")
-        np.multiply(probs, unused, out=probs)  # zero the taken resources
-        # Running CDF down the resource axis via row-wise contiguous adds
-        # (np.cumsum over axis 0 falls back to a strided loop); the last
-        # row doubles as the remaining mass.
-        np.copyto(cdf[0], probs[0])
-        for i in range(1, n_res):
-            np.add(cdf[i - 1], probs[i], out=cdf[i])
-        mass = cdf[n_res - 1]
-        dead = mass <= 0.0
-        if dead.any():
-            # Uniform over unused resources for exhausted samples; redo
-            # the CDF for just those columns (mass is a view, so it sees
-            # the fix).
-            probs[:, dead] = unused[:, dead]
-            cdf[:, dead] = np.cumsum(probs[:, dead], axis=0)
-        np.multiply(rand_pos[pos], mass, out=u)
-        np.less_equal(cdf, u[np.newaxis, :], out=below)
-        # choice = below.sum(axis=0), as contiguous row adds.
-        np.copyto(choice, below[0], casting="unsafe")
-        for i in range(1, n_res):
-            choice += below[i]
-        # Float-edge guard. A mid-range draw can never land on a used
-        # (zero-probability) resource: that would need
-        # cdf[c-1] <= u < cdf[c] with cdf[c] == cdf[c-1]. Only the
-        # overflow case u >= mass (rounding at rand ~ 1.0) needs care:
-        # clamp it and, if the last resource is taken, fall back to the
-        # first unused one — probability ~ machine epsilon, so one cheap
-        # max() replaces a per-position gathered mask check.
-        if int(choice.max()) == n_res:
-            over = choice == n_res
-            choice[over] = n_res - 1
-            bad = over & (unused[n_res - 1] == 0.0)  # repro: noqa[float-equality] -- consumed mass is written as exact 0.0 below
-            if bad.any():
-                choice[bad] = np.argmax(unused[:, bad], axis=0)
-        X[rows, tasks] = choice
-        unused[choice, rows] = 0.0
-        if square:
-            rem -= choice
-    return X
+    backend = kernels.get_backend()
+    return backend.genperm(arr, None, task_orders, rand_pos, n_res)
 
 
 def sample_permutations_stacked(
@@ -288,8 +188,9 @@ def sample_permutations_stacked(
     task_orders = np.argsort(rand_orders, axis=2).reshape(R * N, n_tasks)
     dist_offsets = np.repeat(np.arange(R, dtype=np.int64) * n_tasks, N)
     pos_u = rand_pos.transpose(1, 0, 2).reshape(n_tasks, R * N)
-    P_cols = np.ascontiguousarray(P_stack.transpose(2, 0, 1).reshape(n_res, R * n_tasks))
-    X = _genperm_position_loop(P_cols, dist_offsets, task_orders, pos_u, n_res)
+    P_rows = np.ascontiguousarray(P_stack.reshape(R * n_tasks, n_res))
+    backend = kernels.get_backend()
+    X = backend.genperm(P_rows, dist_offsets, task_orders, pos_u, n_res)
     return X.reshape(R, N, n_tasks)
 
 

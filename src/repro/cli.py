@@ -76,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="checkpoint cadence in solver iterations (default 1)",
     )
+    _add_kernel_arg(solve)
     _add_budget_args(solve)
 
     resume = sub.add_parser(
@@ -87,6 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not keep updating the checkpoint while the resumed run progresses",
     )
+    _add_kernel_arg(resume)
     _add_budget_args(resume)
 
     # Sugar: every experiment id is also a first-class subcommand.
@@ -139,6 +141,49 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
             "worker is killed and the cell retried instead of hanging the sweep"
         ),
     )
+    _add_kernel_arg(parser)
+
+
+def _add_kernel_arg(parser: argparse.ArgumentParser) -> None:
+    from repro.kernels import KERNEL_CHOICES
+
+    parser.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default=None,
+        help=(
+            "kernel backend for the hot loops (default: REPRO_KERNEL env or "
+            "'auto'). All backends are bit-identical; naming an unavailable "
+            "one is an error, 'auto' silently falls back to numpy."
+        ),
+    )
+
+
+def _apply_kernel_choice(args: argparse.Namespace) -> None:
+    """Pin the kernel backend process-wide before any solver runs.
+
+    Exported through the environment (not just ``set_backend``) so pool
+    workers spawned by the execution fabric inherit the same choice.
+    """
+    choice = getattr(args, "kernel", None)
+    if choice is None:
+        return
+    import os
+
+    from repro import kernels
+
+    previous = os.environ.get("REPRO_KERNEL")
+    os.environ["REPRO_KERNEL"] = choice
+    try:
+        kernels.get_backend()  # fail fast if an explicit backend cannot load
+    except Exception:
+        # Do not leave a broken choice in the environment of a process
+        # that may go on to run more work (tests, interactive sessions).
+        if previous is None:
+            os.environ.pop("REPRO_KERNEL", None)
+        else:
+            os.environ["REPRO_KERNEL"] = previous
+        raise
 
 
 def _add_budget_args(parser: argparse.ArgumentParser) -> None:
@@ -270,6 +315,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
 
     try:
+        _apply_kernel_choice(args)
         if args.command == "list":
             for exp_id in experiment_ids():
                 print(f"{exp_id:18s} {EXPERIMENTS[exp_id][0]}")

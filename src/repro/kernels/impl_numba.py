@@ -1,0 +1,155 @@
+"""The numba kernel backend: ``_loops`` bodies under ``@njit(cache=True)``.
+
+numba is an *optional* dependency (``pip install .[fast]``); this module
+is the only place in the tree allowed to import it (enforced by the
+``kernel-discipline`` lint rule). Loading compiles the exact loop bodies
+of :mod:`repro.kernels._loops` in ``nopython`` mode with the default
+``fastmath=False`` — IEEE-strict, no contraction, no reassociation — so
+the compiled functions inherit the spec's bit-exactness verbatim. A
+one-element warmup call per kernel runs at load time: JIT failures
+(unsupported numba/numpy pairing, broken cache dir, LLVM issues) surface
+as :class:`~repro.kernels.impl_cext.KernelUnavailable` and the
+dispatcher falls back instead of exploding mid-run.
+
+``cache=True`` persists the compiled machine code next to ``_loops.py``
+(or in ``$NUMBA_CACHE_DIR``), so repeat processes skip the multi-second
+compile — this is what the CI kernel-matrix job caches between runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import _loops
+from repro.kernels.csr import ProblemPack
+from repro.kernels.impl_cext import KernelUnavailable
+
+__all__ = ["load"]
+
+
+class _NumbaKernels:
+    """Backend function table over the jitted loop bodies."""
+
+    def __init__(self, jitted: dict) -> None:
+        self._times = jitted["times_batch_loops"]
+        self._eval = jitted["eval_batch_loops"]
+        self._genperm = jitted["genperm_loops"]
+        self._move = jitted["move_cost_loops"]
+        self._swap = jitted["swap_cost_loops"]
+        self._swaps = jitted["swap_costs_loops"]
+
+    def times_batch(self, pack: ProblemPack, X: np.ndarray) -> np.ndarray:
+        return self._times(
+            np.ascontiguousarray(X, dtype=np.int64),
+            pack.task_weights, pack.proc_weights, pack.comm_flat,
+            pack.eu, pack.ev, pack.edge_vol, pack.n_resources,
+        )
+
+    def eval_batch(self, pack: ProblemPack, X: np.ndarray) -> np.ndarray:
+        return self._eval(
+            np.ascontiguousarray(X, dtype=np.int64),
+            pack.task_weights, pack.proc_weights, pack.comm_flat,
+            pack.eu, pack.ev, pack.edge_vol, pack.n_resources,
+        )
+
+    def genperm(
+        self,
+        P_rows: np.ndarray,
+        row_offsets: np.ndarray | None,
+        task_orders: np.ndarray,
+        rand_pos: np.ndarray,
+        n_res: int,
+    ) -> np.ndarray:
+        if row_offsets is None:
+            row_offsets = np.zeros(task_orders.shape[0], dtype=np.int64)
+        return self._genperm(
+            np.ascontiguousarray(P_rows, dtype=np.float64),
+            np.ascontiguousarray(row_offsets, dtype=np.int64),
+            np.ascontiguousarray(task_orders, dtype=np.int64),
+            np.ascontiguousarray(rand_pos, dtype=np.float64),
+            n_res,
+        )
+
+    def move_cost(
+        self, pack: ProblemPack, exec_s: np.ndarray, x: np.ndarray,
+        task: int, dest: int,
+    ) -> float:
+        return float(
+            self._move(
+                exec_s, x, task, dest,
+                pack.task_weights, pack.proc_weights, pack.comm_flat,
+                pack.n_resources, pack.off, pack.nbr, pack.nbr_vol,
+            )
+        )
+
+    def swap_cost(
+        self, pack: ProblemPack, exec_s: np.ndarray, x: np.ndarray,
+        t1: int, t2: int,
+    ) -> float:
+        return float(
+            self._swap(
+                exec_s, x, t1, t2,
+                pack.task_weights, pack.proc_weights, pack.comm_flat,
+                pack.n_resources, pack.off, pack.nbr, pack.nbr_vol,
+            )
+        )
+
+    def swap_costs(
+        self, pack: ProblemPack, exec_s: np.ndarray, x: np.ndarray,
+        pairs: np.ndarray,
+    ) -> np.ndarray:
+        return self._swaps(
+            exec_s, x, np.ascontiguousarray(pairs, dtype=np.int64),
+            pack.task_weights, pack.proc_weights, pack.comm_flat,
+            pack.n_resources, pack.off, pack.nbr, pack.nbr_vol,
+        )
+
+
+def _warmup(kernels: "_NumbaKernels") -> None:
+    """Force one compile per kernel on a two-task toy so JIT errors surface now."""
+    pack = ProblemPack(
+        n_tasks=2,
+        n_resources=2,
+        task_weights=np.array([1.0, 2.0]),
+        proc_weights=np.array([1.0, 1.0]),
+        comm=np.array([[0.0, 1.0], [1.0, 0.0]]),
+        eu=np.array([0], dtype=np.int64),
+        ev=np.array([1], dtype=np.int64),
+        edge_vol=np.array([1.0]),
+        off=np.array([0, 1, 2], dtype=np.int64),
+        nbr=np.array([1, 0], dtype=np.int64),
+        nbr_vol=np.array([1.0, 1.0]),
+    )
+    X = np.array([[0, 1]], dtype=np.int64)
+    kernels.times_batch(pack, X)
+    kernels.eval_batch(pack, X)
+    kernels.genperm(
+        np.full((2, 2), 0.5),
+        None,
+        np.array([[0, 1]], dtype=np.int64),
+        np.full((2, 1), 0.25),
+        2,
+    )
+    exec_s = np.array([1.0, 3.0])
+    x = np.array([0, 1], dtype=np.int64)
+    kernels.move_cost(pack, exec_s, x, 0, 1)
+    kernels.swap_cost(pack, exec_s, x, 0, 1)
+    kernels.swap_costs(pack, exec_s, x, np.array([[0, 1]], dtype=np.int64))
+
+
+def load() -> _NumbaKernels:
+    """Import numba, jit the spec loops, warm them up; raise if any step fails."""
+    try:
+        from numba import njit
+    except ImportError as exc:
+        raise KernelUnavailable(f"numba not installed: {exc}") from exc
+    try:
+        jitted = {
+            name: njit(cache=True)(getattr(_loops, name))
+            for name in _loops.__all__
+        }
+        kernels = _NumbaKernels(jitted)
+        _warmup(kernels)
+    except Exception as exc:  # JIT failures are environmental, not bugs here
+        raise KernelUnavailable(f"numba JIT compilation failed: {exc}") from exc
+    return kernels

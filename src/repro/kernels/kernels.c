@@ -1,0 +1,365 @@
+/* Compiled hot-loop kernels for the MaTCH reproduction.
+ *
+ * Value-for-value translation of repro/kernels/_loops.py — see that
+ * module's docstring for the bit-exactness contract. Loop structure may
+ * differ where it buys instruction-level parallelism (the GenPerm
+ * position loop interleaves four samples), but every per-sample float
+ * operation sequence matches the reference exactly. The build
+ * (driven by impl_cext.py) uses `-O3 -ffp-contract=off` and no
+ * -ffast-math: every float add/multiply must round exactly like the
+ * numpy reference, so fused multiply-adds and reassociation are off the
+ * table. Accumulation orders (tasks ascending, edges ascending, the
+ * `(proc + acc_s) + acc_b` combine) are load-bearing.
+ *
+ * No Python.h: the library is plain C called through ctypes, so one
+ * shared object serves every interpreter version. All functions return
+ * 0 on success and -1 on allocation failure (scalar-valued probes
+ * return the cost through an out-pointer for the same reason).
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+typedef int64_t i64;
+
+/* ---------------- Eq. (1)/(2) batch scoring ---------------- */
+
+static void times_row(const i64 *xrow, i64 n_t, i64 n_r,
+                      const double *W, const double *w, const double *ccm,
+                      const i64 *eu, const i64 *ev, const double *C, i64 n_e,
+                      double *proc, double *acc_s, double *acc_b)
+{
+    i64 r, t, e;
+    for (r = 0; r < n_r; r++) {
+        proc[r] = 0.0;
+        acc_s[r] = 0.0;
+        acc_b[r] = 0.0;
+    }
+    for (t = 0; t < n_t; t++) {
+        i64 s = xrow[t];
+        proc[s] += W[t] * w[s];
+    }
+    for (e = 0; e < n_e; e++) {
+        i64 s = xrow[eu[e]];
+        i64 b = xrow[ev[e]];
+        double link = C[e] * ccm[s * n_r + b];
+        acc_s[s] += link;
+        acc_b[b] += link;
+    }
+}
+
+int repro_times_batch(const i64 *X, i64 N, i64 n_t, i64 n_r,
+                      const double *W, const double *w, const double *ccm,
+                      const i64 *eu, const i64 *ev, const double *C, i64 n_e,
+                      double *out)
+{
+    double *scratch = malloc((size_t)(3 * n_r) * sizeof(double));
+    double *proc, *acc_s, *acc_b;
+    i64 j, r;
+    if (scratch == NULL)
+        return -1;
+    proc = scratch;
+    acc_s = scratch + n_r;
+    acc_b = scratch + 2 * n_r;
+    for (j = 0; j < N; j++) {
+        times_row(X + j * n_t, n_t, n_r, W, w, ccm, eu, ev, C, n_e,
+                  proc, acc_s, acc_b);
+        for (r = 0; r < n_r; r++)
+            out[j * n_r + r] = (proc[r] + acc_s[r]) + acc_b[r];
+    }
+    free(scratch);
+    return 0;
+}
+
+int repro_eval_batch(const i64 *X, i64 N, i64 n_t, i64 n_r,
+                     const double *W, const double *w, const double *ccm,
+                     const i64 *eu, const i64 *ev, const double *C, i64 n_e,
+                     double *out)
+{
+    double *scratch = malloc((size_t)(3 * n_r) * sizeof(double));
+    double *proc, *acc_s, *acc_b;
+    i64 j, r;
+    if (scratch == NULL)
+        return -1;
+    proc = scratch;
+    acc_s = scratch + n_r;
+    acc_b = scratch + 2 * n_r;
+    for (j = 0; j < N; j++) {
+        double best, v;
+        times_row(X + j * n_t, n_t, n_r, W, w, ccm, eu, ev, C, n_e,
+                  proc, acc_s, acc_b);
+        best = (proc[0] + acc_s[0]) + acc_b[0];
+        for (r = 1; r < n_r; r++) {
+            v = (proc[r] + acc_s[r]) + acc_b[r];
+            if (v > best)
+                best = v;
+        }
+        out[j] = best;
+    }
+    free(scratch);
+    return 0;
+}
+
+/* ---------------- GenPerm position loop ---------------- */
+
+/* The reference loop walks ALL n_res resources per (sample, position)
+ * cell, multiplying each row entry by a 0/1 mask. Two observations make
+ * a compressed walk over only the still-unused resources value-identical:
+ *
+ *   1. A masked entry contributes row[i]*0.0 == +0.0, and acc + 0.0 is a
+ *      bitwise no-op (acc starts at +0.0 and only ever accumulates
+ *      non-negative finite terms, so it is never -0.0). Dropping masked
+ *      terms leaves every accumulator value — including the final mass —
+ *      bit-identical. An unmasked entry contributes row[i]*1.0 == row[i]
+ *      exactly.
+ *   2. The reference picks the first index i with cdf[i] > u. The cdf
+ *      only changes value at unused positions (masked positions replicate
+ *      the previous value, and the all-masked prefix holds +0.0 <= u), so
+ *      that first index is always an unused position: scanning the
+ *      compressed cdf finds the identical choice.
+ *
+ * The dead-row fallback (uniform over unused: 1.0 increments at unused
+ * positions) and the overflow clamp (resource n_res-1 if still unused,
+ * else the first unused) translate the same way. Each sample therefore
+ * keeps an ascending list of its unused resources; position `pos` walks
+ * K = n_res - pos entries instead of n_res, halving the serial FP-add
+ * chain work over the whole run. */
+
+/* Everything after the compressed cumulative sum for one sample:
+ * dead-row fallback, inverse-CDF scan, overflow clamp, and removal of
+ * the chosen resource from the sample's unused list. Returns the chosen
+ * resource id. */
+static i64 genperm_pick(double *cdf, int32_t *idx, i64 K, i64 n_res,
+                        double u01)
+{
+    double mass = cdf[K - 1];
+    double u;
+    i64 k, choice;
+    if (mass <= 0.0) {
+        /* Dead row: uniform over the unused resources. */
+        double acc = 0.0;
+        for (k = 0; k < K; k++) {
+            acc = acc + 1.0;
+            cdf[k] = acc;
+        }
+        mass = cdf[K - 1];
+    }
+    u = u01 * mass;
+    /* First index with cdf > u. The cdf is non-decreasing (non-negative
+     * increments), so a branchless upper-bound bisection lands on the
+     * same index as the reference's linear scan in log2(K) compare steps
+     * with no data-dependent branch to mispredict. */
+    {
+        i64 lo = 0, len = K;
+        while (len > 1) {
+            i64 half = len >> 1;
+            if (cdf[lo + half - 1] <= u)
+                lo += half;
+            len -= half;
+        }
+        k = lo + (cdf[lo] <= u);
+    }
+    if (k == K) {
+        /* Overflow clamp; resource n_res-1 when still unused, else the
+         * first unused resource. */
+        k = (idx[K - 1] == (int32_t)(n_res - 1)) ? K - 1 : 0;
+    }
+    choice = idx[k];
+    memmove(idx + k, idx + k + 1, (size_t)(K - 1 - k) * sizeof(int32_t));
+    return choice;
+}
+
+int repro_genperm(const double *P_rows, const i64 *row_offsets,
+                  const i64 *task_orders, const double *rand_pos,
+                  i64 B, i64 n_t, i64 n_res, i64 *X)
+{
+    int32_t *avail = malloc((size_t)(B * n_res) * sizeof(int32_t));
+    double *cdf = malloc((size_t)(4 * n_res) * sizeof(double));
+    i64 j, pos, i;
+    if (avail == NULL || cdf == NULL) {
+        free(avail);
+        free(cdf);
+        return -1;
+    }
+    for (j = 0; j < B; j++)
+        for (i = 0; i < n_res; i++)
+            avail[j * n_res + i] = (int32_t)i;
+    for (pos = 0; pos < n_t; pos++) {
+        const i64 K = n_res - pos;
+        const double *u_pos = rand_pos + pos * B;
+        if (K == 1) {
+            /* Square case, last position: the one unused resource is
+             * forced (the reference's rem-sum shortcut). */
+            for (j = 0; j < B; j++)
+                X[j * n_t + task_orders[j * n_t + pos]] = avail[j * n_res];
+            break;
+        }
+        /* The compressed cumulative sum is a loop-carried float
+         * dependency chain (K serial adds per sample) and is what bounds
+         * this kernel. Samples are independent, so four run interleaved:
+         * four accumulator chains in flight hide the FP add latency while
+         * each sample's own adds stay in reference order. */
+        j = 0;
+        for (; j + 4 <= B; j += 4) {
+            i64 t0 = task_orders[(j + 0) * n_t + pos];
+            i64 t1 = task_orders[(j + 1) * n_t + pos];
+            i64 t2 = task_orders[(j + 2) * n_t + pos];
+            i64 t3 = task_orders[(j + 3) * n_t + pos];
+            const double *r0 = P_rows + (row_offsets[j + 0] + t0) * n_res;
+            const double *r1 = P_rows + (row_offsets[j + 1] + t1) * n_res;
+            const double *r2 = P_rows + (row_offsets[j + 2] + t2) * n_res;
+            const double *r3 = P_rows + (row_offsets[j + 3] + t3) * n_res;
+            int32_t *i0 = avail + (j + 0) * n_res;
+            int32_t *i1 = avail + (j + 1) * n_res;
+            int32_t *i2 = avail + (j + 2) * n_res;
+            int32_t *i3 = avail + (j + 3) * n_res;
+            double *c0 = cdf;
+            double *c1 = cdf + n_res;
+            double *c2 = cdf + 2 * n_res;
+            double *c3 = cdf + 3 * n_res;
+            double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+            i64 k;
+            for (k = 0; k < K; k++) {
+                a0 = a0 + r0[i0[k]];
+                c0[k] = a0;
+                a1 = a1 + r1[i1[k]];
+                c1[k] = a1;
+                a2 = a2 + r2[i2[k]];
+                c2[k] = a2;
+                a3 = a3 + r3[i3[k]];
+                c3[k] = a3;
+            }
+            X[(j + 0) * n_t + t0] = genperm_pick(c0, i0, K, n_res, u_pos[j + 0]);
+            X[(j + 1) * n_t + t1] = genperm_pick(c1, i1, K, n_res, u_pos[j + 1]);
+            X[(j + 2) * n_t + t2] = genperm_pick(c2, i2, K, n_res, u_pos[j + 2]);
+            X[(j + 3) * n_t + t3] = genperm_pick(c3, i3, K, n_res, u_pos[j + 3]);
+        }
+        for (; j < B; j++) {
+            i64 task = task_orders[j * n_t + pos];
+            const double *row = P_rows + (row_offsets[j] + task) * n_res;
+            int32_t *idx = avail + j * n_res;
+            double acc = 0.0;
+            i64 k;
+            for (k = 0; k < K; k++) {
+                acc = acc + row[idx[k]];
+                cdf[k] = acc;
+            }
+            X[j * n_t + task] = genperm_pick(cdf, idx, K, n_res, u_pos[j]);
+        }
+    }
+    free(avail);
+    free(cdf);
+    return 0;
+}
+
+/* ---------------- O(deg) delta probes ---------------- */
+
+static void apply_move(double *ex, i64 *xs, i64 task, i64 dest,
+                       const double *W, const double *w, const double *ccm,
+                       i64 n_r, const i64 *off, const i64 *nbr,
+                       const double *vol)
+{
+    i64 src = xs[task];
+    i64 k;
+    if (src == dest)
+        return;
+    ex[src] -= W[task] * w[src];
+    ex[dest] += W[task] * w[dest];
+    for (k = off[task]; k < off[task + 1]; k++) {
+        i64 m = xs[nbr[k]];
+        double cv = vol[k];
+        if (m != src) {
+            ex[src] -= cv * ccm[src * n_r + m];
+            ex[m] -= cv * ccm[m * n_r + src];
+        }
+        if (m != dest) {
+            ex[dest] += cv * ccm[dest * n_r + m];
+            ex[m] += cv * ccm[m * n_r + dest];
+        }
+    }
+    xs[task] = dest;
+}
+
+static double max_of(const double *ex, i64 n_r)
+{
+    double best = ex[0];
+    i64 r;
+    for (r = 1; r < n_r; r++)
+        if (ex[r] > best)
+            best = ex[r];
+    return best;
+}
+
+int repro_move_cost(const double *exec_s, const i64 *x, i64 n_t, i64 n_r,
+                    const double *W, const double *w, const double *ccm,
+                    const i64 *off, const i64 *nbr, const double *vol,
+                    i64 task, i64 dest, double *out)
+{
+    double *ex = malloc((size_t)n_r * sizeof(double));
+    i64 *xs = malloc((size_t)n_t * sizeof(i64));
+    if (ex == NULL || xs == NULL) {
+        free(ex);
+        free(xs);
+        return -1;
+    }
+    memcpy(ex, exec_s, (size_t)n_r * sizeof(double));
+    memcpy(xs, x, (size_t)n_t * sizeof(i64));
+    apply_move(ex, xs, task, dest, W, w, ccm, n_r, off, nbr, vol);
+    *out = max_of(ex, n_r);
+    free(ex);
+    free(xs);
+    return 0;
+}
+
+int repro_swap_cost(const double *exec_s, const i64 *x, i64 n_t, i64 n_r,
+                    const double *W, const double *w, const double *ccm,
+                    const i64 *off, const i64 *nbr, const double *vol,
+                    i64 t1, i64 t2, double *out)
+{
+    double *ex = malloc((size_t)n_r * sizeof(double));
+    i64 *xs = malloc((size_t)n_t * sizeof(i64));
+    i64 s1, s2;
+    if (ex == NULL || xs == NULL) {
+        free(ex);
+        free(xs);
+        return -1;
+    }
+    memcpy(ex, exec_s, (size_t)n_r * sizeof(double));
+    memcpy(xs, x, (size_t)n_t * sizeof(i64));
+    s1 = xs[t1];
+    s2 = xs[t2];
+    apply_move(ex, xs, t1, s2, W, w, ccm, n_r, off, nbr, vol);
+    apply_move(ex, xs, t2, s1, W, w, ccm, n_r, off, nbr, vol);
+    *out = max_of(ex, n_r);
+    free(ex);
+    free(xs);
+    return 0;
+}
+
+int repro_swap_costs(const double *exec_s, const i64 *x, i64 n_t, i64 n_r,
+                     const double *W, const double *w, const double *ccm,
+                     const i64 *off, const i64 *nbr, const double *vol,
+                     const i64 *pairs, i64 K, double *out)
+{
+    double *ex = malloc((size_t)n_r * sizeof(double));
+    i64 *xs = malloc((size_t)n_t * sizeof(i64));
+    i64 p, s1, s2;
+    if (ex == NULL || xs == NULL) {
+        free(ex);
+        free(xs);
+        return -1;
+    }
+    for (p = 0; p < K; p++) {
+        memcpy(ex, exec_s, (size_t)n_r * sizeof(double));
+        memcpy(xs, x, (size_t)n_t * sizeof(i64));
+        s1 = xs[pairs[p * 2]];
+        s2 = xs[pairs[p * 2 + 1]];
+        apply_move(ex, xs, pairs[p * 2], s2, W, w, ccm, n_r, off, nbr, vol);
+        apply_move(ex, xs, pairs[p * 2 + 1], s1, W, w, ccm, n_r, off, nbr, vol);
+        out[p] = max_of(ex, n_r);
+    }
+    free(ex);
+    free(xs);
+    return 0;
+}

@@ -16,23 +16,41 @@ Two implementations are provided and cross-validated in the test suite:
 
 * :func:`evaluate_reference` — direct nested loops transcribing Eq. (1),
   used as the executable specification;
-* :class:`CostModel` — a fully vectorized evaluator whose
-  :meth:`CostModel.evaluate_batch` scores thousands of candidate mappings
-  per call with numpy gathers and ``bincount`` scatter-adds. One CE
-  iteration at ``n = 50`` evaluates ``N = 2·50² = 5000`` mappings; this is
-  the library's hot path (see the hpc guide note in
-  :mod:`repro.graphs.base`).
+* :class:`CostModel` — the production evaluator. Its batch methods
+  dispatch through :mod:`repro.kernels` (DESIGN.md §11): the problem is
+  snapshotted once into a CSR-packed :class:`~repro.kernels.ProblemPack`
+  and scored by whichever backend ``REPRO_KERNEL`` selected — numba JIT,
+  the on-demand-compiled C kernels, or the vectorized numpy reference.
+  All backends are bit-identical (the cross-backend parity suite pins
+  them against each other and against :func:`evaluate_reference`), so
+  the choice affects throughput only. One CE iteration at ``n = 50``
+  evaluates ``N = 2·50² = 5000`` mappings; this is the library's hot
+  path (see the hpc guide note in :mod:`repro.graphs.base`).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.mapping.problem import MappingProblem
 from repro.types import AssignmentBatch, AssignmentVector, CostVector, as_assignment_batch
 from repro.utils.dedup import DedupStats, collapse_duplicate_rows
 
-__all__ = ["evaluate_reference", "per_resource_times_reference", "CostModel"]
+__all__ = [
+    "evaluate_reference",
+    "per_resource_times_reference",
+    "CostModel",
+    "DEDUP_MIN_CELLS",
+]
+
+#: Minimum batch area (``rows · n_tasks``) for the dedup collapse to pay.
+#: Below this the Horner packing + ``np.unique`` overhead exceeds the
+#: scoring it saves — measured on the bench instances: the n=10 CE batch
+#: (200 × 10 = 2 000 cells) ran at 0.94× with unconditional dedup while
+#: n=50 (5 000 × 50 = 250 000 cells) enjoys 1.36×; the crossover sits
+#: around a few tens of thousands of cells on current hardware.
+DEDUP_MIN_CELLS = 32_768
 
 
 def per_resource_times_reference(
@@ -73,32 +91,38 @@ def evaluate_reference(problem: MappingProblem, assignment: AssignmentVector) ->
 
 
 class CostModel:
-    """Vectorized evaluator of the paper's cost model for a fixed problem.
+    """Kernel-dispatched evaluator of the paper's cost model for a fixed problem.
 
-    The constructor snapshots the problem's flat arrays; evaluation methods
-    are pure functions of the assignment argument, so one ``CostModel`` can
-    be shared by every optimizer attacking the same instance (the only
-    mutable state is the :attr:`dedup_stats` diagnostics counter, which
-    never influences returned costs).
+    The constructor snapshots the problem into a CSR
+    :class:`~repro.kernels.ProblemPack` and resolves the process-active
+    kernel backend once; evaluation methods are pure functions of the
+    assignment argument, so one ``CostModel`` can be shared by every
+    optimizer attacking the same instance (the only mutable state is the
+    :attr:`dedup_stats` diagnostics counter, which never influences
+    returned costs).
     """
 
-    __slots__ = (
-        "problem", "_W", "_w", "_C", "_ccm", "_ccm_flat", "_eu", "_ev",
-        "_n_r", "_n_t", "dedup_stats",
-    )
+    __slots__ = ("problem", "pack", "_kernel", "_W", "_w", "_C", "_ccm",
+                 "_eu", "_ev", "_n_r", "_n_t", "dedup_stats")
 
     def __init__(self, problem: MappingProblem) -> None:
         self.problem = problem
+        self.pack = kernels.build_pack(problem)
+        self._kernel = kernels.get_backend()
         self._W = problem.task_weights
         self._w = problem.proc_weights
         self._C = problem.edge_weights
         self._ccm = problem.comm_costs
-        self._ccm_flat = np.ascontiguousarray(problem.comm_costs).ravel()
-        self._eu = problem.edges[:, 0] if problem.edges.size else np.empty(0, dtype=np.int64)
-        self._ev = problem.edges[:, 1] if problem.edges.size else np.empty(0, dtype=np.int64)
+        self._eu = self.pack.eu
+        self._ev = self.pack.ev
         self._n_r = problem.n_resources
         self._n_t = problem.n_tasks
         self.dedup_stats = DedupStats()
+
+    @property
+    def kernel_name(self) -> str:
+        """Name of the kernel backend this model dispatches to."""
+        return self._kernel.name
 
     # -- single-assignment API ----------------------------------------------
     def per_resource_times(self, assignment: AssignmentVector) -> np.ndarray:
@@ -118,78 +142,47 @@ class CostModel:
         return float(self.per_resource_times(assignment).max())
 
     # -- batch API -------------------------------------------------------------
-    def _times_block(self, X: np.ndarray) -> np.ndarray:
-        """Eq. (1) for one block of rows: returns ``(N, n_resources)`` times.
-
-        Strategy: flatten the (row, resource) bucket space to
-        ``row * n_r + resource`` and use a single ``bincount`` scatter-add
-        per term — no Python-level loop over samples.
-        """
-        N = X.shape[0]
-        n_r = self._n_r
-        row_offsets = (np.arange(N, dtype=np.int64) * n_r)[:, np.newaxis]
-
-        # Processing term.
-        comp_w = self._W[np.newaxis, :] * self._w[X]  # (N, n_t)
-        flat_proc = (row_offsets + X).ravel()
-        totals = np.bincount(flat_proc, weights=comp_w.ravel(), minlength=N * n_r)
-
-        # Communication term (both endpoint resources pay). The cost matrix
-        # lookup goes through a flat 1-D take (``s·n_r + b``) rather than a
-        # 2-D fancy index — same values, substantially cheaper per element.
-        if self._eu.size:
-            s = X[:, self._eu]  # (N, E)
-            b = X[:, self._ev]  # (N, E)
-            link = self._C[np.newaxis, :] * np.take(
-                self._ccm_flat, s * n_r + b, mode="clip"
-            )
-            totals += np.bincount(
-                (row_offsets + s).ravel(), weights=link.ravel(), minlength=N * n_r
-            )
-            totals += np.bincount(
-                (row_offsets + b).ravel(), weights=link.ravel(), minlength=N * n_r
-            )
-        return totals.reshape(N, n_r)
-
-    def per_resource_times_batch(self, assignments: AssignmentBatch) -> np.ndarray:
-        """Eq. (1) for a whole batch: returns ``(N, n_resources)`` times.
-
-        Large batches are processed in row blocks sized so the ``(N, E)``
-        link intermediates stay a couple of MB: past the cache the fused
-        pass turns memory-bound and goes *superlinear* in ``N`` (measured
-        on a 352-edge, n = 50 instance: 20 000 rows cost 0.45 s in one
-        pass vs 0.11 s in 1 000-row blocks). Block boundaries cannot
-        change any value — every term is row-local.
-        """
+    def _check_batch(self, assignments: AssignmentBatch) -> np.ndarray:
         X = as_assignment_batch(assignments)
         if X.shape[1] != self._n_t:
             raise ValueError(f"batch must have {self._n_t} columns, got {X.shape[1]}")
         if X.size and (X.min() < 0 or X.max() >= self._n_r):
             raise ValueError("batch contains out-of-range resource indices")
-        N = X.shape[0]
-        widest = max(int(self._eu.size), self._n_t, 1)
-        block = max(512, 262_144 // widest)
-        if N <= block:
-            return self._times_block(X)
-        out = np.empty((N, self._n_r))
-        for start in range(0, N, block):
-            out[start : start + block] = self._times_block(X[start : start + block])
-        return out
+        return X
+
+    def _times_block(self, X: np.ndarray) -> np.ndarray:
+        """Eq. (1) for one (pre-validated) block via the kernel backend."""
+        return self._kernel.times_batch(self.pack, X)
+
+    def per_resource_times_batch(self, assignments: AssignmentBatch) -> np.ndarray:
+        """Eq. (1) for a whole batch: returns ``(N, n_resources)`` times.
+
+        Dispatches to the resolved kernel backend; the numpy backend
+        internally processes large batches in cache-sized row blocks
+        (block boundaries cannot change any value — every term is
+        row-local), the compiled backends stream row by row.
+        """
+        return self._kernel.times_batch(self.pack, self._check_batch(assignments))
 
     def evaluate_batch(self, assignments: AssignmentBatch) -> CostVector:
         """Eq. (2) for a whole batch: one cost per row (lower is better)."""
-        return self.per_resource_times_batch(assignments).max(axis=1)
+        return self._kernel.eval_batch(self.pack, self._check_batch(assignments))
 
     def evaluate_batch_dedup(self, assignments: AssignmentBatch) -> CostVector:
         """Eq. (2) for a batch, collapsing duplicate rows before scoring.
 
         Exact: duplicate rows receive the identical float computed for
         their unique representative (the cost model is a pure row-wise
-        function). Each call records the batch's collapse on
-        :attr:`dedup_stats`, whose ``hit_rate`` exposes the fraction of
-        rows the collapse avoided scoring.
+        function). Small batches (area below :data:`DEDUP_MIN_CELLS`)
+        bypass the collapse entirely — the packing overhead outruns the
+        savings there (the measured n=10 regression) — and the bypass is
+        recorded on :attr:`dedup_stats` so diagnostics can tell "no
+        duplicates found" from "did not look".
         """
         X = as_assignment_batch(assignments)
+        if X.shape[0] * self._n_t < DEDUP_MIN_CELLS:
+            self.dedup_stats.record_bypass(X.shape[0])
+            return self.evaluate_batch(X)
         unique_rows, inverse = collapse_duplicate_rows(X, self._n_r)
         self.dedup_stats.record(X.shape[0], unique_rows.shape[0])
         return self.evaluate_batch(unique_rows)[inverse]

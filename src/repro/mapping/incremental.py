@@ -1,15 +1,25 @@
 """Incremental (delta) evaluation of mapping moves.
 
-Local-search style optimizers (hill climbing, simulated annealing) probe
-many single-task *moves* and pairwise *swaps* per accepted change.
+Local-search style optimizers (hill climbing, simulated annealing, tabu)
+probe many single-task *moves* and pairwise *swaps* per accepted change.
 Re-running the full Eq. (1) evaluation for each probe costs O(n + E);
 :class:`IncrementalEvaluator` maintains the per-resource execution times
 and updates only the terms a move touches — O(deg(t)) per probe plus an
 O(n_r) max — which is the standard trick that makes neighborhood search
 competitive on TIG mapping.
 
+Probes dispatch through the compiled kernel layer
+(:mod:`repro.kernels`): the scalar :meth:`~IncrementalEvaluator.move_cost`
+/ :meth:`~IncrementalEvaluator.swap_cost` probes and the batched
+:meth:`~IncrementalEvaluator.swap_costs` sweep all run the same O(deg)
+update the historical pure-Python code performed, in the same float
+order, on whichever backend ``REPRO_KERNEL`` resolved — so a compiled
+probe is bit-identical to the numpy one. *Applying* a move mutates the
+evaluator's own state and stays in Python (it is O(deg), never hot).
+
 The invariant (``exec_s`` always equals the reference Eq. (1) value for
-the current assignment) is enforced by property-based tests.
+the current assignment) is enforced by property-based tests, which run
+under every available backend.
 """
 
 from __future__ import annotations
@@ -29,7 +39,9 @@ class IncrementalEvaluator:
     Parameters
     ----------
     model:
-        The (shared, immutable) cost model of the instance.
+        The (shared, immutable) cost model of the instance. Its CSR
+        :class:`~repro.kernels.ProblemPack` and resolved kernel backend
+        are reused, so constructing evaluators is cheap.
     assignment:
         Initial assignment; copied.
     """
@@ -39,29 +51,14 @@ class IncrementalEvaluator:
         problem = model.problem
         self._x = problem.check_assignment(np.asarray(assignment, dtype=np.int64)).copy()
         self._exec = model.per_resource_times(self._x).astype(np.float64)
-
-        # CSR adjacency over tasks: neighbors of t are
-        # _nbr[_off[t]:_off[t+1]] with volumes _vol[...].
-        n_t = problem.n_tasks
-        edges = problem.edges
-        vols = problem.edge_weights
-        deg = np.zeros(n_t, dtype=np.int64)
-        if edges.size:
-            np.add.at(deg, edges[:, 0], 1)
-            np.add.at(deg, edges[:, 1], 1)
-        self._off = np.zeros(n_t + 1, dtype=np.int64)
-        np.cumsum(deg, out=self._off[1:])
-        self._nbr = np.zeros(self._off[-1], dtype=np.int64)
-        self._vol = np.zeros(self._off[-1], dtype=np.float64)
-        cursor = self._off[:-1].copy()
-        for e in range(edges.shape[0]):
-            u, v = edges[e]
-            self._nbr[cursor[u]] = v
-            self._vol[cursor[u]] = vols[e]
-            cursor[u] += 1
-            self._nbr[cursor[v]] = u
-            self._vol[cursor[v]] = vols[e]
-            cursor[v] += 1
+        # CSR adjacency over tasks (shared with every evaluator of this
+        # model): neighbors of t are _nbr[_off[t]:_off[t+1]] with volumes
+        # _vol[...], in historical append order (see kernels/csr.py).
+        self._pack = model.pack
+        self._kernel = model._kernel
+        self._off = self._pack.off
+        self._nbr = self._pack.nbr
+        self._vol = self._pack.nbr_vol
 
     # -- read access -------------------------------------------------------------
     @property
@@ -109,10 +106,7 @@ class IncrementalEvaluator:
         """Eq. (2) cost if ``task`` were moved to ``dest`` (no state change)."""
         self._check_task(task)
         self._check_resource(dest)
-        exec_s = self._exec.copy()
-        x = self._x.copy()
-        self._apply_move(exec_s, x, task, dest)
-        return float(exec_s.max())
+        return self._kernel.move_cost(self._pack, self._exec, self._x, int(task), int(dest))
 
     def apply_move(self, task: int, dest: int) -> float:
         """Relocate ``task`` to ``dest``; returns the new cost."""
@@ -125,12 +119,26 @@ class IncrementalEvaluator:
         """Eq. (2) cost if tasks ``t1`` and ``t2`` exchanged resources."""
         self._check_task(t1)
         self._check_task(t2)
-        exec_s = self._exec.copy()
-        x = self._x.copy()
-        s1, s2 = x[t1], x[t2]
-        self._apply_move(exec_s, x, t1, s2)
-        self._apply_move(exec_s, x, t2, s1)
-        return float(exec_s.max())
+        return self._kernel.swap_cost(self._pack, self._exec, self._x, int(t1), int(t2))
+
+    def swap_costs(self, pairs: np.ndarray) -> np.ndarray:
+        """Batched :meth:`swap_cost`: one kernel call for ``(K, 2)`` pairs.
+
+        ``out[p]`` is bit-identical to ``swap_cost(*pairs[p])``; the
+        sweep-based searches (local search, tabu, CE elite refinement)
+        use this to amortize per-probe dispatch overhead while keeping
+        their historical sequential selection semantics (they pick from
+        ``out`` exactly as the probe-by-probe loop did).
+        """
+        pairs = np.ascontiguousarray(pairs, dtype=np.int64)
+        if pairs.ndim != 2 or (pairs.size and pairs.shape[1] != 2):
+            raise MappingError(f"pairs must have shape (K, 2), got {pairs.shape}")
+        if pairs.size == 0:
+            return np.empty(0, dtype=np.float64)
+        n_t = self.model.problem.n_tasks
+        if pairs.min() < 0 or pairs.max() >= n_t:
+            raise MappingError("pairs contain out-of-range task indices")
+        return self._kernel.swap_costs(self._pack, self._exec, self._x, pairs)
 
     def apply_swap(self, t1: int, t2: int) -> float:
         """Exchange the resources of ``t1`` and ``t2``; returns the new cost."""

@@ -352,6 +352,64 @@ class TestMutableState:
         assert rules_hit(src, path="src/repro/ce/kernel.py") == set()
 
 
+class TestKernelDiscipline:
+    def test_numba_import_flagged(self):
+        assert "kernel-discipline" in rules_hit("import numba\n")
+
+    def test_numba_from_import_flagged(self):
+        assert "kernel-discipline" in rules_hit("from numba import njit\n")
+
+    def test_njit_decoration_flagged(self):
+        src = """
+            from numba import njit
+
+            @njit(cache=True)
+            def hot(x):
+                return x + 1
+        """
+        findings = [f for f in findings_for(src) if f.rule == "kernel-discipline"]
+        assert len(findings) == 2  # the import and the decoration
+
+    def test_numba_attribute_decorator_flagged(self):
+        src = """
+            import numba
+
+            @numba.njit
+            def hot(x):
+                return x + 1
+        """
+        findings = [f for f in findings_for(src) if f.rule == "kernel-discipline"]
+        assert len(findings) == 2
+
+    def test_ctypes_cdll_flagged(self):
+        src = """
+            import ctypes
+            lib = ctypes.CDLL("libfoo.so")
+        """
+        assert "kernel-discipline" in rules_hit(src)
+
+    def test_kernels_package_exempt(self):
+        src = """
+            from numba import njit
+            import ctypes
+
+            @njit(cache=True)
+            def hot(x):
+                return x + 1
+
+            lib = ctypes.CDLL("libfoo.so")
+        """
+        assert rules_hit(src, path="src/repro/kernels/impl_numba.py") == set()
+
+    def test_plain_ctypes_import_clean(self):
+        # importing ctypes for struct layout is fine; only CDLL loads count
+        src = """
+            import ctypes
+            n = ctypes.sizeof(ctypes.c_double)
+        """
+        assert "kernel-discipline" not in rules_hit(src)
+
+
 class TestEngineBasics:
     def test_syntax_error_reported_as_parse_error(self):
         findings = findings_for("def broken(:\n")

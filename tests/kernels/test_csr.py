@@ -1,0 +1,74 @@
+"""CSR packing: layout, dtypes, and the historical adjacency order."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import build_adjacency, build_pack
+
+from tests.kernels.conftest import make_problem
+
+
+def naive_adjacency(edges, vols, n_tasks):
+    """The historical per-task append loop the CSR build must replicate."""
+    adj = [[] for _ in range(n_tasks)]
+    for (u, v), c in zip(edges, vols):
+        adj[u].append((v, c))
+        adj[v].append((u, c))
+    return adj
+
+
+class TestBuildAdjacency:
+    def test_matches_historical_append_order(self):
+        problem = make_problem(12, 777)
+        off, nbr, vol = build_adjacency(
+            problem.edges, problem.edge_weights, problem.n_tasks
+        )
+        adj = naive_adjacency(problem.edges, problem.edge_weights, problem.n_tasks)
+        for t in range(problem.n_tasks):
+            lo, hi = off[t], off[t + 1]
+            assert nbr[lo:hi].tolist() == [a for a, _ in adj[t]]
+            assert vol[lo:hi].tolist() == [c for _, c in adj[t]]
+
+    def test_empty_graph(self):
+        off, nbr, vol = build_adjacency(
+            np.empty((0, 2), dtype=np.int64), np.empty(0), 4
+        )
+        assert off.tolist() == [0, 0, 0, 0, 0]
+        assert nbr.size == 0 and vol.size == 0
+
+    def test_counts(self):
+        problem = make_problem(10, 3)
+        off, nbr, _ = build_adjacency(
+            problem.edges, problem.edge_weights, problem.n_tasks
+        )
+        assert nbr.size == 2 * problem.edges.shape[0]
+        assert off[-1] == nbr.size
+
+
+class TestBuildPack:
+    def test_fields_and_dtypes(self):
+        problem = make_problem(12, 777)
+        pack = build_pack(problem)
+        assert pack.n_tasks == problem.n_tasks
+        assert pack.n_resources == problem.n_resources
+        for arr, dtype in (
+            (pack.task_weights, np.float64),
+            (pack.proc_weights, np.float64),
+            (pack.comm, np.float64),
+            (pack.edge_vol, np.float64),
+            (pack.eu, np.int64),
+            (pack.ev, np.int64),
+            (pack.off, np.int64),
+            (pack.nbr, np.int64),
+            (pack.nbr_vol, np.float64),
+        ):
+            assert arr.dtype == dtype
+            assert arr.flags["C_CONTIGUOUS"]
+
+    def test_comm_flat_is_row_major_view(self):
+        pack = build_pack(make_problem(8, 5))
+        n_r = pack.n_resources
+        for s in range(n_r):
+            for b in range(n_r):
+                assert pack.comm_flat[s * n_r + b] == pack.comm[s, b]

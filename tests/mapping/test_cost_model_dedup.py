@@ -30,7 +30,8 @@ class TestEvaluateBatchDedup:
             model.evaluate_batch_dedup(batch), model.evaluate_batch(batch)
         )
 
-    def test_stats_recorded(self, small_problem):
+    def test_stats_recorded(self, small_problem, monkeypatch):
+        monkeypatch.setattr("repro.mapping.cost_model.DEDUP_MIN_CELLS", 0)
         model = CostModel(small_problem)
         batch = degenerate_batch(small_problem, 240, seed=4)
         n_unique = np.unique(batch, axis=0).shape[0]
@@ -39,12 +40,40 @@ class TestEvaluateBatchDedup:
         assert model.dedup_stats.total_rows == 240
         assert model.dedup_stats.unique_rows == n_unique
         assert model.dedup_stats.hit_rate == 1.0 - n_unique / 240
+        assert model.dedup_stats.bypassed_calls == 0
 
     def test_stats_do_not_affect_plain_path(self, small_problem):
         model = CostModel(small_problem)
         batch = degenerate_batch(small_problem, 60, seed=5)
         model.evaluate_batch(batch)
         assert model.dedup_stats.calls == 0
+
+    def test_small_batch_bypasses_collapse(self, small_problem):
+        # Below the DEDUP_MIN_CELLS area threshold the packing overhead
+        # outruns the savings (the measured n=10 regression), so the
+        # collapse is skipped — same floats, decision recorded.
+        from repro.mapping.cost_model import DEDUP_MIN_CELLS
+
+        model = CostModel(small_problem)
+        n_rows = 240
+        assert n_rows * small_problem.n_tasks < DEDUP_MIN_CELLS
+        batch = degenerate_batch(small_problem, n_rows, seed=4)
+        costs = model.evaluate_batch_dedup(batch)
+        assert np.array_equal(costs, model.evaluate_batch(batch))
+        assert model.dedup_stats.calls == 0
+        assert model.dedup_stats.bypassed_calls == 1
+        assert model.dedup_stats.bypassed_rows == n_rows
+
+    def test_large_batch_collapses(self, small_problem):
+        from repro.mapping.cost_model import DEDUP_MIN_CELLS
+
+        model = CostModel(small_problem)
+        n_rows = DEDUP_MIN_CELLS // small_problem.n_tasks + 1
+        batch = degenerate_batch(small_problem, n_rows, seed=6)
+        costs = model.evaluate_batch_dedup(batch)
+        assert np.array_equal(costs, model.evaluate_batch(batch))
+        assert model.dedup_stats.calls == 1
+        assert model.dedup_stats.bypassed_calls == 0
 
 
 class TestChunkedBatchScoring:

@@ -192,27 +192,39 @@ class TestTurnaround:
         assert slow.speedup_over(zero) == 0.0
 
 
+from repro import kernels as _kernels
+
+_BACKENDS = [name for name, ok in _kernels.available_backends().items() if ok]
+
+
+@pytest.mark.parametrize("backend_name", _BACKENDS)
 @settings(max_examples=20, deadline=None)
 @given(
     n=st.integers(min_value=3, max_value=12),
     seed=st.integers(min_value=0, max_value=10**6),
     n_ops=st.integers(min_value=1, max_value=60),
 )
-def test_property_incremental_never_drifts(n, seed, n_ops):
-    """Random mixed move/swap sequences keep exec_s equal to Eq. (1)."""
-    pair = generate_paper_pair(n, seed)
-    problem = MappingProblem(pair.tig, pair.resources)
-    model = CostModel(problem)
-    rng = np.random.default_rng(seed)
-    inc = IncrementalEvaluator(model, rng.integers(0, n, size=n))
-    for _ in range(n_ops):
-        if rng.random() < 0.5:
-            inc.apply_swap(int(rng.integers(0, n)), int(rng.integers(0, n)))
-        else:
-            inc.apply_move(int(rng.integers(0, n)), int(rng.integers(0, n)))
-    np.testing.assert_allclose(
-        inc.per_resource_times,
-        model.per_resource_times(inc.assignment),
-        rtol=1e-9,
-        atol=1e-9,
-    )
+def test_property_incremental_never_drifts(backend_name, n, seed, n_ops):
+    """Random mixed move/swap sequences keep exec_s equal to Eq. (1).
+
+    Parametrized over every loadable kernel backend: the delta probes and
+    the full Eq. (1) reference must agree no matter which implementation
+    REPRO_KERNEL resolves.
+    """
+    with _kernels.use_backend(backend_name):
+        pair = generate_paper_pair(n, seed)
+        problem = MappingProblem(pair.tig, pair.resources)
+        model = CostModel(problem)
+        rng = np.random.default_rng(seed)
+        inc = IncrementalEvaluator(model, rng.integers(0, n, size=n))
+        for _ in range(n_ops):
+            if rng.random() < 0.5:
+                inc.apply_swap(int(rng.integers(0, n)), int(rng.integers(0, n)))
+            else:
+                inc.apply_move(int(rng.integers(0, n)), int(rng.integers(0, n)))
+        np.testing.assert_allclose(
+            inc.per_resource_times,
+            model.per_resource_times(inc.assignment),
+            rtol=1e-9,
+            atol=1e-9,
+        )

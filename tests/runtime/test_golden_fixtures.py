@@ -16,9 +16,22 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro import kernels
 from repro.runtime import EvaluationBudget, create_mapper
 
 FIXTURE = Path(__file__).parent.parent / "fixtures" / "golden_solvers.json"
+
+#: The fixtures were recorded on the pure-numpy tree; every kernel
+#: backend available here must reproduce them bit-for-bit, so the whole
+#: module is parametrized over the backends (numpy always; cext/numba
+#: when this environment can load them).
+_BACKENDS = [name for name, ok in kernels.available_backends().items() if ok]
+
+
+@pytest.fixture(autouse=True, params=_BACKENDS)
+def kernel_backend(request):
+    with kernels.use_backend(request.param):
+        yield request.param
 
 
 @pytest.fixture(scope="module")

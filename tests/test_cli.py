@@ -51,6 +51,39 @@ class TestMain:
         assert main(["fig3", "--seed", "3"]) == 0
         assert "Figure 3 (measured)" in capsys.readouterr().out
 
+    def test_solve_kernel_flag_pins_backend(self, capsys, monkeypatch):
+        # --kernel exports REPRO_KERNEL (pool workers must inherit it) and
+        # the run proceeds on the named backend, numbers unchanged.
+        import os
+
+        monkeypatch.setenv("REPRO_KERNEL", "auto")
+        assert main(["solve", "--size", "6", "--seed", "3", "--kernel", "numpy"]) == 0
+        assert os.environ["REPRO_KERNEL"] == "numpy"
+        pinned = capsys.readouterr().out
+        monkeypatch.setenv("REPRO_KERNEL", "auto")
+        assert main(["solve", "--size", "6", "--seed", "3"]) == 0
+        # ET, evaluations and the assignment are backend-invariant; only
+        # the wall-clock MT line may differ between the two runs.
+        def strip(text):
+            return [ln for ln in text.splitlines() if "mapping time" not in ln]
+
+        assert strip(capsys.readouterr().out) == strip(pinned)
+
+    def test_solve_unavailable_kernel_errors(self, capsys, monkeypatch):
+        from repro import kernels
+        from repro.kernels.impl_cext import KernelUnavailable
+
+        def _raise():
+            raise KernelUnavailable("numba disabled for this test")
+
+        kernels.reset_kernel_state()
+        monkeypatch.setattr("repro.kernels.impl_numba.load", _raise)
+        try:
+            assert main(["solve", "--size", "6", "--kernel", "numba"]) == 1
+            assert "unavailable" in capsys.readouterr().err
+        finally:
+            kernels.reset_kernel_state()
+
     def test_solve_any_heuristic_with_budget(self, capsys):
         code = main(
             ["solve", "--size", "6", "--seed", "3",
