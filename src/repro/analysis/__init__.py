@@ -5,11 +5,15 @@ parallel == serial experiment results, the 30-run ANOVA study — hold only
 while every RNG draw flows through :mod:`repro.utils.rng` seed streams and
 everything dispatched to :func:`repro.utils.parallel.parallel_map` is a
 stateless, picklable, seed-carrying callable. This package enforces those
-invariants mechanically: an AST-visitor linter (``repro-lint`` /
-``python -m repro.analysis``) with five codebase-specific rules, inline
-``# repro: noqa[rule]`` suppressions and a checked-in baseline for
-accepted debt. ``DESIGN.md`` § "Determinism contract" documents the
-rationale rule by rule.
+invariants mechanically, in two layers: an AST-visitor linter
+(``repro-lint`` / ``python -m repro.analysis``) with per-file rules,
+and a whole-program flow analysis (``repro-lint --flow``, see
+:mod:`repro.analysis.flow`) that builds a call graph, per-function CFGs
+and interprocedural summaries to verify RNG seed provenance, shared-memory
+lifecycles, budget charging and worker purity across module boundaries.
+Both honor inline ``# repro: noqa[rule]`` suppressions and the checked-in
+baseline for accepted debt. ``DESIGN.md`` § "Determinism contract" and
+§12 "Flow analysis" document the rationale rule by rule.
 """
 
 from repro.analysis.baseline import (
@@ -21,22 +25,25 @@ from repro.analysis.baseline import (
 from repro.analysis.engine import (
     ALL_CHECKERS,
     LintResult,
+    flow_paths,
     iter_python_files,
     lint_paths,
     lint_source,
 )
 from repro.analysis.findings import Finding
-from repro.analysis.rules import RULE_IDS, RULES, Rule
+from repro.analysis.rules import FLOW_RULE_IDS, RULE_IDS, RULES, Rule
 
 __all__ = [
     "ALL_CHECKERS",
     "DEFAULT_BASELINE_NAME",
+    "FLOW_RULE_IDS",
     "Finding",
     "LintResult",
     "RULES",
     "RULE_IDS",
     "Rule",
     "apply_baseline",
+    "flow_paths",
     "iter_python_files",
     "lint_paths",
     "lint_source",

@@ -3,8 +3,10 @@
 The kernel layer's headline guarantee — every backend (numpy, numba, C)
 produces bit-identical floats, verified by the cross-backend parity
 matrix — only covers code that reaches compiled paths *through* the
-:mod:`repro.kernels` dispatch boundary. A ``numba`` import, an ``@njit``
-decoration, or a ``ctypes.CDLL`` load anywhere else creates a second,
+:mod:`repro.kernels` dispatch boundary. A ``numba`` / ``cffi`` /
+``Cython`` / ``cppyy`` import, an ``@njit`` decoration, or a raw shared-
+library load (``ctypes.CDLL``/``WinDLL``/``PyDLL``,
+``numpy.ctypeslib.load_library``) anywhere else creates a second,
 untested compiled path and a hard dependency on an optional toolchain.
 This checker flags those sites; the ``repro/kernels/*`` exemption lives
 at the rule level (see :mod:`repro.analysis.rules`).
@@ -22,6 +24,21 @@ __all__ = ["KernelDisciplineChecker"]
 #: numba decorators that compile the decorated function.
 JIT_DECORATORS = frozenset({"njit", "jit", "vectorize", "guvectorize", "cfunc"})
 
+#: Top-level packages that are FFI / ahead-of-time compilation toolchains.
+FFI_PACKAGES = frozenset({"numba", "cffi", "Cython", "cython", "cppyy", "pyximport"})
+
+#: Call targets that load a shared library directly.
+LIBRARY_LOADERS = frozenset(
+    {
+        "ctypes.CDLL", "ctypes.WinDLL", "ctypes.PyDLL",
+        "ctypes.cdll.LoadLibrary", "ctypes.windll.LoadLibrary",
+        "ctypes.pydll.LoadLibrary",
+        "CDLL", "WinDLL", "PyDLL",
+        "numpy.ctypeslib.load_library", "np.ctypeslib.load_library",
+        "ctypeslib.load_library",
+    }
+)
+
 
 class KernelDisciplineChecker(Checker):
     rule_id = KERNEL_DISCIPLINE
@@ -34,7 +51,7 @@ class KernelDisciplineChecker(Checker):
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             root = alias.name.split(".")[0]
-            if root == "numba":
+            if root in FFI_PACKAGES:
                 self.report(
                     node,
                     f"direct import of {alias.name!r} outside repro.kernels; "
@@ -45,16 +62,17 @@ class KernelDisciplineChecker(Checker):
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         root = (node.module or "").split(".")[0]
-        if root == "numba":
+        if root in FFI_PACKAGES:
             self.report(
                 node,
                 f"direct import from {node.module!r} outside repro.kernels; "
                 "go through repro.kernels.get_backend() so the backend "
                 "stays swappable and parity-tested",
             )
-            for alias in node.names:
-                if alias.name in JIT_DECORATORS:
-                    self._jit_aliases.add(alias.asname or alias.name)
+            if root == "numba":
+                for alias in node.names:
+                    if alias.name in JIT_DECORATORS:
+                        self._jit_aliases.add(alias.asname or alias.name)
         self.generic_visit(node)
 
     # -- decorations and loads -----------------------------------------------
@@ -68,7 +86,7 @@ class KernelDisciplineChecker(Checker):
 
     def visit_Call(self, node: ast.Call) -> None:
         dotted = dotted_name(node.func)
-        if dotted in ("ctypes.CDLL", "ctypes.cdll.LoadLibrary", "CDLL"):
+        if dotted in LIBRARY_LOADERS:
             self.report(
                 node,
                 "shared-library load outside repro.kernels; compiled code "

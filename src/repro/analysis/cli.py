@@ -2,9 +2,11 @@
 
 Usage::
 
-    repro-lint                       # lint src/ and tests/
+    repro-lint                       # per-file rules over src/ and tests/
     repro-lint src/repro/ce          # lint a subtree
+    repro-lint --flow src/repro      # whole-program flow analysis
     repro-lint --format json         # machine-readable findings
+    repro-lint --format sarif        # GitHub code-scanning upload format
     repro-lint --select seed-discipline,wallclock
     repro-lint --write-baseline      # accept current findings as debt
     repro-lint --list-rules          # what is enforced, and why
@@ -22,7 +24,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, write_baseline
-from repro.analysis.engine import lint_paths
+from repro.analysis.engine import LintResult, flow_paths, lint_paths
 from repro.analysis.rules import RULE_IDS, RULES
 from repro.utils.tables import format_table
 
@@ -43,8 +45,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src tests)",
     )
     parser.add_argument(
+        "--flow",
+        action="store_true",
+        help=(
+            "run the whole-program flow rules (rng-provenance, "
+            "shm-lifecycle, budget-flow, worker-purity) instead of the "
+            "per-file checkers"
+        ),
+    )
+    parser.add_argument(
         "--format",
-        choices=("table", "json"),
+        choices=("table", "json", "sarif"),
         default="table",
         help="report format (default: table)",
     )
@@ -73,19 +84,51 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _default_paths() -> list[str]:
+def _default_paths(flow: bool) -> list[str]:
+    if flow and Path("src/repro").is_dir():
+        return ["src/repro"]
     candidates = [p for p in ("src", "tests") if Path(p).is_dir()]
     return candidates or ["."]
 
 
 def _render_rules() -> str:
     rows = [
-        [rule_id, RULES[rule_id].summary, ", ".join(RULES[rule_id].exempt_globs) or "-"]
+        [
+            rule_id,
+            "flow" if RULES[rule_id].flow else "file",
+            RULES[rule_id].summary,
+            ", ".join(RULES[rule_id].exempt_globs) or "-",
+        ]
         for rule_id in RULE_IDS
     ]
     return format_table(
-        ["rule", "enforces", "exempt paths"], rows, title="repro-lint rules"
+        ["rule", "scope", "enforces", "exempt paths"], rows, title="repro-lint rules"
     )
+
+
+def _render_table(result: LintResult) -> str:
+    lines = []
+    if result.findings:
+        rows = []
+        for f in result.findings:
+            message = f.message
+            if len(f.trace) > 1:
+                message += " [via " + " -> ".join(f.trace) + "]"
+            rows.append([f.location(), f.rule, message])
+        lines.append(format_table(["location", "rule", "finding"], rows))
+    summary = (
+        f"repro-lint: {len(result.findings)} finding(s) in "
+        f"{result.files_scanned} file(s)"
+    )
+    extras = []
+    if result.suppressed:
+        extras.append(f"{result.suppressed} noqa-suppressed")
+    if result.baselined:
+        extras.append(f"{result.baselined} baselined")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -100,9 +143,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.select is not None:
         select = [r.strip() for r in args.select.split(",") if r.strip()]
 
-    paths = args.paths or _default_paths()
+    paths = args.paths or _default_paths(args.flow)
+    runner = flow_paths if args.flow else lint_paths
     try:
-        result = lint_paths(
+        result = runner(
             paths,
             select=select,
             baseline_path=None if args.write_baseline else args.baseline,
@@ -125,22 +169,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             "ok": result.ok,
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        from repro.analysis.sarif import render_sarif
+
+        print(render_sarif(result))
     else:
-        if result.findings:
-            rows = [[f.location(), f.rule, f.message] for f in result.findings]
-            print(format_table(["location", "rule", "finding"], rows))
-        summary = (
-            f"repro-lint: {len(result.findings)} finding(s) in "
-            f"{result.files_scanned} file(s)"
-        )
-        extras = []
-        if result.suppressed:
-            extras.append(f"{result.suppressed} noqa-suppressed")
-        if result.baselined:
-            extras.append(f"{result.baselined} baselined")
-        if extras:
-            summary += f" ({', '.join(extras)})"
-        print(summary)
+        print(_render_table(result))
     return 0 if result.ok else 1
 
 

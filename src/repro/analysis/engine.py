@@ -16,7 +16,6 @@ from typing import Iterable, Sequence, Type
 
 from repro.analysis.baseline import apply_baseline, load_baseline
 from repro.analysis.checkers.base import Checker, CheckContext
-from repro.analysis.checkers.budget_discipline import BudgetDisciplineChecker
 from repro.analysis.checkers.float_equality import FloatEqualityChecker
 from repro.analysis.checkers.kernel_discipline import KernelDisciplineChecker
 from repro.analysis.checkers.mutable_state import MutableStateChecker
@@ -27,7 +26,14 @@ from repro.analysis.findings import Finding
 from repro.analysis.rules import PARSE_ERROR, RULES
 from repro.analysis.suppressions import filter_suppressed, parse_suppressions
 
-__all__ = ["ALL_CHECKERS", "LintResult", "lint_source", "lint_paths", "iter_python_files"]
+__all__ = [
+    "ALL_CHECKERS",
+    "LintResult",
+    "lint_source",
+    "lint_paths",
+    "flow_paths",
+    "iter_python_files",
+]
 
 ALL_CHECKERS: tuple[Type[Checker], ...] = (
     SeedDisciplineChecker,
@@ -35,7 +41,6 @@ ALL_CHECKERS: tuple[Type[Checker], ...] = (
     FloatEqualityChecker,
     ParallelSafetyChecker,
     MutableStateChecker,
-    BudgetDisciplineChecker,
     KernelDisciplineChecker,
 )
 
@@ -149,6 +154,58 @@ def lint_paths(
         result.suppressed += suppressed
         result.files_scanned += 1
     result.findings.sort()
+    if baseline_path is not None and Path(baseline_path).exists():
+        result.findings, result.baselined = apply_baseline(
+            result.findings, load_baseline(baseline_path)
+        )
+    return result
+
+
+def flow_paths(
+    paths: Sequence[str | Path],
+    *,
+    select: Sequence[str] | None = None,
+    baseline_path: str | Path | None = None,
+    root: str | Path | None = ".",
+) -> LintResult:
+    """Run the whole-program flow rules over every ``.py`` file under ``paths``.
+
+    Same contract as :func:`lint_paths` — repo-relative display paths,
+    ``# repro: noqa[...]`` suppression, optional baseline — but the
+    analysis is interprocedural: findings may carry a call-chain
+    :attr:`~repro.analysis.findings.Finding.trace`. ``select`` restricts
+    to a subset of :data:`repro.analysis.rules.FLOW_RULE_IDS`.
+    """
+    from repro.analysis.flow.project import ProjectIndex
+    from repro.analysis.flow.rules import run_flow_rules
+    from repro.analysis.rules import FLOW_RULE_IDS
+
+    if select is not None:
+        unknown = set(select) - set(RULES)
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        select = [r for r in select if r in FLOW_RULE_IDS]
+
+    index = ProjectIndex.from_paths(paths, root=root)
+    raw = run_flow_rules(index, select=select)
+
+    suppressions = {
+        mod.path: parse_suppressions(mod.source) for mod in index.modules.values()
+    }
+    kept: list[Finding] = []
+    for finding in raw:
+        line_rules = suppressions.get(finding.path, {}).get(finding.line)
+        if line_rules is not None and (
+            "*" in line_rules or finding.rule in line_rules
+        ):
+            continue
+        kept.append(finding)
+
+    result = LintResult(
+        findings=sorted(kept),
+        files_scanned=len(index.modules),
+        suppressed=len(raw) - len(kept),
+    )
     if baseline_path is not None and Path(baseline_path).exists():
         result.findings, result.baselined = apply_baseline(
             result.findings, load_baseline(baseline_path)

@@ -23,6 +23,9 @@ class Finding:
     rule: str
     message: str
     snippet: str = field(default="", compare=False)
+    #: Call chain from the analysis root to the violating function, for
+    #: interprocedural (flow) findings; empty for per-file findings.
+    trace: tuple[str, ...] = field(default=(), compare=False)
 
     def __post_init__(self) -> None:
         if self.line < 1:
@@ -42,7 +45,7 @@ class Finding:
 
     def to_dict(self) -> dict[str, object]:
         """JSON-ready representation (used by ``--format json``)."""
-        return {
+        payload: dict[str, object] = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
@@ -50,3 +53,6 @@ class Finding:
             "message": self.message,
             "snippet": self.snippet,
         }
+        if self.trace:
+            payload["trace"] = list(self.trace)
+        return payload

@@ -1,0 +1,183 @@
+"""Call graph over the project index, with call-chain traces.
+
+Resolution is deliberately syntactic — no type inference beyond what the
+code states. A call resolves when it is one of:
+
+* a bare name defined in the same module (function or class → ``__init__``);
+* a bare name imported from an indexed module (``from m import f``);
+* ``self.method()`` / ``cls.method()`` — looked up through the in-project
+  MRO of the enclosing class;
+* ``alias.attr(...)`` where ``alias`` is an imported module or class;
+* ``var.method()`` where ``var``'s class is stated locally — a parameter
+  annotation, ``var: T = ...``, ``var = ClassName(...)`` or
+  ``with ClassName(...) as var``.
+
+Unresolvable calls (duck-typed receivers, callables passed as values) are
+simply absent from the graph; DESIGN.md §12 lists this as the main
+soundness limit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.checkers.base import dotted_name
+from repro.analysis.flow.project import FunctionInfo, ModuleInfo, ProjectIndex
+
+__all__ = ["CallGraph", "local_types"]
+
+
+def _class_for(index: ProjectIndex, module: ModuleInfo, name: str) -> str | None:
+    """Resolve a (possibly dotted) class reference to a class qualname."""
+    if not name:
+        return None
+    expanded = index.expand(module, name)
+    if expanded in index.classes:
+        return expanded
+    local = f"{module.name}.{name}"
+    if local in index.classes:
+        return local
+    tail = expanded.split(".")[-1]
+    matches = [c.qualname for c in index.classes.values() if c.name == tail]
+    if len(matches) == 1:
+        return matches[0]
+    return None
+
+
+def local_types(
+    fn: FunctionInfo, module: ModuleInfo, index: ProjectIndex
+) -> dict[str, str]:
+    """Map local variable names to stated class qualnames.
+
+    Sources: parameter annotations (of the function and any nested defs),
+    ``x: T`` annotations, ``x = ClassName(...)`` constructor assignments and
+    ``with ClassName(...) as x`` blocks.
+    """
+    env: dict[str, str] = {}
+    for name, ann in fn.annotations.items():
+        cls = _class_for(index, module, ann)
+        if cls is not None:
+            env[name] = cls
+    for node in ast.walk(fn.node):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not fn.node:
+            for arg in (*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs):
+                if arg.annotation is not None:
+                    text = dotted_name(arg.annotation) or (
+                        arg.annotation.value
+                        if isinstance(arg.annotation, ast.Constant)
+                        and isinstance(arg.annotation.value, str)
+                        else ""
+                    )
+                    cls = _class_for(index, module, text)
+                    if cls is not None:
+                        env[arg.arg] = cls
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            cls = _class_for(index, module, dotted_name(node.annotation) or "")
+            if cls is not None:
+                env[node.target.id] = cls
+        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            ctor = dotted_name(node.value.func)
+            cls = _class_for(index, module, ctor or "") if ctor else None
+            if cls is not None:
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        env[tgt.id] = cls
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if (
+                    isinstance(item.context_expr, ast.Call)
+                    and item.optional_vars is not None
+                    and isinstance(item.optional_vars, ast.Name)
+                ):
+                    ctor = dotted_name(item.context_expr.func)
+                    cls = _class_for(index, module, ctor or "") if ctor else None
+                    if cls is not None:
+                        env[item.optional_vars.id] = cls
+    return env
+
+
+class CallGraph:
+    """Resolved call edges plus reachability with traces."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        #: caller qualname → list of (callee qualname, call node).
+        self.edges: dict[str, list[tuple[str, ast.Call]]] = {}
+        for fn in index.functions.values():
+            module = index.modules[fn.module]
+            self.edges[fn.qualname] = list(self._resolve_calls(fn, module))
+
+    # -- resolution ----------------------------------------------------------
+    def _resolve_calls(
+        self, fn: FunctionInfo, module: ModuleInfo
+    ) -> Iterator[tuple[str, ast.Call]]:
+        env = local_types(fn, module, self.index)
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            target = self.resolve_call(node, fn, module, env)
+            if target is not None:
+                yield target.qualname, node
+
+    def resolve_call(
+        self,
+        call: ast.Call,
+        fn: FunctionInfo,
+        module: ModuleInfo,
+        env: dict[str, str] | None = None,
+    ) -> FunctionInfo | None:
+        """Resolve one call expression to a project function, if possible."""
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        if parts[0] in ("self", "cls") and fn.cls is not None and len(parts) == 2:
+            return self._method_lookup(f"{fn.module}.{fn.cls}", parts[1])
+        if len(parts) == 1:
+            name = parts[0]
+            local_fn = module.functions.get(f"{module.name}.{name}")
+            if local_fn is not None:
+                return local_fn
+            if name in module.classes:
+                return module.classes[name].methods.get("__init__")
+            if name in module.imports:
+                return self.index.resolve_qualified(module.imports[name])
+            return None
+        if env and parts[0] in env and len(parts) == 2:
+            return self._method_lookup(env[parts[0]], parts[1])
+        expanded = self.index.expand(module, dotted)
+        if expanded != dotted or parts[0] in module.imports:
+            return self.index.resolve_qualified(expanded)
+        return None
+
+    def _method_lookup(self, cls_qual: str, method: str) -> FunctionInfo | None:
+        cls = self.index.classes.get(cls_qual)
+        if cls is None:
+            return None
+        for klass in self.index.mro_classes(cls):
+            if method in klass.methods:
+                return klass.methods[method]
+        return None
+
+    # -- reachability --------------------------------------------------------
+    def reachable(self, roots: Iterable[str]) -> dict[str, tuple[str, ...]]:
+        """BFS closure: qualname → call chain from its nearest root.
+
+        The chain includes both endpoints: ``(root, ..., qualname)``.
+        Roots map to one-element chains. Deterministic: roots and edges are
+        visited in sorted/insertion order, shortest chain wins.
+        """
+        order: dict[str, tuple[str, ...]] = {}
+        queue: list[str] = []
+        for root in sorted(set(roots)):
+            if root in self.index.functions and root not in order:
+                order[root] = (root,)
+                queue.append(root)
+        while queue:
+            current = queue.pop(0)
+            for callee, _node in self.edges.get(current, ()):
+                if callee not in order:
+                    order[callee] = order[current] + (callee,)
+                    queue.append(callee)
+        return order

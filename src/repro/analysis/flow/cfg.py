@@ -1,0 +1,320 @@
+"""Statement-level control-flow graphs with dominator analysis.
+
+One CFG node per statement keeps the construction simple and the queries
+the flow rules need — "does a charge dominate/post-dominate this probe?",
+"can execution reach the function exit from this allocation without
+passing a guard?" — directly answerable with textbook set-based dominator
+iteration (functions here are small; O(n²) is fine and deterministic).
+
+Exception modeling (the soundness line, documented in DESIGN.md §12):
+
+* explicit ``raise`` statements always get exit edges — to the innermost
+  enclosing ``except``/``finally`` frame if one exists, else straight to
+  the function exit;
+* *implicit* exceptions (any call may throw) are modeled only inside
+  ``try`` statements: every statement in a ``try`` body gets an edge to
+  its handlers/finally, because the programmer declared the possibility.
+  Outside any ``try``, calls are assumed not to throw — otherwise every
+  statement would be an exit path and the rules would drown in noise;
+* a ``finally`` body entered exceptionally continues both to its normal
+  successor and outward (next frame or the exit), so a ``try/finally``
+  guard protects the exceptional path exactly as at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["CFG", "build_cfg", "walk_scan"]
+
+_NESTED_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def walk_scan(roots: tuple[ast.AST, ...]) -> Iterator[ast.AST]:
+    """Walk the scan roots of one CFG node, skipping nested scopes.
+
+    Comprehensions execute inline and are entered; nested ``def``/
+    ``lambda``/``class`` bodies belong to other scopes and are not (the
+    def *statement* only binds a name at this node).
+    """
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _NESTED_SCOPES):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function body."""
+
+    entry: int = 0
+    exit: int = 1
+    succs: dict[int, set[int]] = field(default_factory=dict)
+    preds: dict[int, set[int]] = field(default_factory=dict)
+    #: node → AST subtrees executed *at* that node (header exprs for
+    #: compound statements, the whole statement for simple ones).
+    scan: dict[int, tuple[ast.AST, ...]] = field(default_factory=dict)
+    #: node → owning statement (line/col anchor for findings).
+    stmt: dict[int, ast.AST] = field(default_factory=dict)
+    #: Nodes that are explicit ``raise`` statements.
+    raise_nodes: set[int] = field(default_factory=set)
+
+    def nodes(self) -> list[int]:
+        return sorted(self.succs)
+
+    def ensure(self, node: int) -> None:
+        self.succs.setdefault(node, set())
+        self.preds.setdefault(node, set())
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.ensure(src)
+        self.ensure(dst)
+        self.succs[src].add(dst)
+        self.preds[dst].add(src)
+
+    # -- dominators ----------------------------------------------------------
+    def _dominators_from(
+        self, root: int, edges: dict[int, set[int]]
+    ) -> dict[int, set[int]]:
+        all_nodes = set(self.succs)
+        dom: dict[int, set[int]] = {n: set(all_nodes) for n in all_nodes}
+        dom[root] = {root}
+        changed = True
+        while changed:
+            changed = False
+            for n in sorted(all_nodes):
+                if n == root:
+                    continue
+                preds = edges.get(n, set())
+                if preds:
+                    new = set.intersection(*(dom[p] for p in preds))
+                else:
+                    new = set(all_nodes)
+                new.add(n)
+                if new != dom[n]:
+                    dom[n] = new
+                    changed = True
+        return dom
+
+    def dominators(self) -> dict[int, set[int]]:
+        """node → set of nodes that dominate it (including itself)."""
+        return self._dominators_from(self.entry, self.preds)
+
+    def postdominators(self) -> dict[int, set[int]]:
+        """node → set of nodes that post-dominate it (including itself)."""
+        return self._dominators_from(self.exit, self.succs)
+
+    # -- path queries --------------------------------------------------------
+    def reaches_exit_avoiding(self, start: int, blocked: set[int]) -> bool:
+        """True if some path ``start → exit`` avoids every blocked node."""
+        stack = [s for s in self.succs.get(start, ()) if s not in blocked]
+        seen: set[int] = set(stack)
+        while stack:
+            node = stack.pop()
+            if node == self.exit:
+                return True
+            for nxt in self.succs.get(node, ()):
+                if nxt not in blocked and nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+
+@dataclass
+class _Loop:
+    header: int
+    breaks: list[int] = field(default_factory=list)
+
+
+@dataclass
+class _Frame:
+    """One enclosing ``try``: where exceptions raised in its body land."""
+
+    targets: list[int]  # handler entry nodes, or the finally junction
+    entered: bool = False  # did anything actually route an exception here?
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.cfg.ensure(self.cfg.entry)
+        self.cfg.ensure(self.cfg.exit)
+        self._next = 2
+        self._loops: list[_Loop] = []
+        self._frames: list[_Frame] = []
+
+    def new_node(self, stmt: ast.AST, scan: tuple[ast.AST, ...]) -> int:
+        node = self._next
+        self._next += 1
+        self.cfg.ensure(node)
+        self.cfg.scan[node] = tuple(s for s in scan if s is not None)
+        self.cfg.stmt[node] = stmt
+        return node
+
+    def link(self, preds: set[int], node: int) -> None:
+        for p in sorted(preds):
+            self.cfg.add_edge(p, node)
+
+    def _route_exception(self, node: int) -> None:
+        """Edge ``node`` to the innermost frame's landing pads (or exit)."""
+        if self._frames:
+            frame = self._frames[-1]
+            frame.entered = True
+            for target in frame.targets:
+                self.cfg.add_edge(node, target)
+        else:
+            self.cfg.add_edge(node, self.cfg.exit)
+
+    # -- statement dispatch --------------------------------------------------
+    def seq(self, stmts: list[ast.stmt], preds: set[int]) -> set[int]:
+        for stmt in stmts:
+            preds = self.stmt(stmt, preds)
+        return preds
+
+    def stmt(self, stmt: ast.stmt, preds: set[int]) -> set[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, preds)
+        if isinstance(stmt, ast.While):
+            return self._loop(stmt, preds, header_scan=(stmt.test,))
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._loop(stmt, preds, header_scan=(stmt.target, stmt.iter))
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, preds)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self.new_node(stmt, tuple(stmt.items))
+            self.link(preds, node)
+            return self.seq(stmt.body, {node})
+        if isinstance(stmt, ast.Return):
+            node = self.new_node(stmt, (stmt,))
+            self.link(preds, node)
+            self.cfg.add_edge(node, self.cfg.exit)
+            return set()
+        if isinstance(stmt, ast.Raise):
+            node = self.new_node(stmt, (stmt,))
+            self.link(preds, node)
+            self.cfg.raise_nodes.add(node)
+            self._route_exception(node)
+            return set()
+        if isinstance(stmt, ast.Break):
+            node = self.new_node(stmt, ())
+            self.link(preds, node)
+            if self._loops:
+                self._loops[-1].breaks.append(node)
+            return set()
+        if isinstance(stmt, ast.Continue):
+            node = self.new_node(stmt, ())
+            self.link(preds, node)
+            if self._loops:
+                self.cfg.add_edge(node, self._loops[-1].header)
+            return set()
+        # Simple statement (assign, expr, assert, import, nested def, ...).
+        node = self.new_node(stmt, (stmt,))
+        self.link(preds, node)
+        if self._frames:
+            # Inside a try body any statement may raise (module docstring).
+            self._route_exception(node)
+        elif isinstance(stmt, ast.Assert):
+            self.cfg.add_edge(node, self.cfg.exit)
+        return {node}
+
+    def _if(self, stmt: ast.If, preds: set[int]) -> set[int]:
+        node = self.new_node(stmt, (stmt.test,))
+        self.link(preds, node)
+        body_exits = self.seq(stmt.body, {node})
+        else_exits = self.seq(stmt.orelse, {node}) if stmt.orelse else {node}
+        return body_exits | else_exits
+
+    def _loop(
+        self,
+        stmt: ast.While | ast.For | ast.AsyncFor,
+        preds: set[int],
+        *,
+        header_scan: tuple[ast.AST, ...],
+    ) -> set[int]:
+        header = self.new_node(stmt, header_scan)
+        self.link(preds, header)
+        loop = _Loop(header=header)
+        self._loops.append(loop)
+        body_exits = self.seq(stmt.body, {header})
+        self._loops.pop()
+        self.link(body_exits, header)
+        normal = self.seq(stmt.orelse, {header}) if stmt.orelse else {header}
+        return normal | set(loop.breaks)
+
+    def _try(self, stmt: ast.Try, preds: set[int]) -> set[int]:
+        handler_entries = [
+            self.new_node(h, (h.type,) if h.type else ()) for h in stmt.handlers
+        ]
+        junction: int | None = None
+        if stmt.finalbody:
+            junction = self.new_node(stmt, ())
+
+        # Exceptions in the body land on the handlers if there are any,
+        # else directly on the finally junction.
+        targets = handler_entries if handler_entries else (
+            [junction] if junction is not None else []
+        )
+        frame = _Frame(targets=list(targets))
+        if frame.targets:
+            self._frames.append(frame)
+            body_exits = self.seq(stmt.body, preds)
+            self._frames.pop()
+        else:
+            body_exits = self.seq(stmt.body, preds)
+
+        handler_exits: set[int] = set()
+        for entry, handler in zip(handler_entries, stmt.handlers):
+            handler_exits |= self.seq(handler.body, {entry})
+        else_exits = self.seq(stmt.orelse, body_exits) if stmt.orelse else body_exits
+        normal_exits = else_exits | handler_exits
+
+        if junction is None:
+            return normal_exits
+
+        # finally: normal path and (for incomplete handlers) uncaught
+        # exceptions both flow through the junction into the finalbody.
+        self.link(normal_exits, junction)
+        uncaught = False
+        if handler_entries and frame.entered and self._handlers_incomplete(stmt):
+            uncaught = True
+            # Route every exception source that reached the handlers to the
+            # junction as well: an uncaught type skips the handlers.
+            for entry in handler_entries:
+                for src in list(self.cfg.preds.get(entry, ())):
+                    self.cfg.add_edge(src, junction)
+        final_exits = self.seq(stmt.finalbody, {junction})
+        if (not handler_entries and frame.entered) or uncaught:
+            # Entered exceptionally: after the finally, propagation
+            # continues outward as well as falling through.
+            for node in final_exits:
+                self._route_exception(node)
+        return final_exits
+
+    @staticmethod
+    def _handlers_incomplete(stmt: ast.Try) -> bool:
+        """True unless some handler catches everything (bare/BaseException)."""
+        for handler in stmt.handlers:
+            if handler.type is None:
+                return False  # bare except catches everything
+            names = (
+                [getattr(e, "id", "") for e in handler.type.elts]
+                if isinstance(handler.type, ast.Tuple)
+                else [getattr(handler.type, "id", "")]
+            )
+            if "BaseException" in names:
+                return False
+        return True
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the CFG of one function's body."""
+    builder = _Builder()
+    exits = builder.seq(fn.body, {builder.cfg.entry})
+    for node in sorted(exits):
+        builder.cfg.add_edge(node, builder.cfg.exit)
+    return builder.cfg

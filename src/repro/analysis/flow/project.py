@@ -1,0 +1,373 @@
+"""Project index: modules, imports, functions, classes, mutable globals.
+
+The index is the ground layer of the flow analysis: it parses every module
+once, maps file paths to dotted module names, records what each module
+imports under which local name, and tables every function and class so the
+call graph can resolve ``helper()``, ``self.method()`` and
+``module.function()`` to concrete definitions.
+
+Two constructors: :meth:`ProjectIndex.from_paths` walks real files (the
+CLI path), :meth:`ProjectIndex.from_sources` takes ``{path: source}``
+dicts so rule tests can build small multi-module programs inline.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.analysis.checkers.base import dotted_name
+
+__all__ = ["FunctionInfo", "ClassInfo", "ModuleInfo", "ProjectIndex", "module_name_for"]
+
+#: Method calls that mutate their receiver in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "add", "append", "extend", "insert", "update", "setdefault",
+        "pop", "popitem", "remove", "discard", "clear", "appendleft",
+    }
+)
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a repo-relative ``.py`` path.
+
+    ``src/repro/ce/optimizer.py`` → ``repro.ce.optimizer``;
+    ``src/repro/ce/__init__.py`` → ``repro.ce``. A leading ``src/`` (or any
+    absolute prefix up to it) is stripped so display paths and real paths
+    agree.
+    """
+    norm = path.replace("\\", "/")
+    parts = [p for p in norm.split("/") if p]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qualname: str  #: ``module.func`` or ``module.Class.func``
+    module: str
+    name: str
+    cls: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    path: str
+    params: tuple[str, ...] = ()
+    #: Parameter name → dotted annotation text (``"WorkerPool"``, ``"int"``).
+    annotations: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: bases (as written) and its method table."""
+
+    qualname: str
+    module: str
+    name: str
+    bases: tuple[str, ...]
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and the facts the flow rules need from it."""
+
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+    #: Local name → fully qualified import target.
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: Names assigned at module level (module globals).
+    global_names: set[str] = field(default_factory=set)
+    #: Module globals written or mutated from function scope anywhere in
+    #: the module — the "shared mutable state" worker purity cares about.
+    mutated_globals: set[str] = field(default_factory=set)
+
+
+def _annotation_text(node: ast.expr | None) -> str:
+    if node is None:
+        return ""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value  # string annotation ("WorkerPool")
+    text = dotted_name(node)
+    if text is not None:
+        return text
+    if isinstance(node, ast.Subscript):  # Optional[X], list[X] — keep the head
+        return _annotation_text(node.value)
+    return ""
+
+
+def _function_info(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    module: str,
+    path: str,
+    cls: str | None,
+) -> FunctionInfo:
+    args = node.args
+    params = [
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    ]
+    if args.vararg:
+        params.append(args.vararg.arg)
+    if args.kwarg:
+        params.append(args.kwarg.arg)
+    annotations = {
+        a.arg: _annotation_text(a.annotation)
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        if a.annotation is not None
+    }
+    qual = f"{module}.{cls}.{node.name}" if cls else f"{module}.{node.name}"
+    return FunctionInfo(
+        qualname=qual,
+        module=module,
+        name=node.name,
+        cls=cls,
+        node=node,
+        path=path,
+        params=tuple(params),
+        annotations=annotations,
+    )
+
+
+def _collect_imports(tree: ast.Module, module: str) -> dict[str, str]:
+    """Map every locally bound import name to its fully qualified target."""
+    imports: dict[str, str] = {}
+    package_parts = module.split(".")
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    # ``import a.b.c`` binds ``a``; dotted uses resolve
+                    # through the bound root name.
+                    root = alias.name.split(".")[0]
+                    imports.setdefault(root, root)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # Relative import: ``from .base import X`` in pkg.mod →
+                # pkg.base.X (level counts packages stripped off).
+                base_parts = package_parts[: len(package_parts) - node.level]
+                prefix = ".".join(base_parts + ([node.module] if node.module else []))
+            else:
+                prefix = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                target = f"{prefix}.{alias.name}" if prefix else alias.name
+                imports[alias.asname or alias.name] = target
+    return imports
+
+
+def _collect_mutated_globals(info: ModuleInfo) -> set[str]:
+    """Module globals written or mutated from inside any function body."""
+    mutated: set[str] = set()
+    for fn in _all_function_nodes(info):
+        declared_global: set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for tgt in targets:
+                    if isinstance(tgt, ast.Name) and tgt.id in declared_global:
+                        mutated.add(tgt.id)
+                    elif (
+                        isinstance(tgt, ast.Subscript)
+                        and isinstance(tgt.value, ast.Name)
+                        and tgt.value.id in info.global_names
+                    ):
+                        mutated.add(tgt.value.id)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATOR_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in info.global_names
+                ):
+                    mutated.add(func.value.id)
+    return mutated
+
+
+def _all_function_nodes(info: ModuleInfo) -> Iterable[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(info.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+class ProjectIndex:
+    """All indexed modules plus cross-module name resolution."""
+
+    def __init__(self, modules: dict[str, ModuleInfo]) -> None:
+        self.modules = modules
+        #: qualname → FunctionInfo for every function/method in the project.
+        self.functions: dict[str, FunctionInfo] = {}
+        #: qualname → ClassInfo.
+        self.classes: dict[str, ClassInfo] = {}
+        for mod in modules.values():
+            self.functions.update(mod.functions)
+            for cls in mod.classes.values():
+                self.classes[cls.qualname] = cls
+                self.functions.update(
+                    {m.qualname: m for m in cls.methods.values()}
+                )
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_sources(cls, sources: Mapping[str, str]) -> "ProjectIndex":
+        """Index in-memory ``{display_path: source}`` modules (test entry)."""
+        modules: dict[str, ModuleInfo] = {}
+        for path, source in sources.items():
+            norm = path.replace("\\", "/")
+            try:
+                tree = ast.parse(source, filename=norm)
+            except SyntaxError:
+                continue  # the per-file engine reports parse errors
+            name = module_name_for(norm)
+            info = ModuleInfo(name=name, path=norm, source=source, tree=tree)
+            info.imports = _collect_imports(tree, name)
+            for node in tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    fi = _function_info(node, name, norm, None)
+                    info.functions[fi.qualname] = fi
+                elif isinstance(node, ast.ClassDef):
+                    bases = tuple(
+                        b for b in (dotted_name(base) for base in node.bases) if b
+                    )
+                    ci = ClassInfo(
+                        qualname=f"{name}.{node.name}",
+                        module=name,
+                        name=node.name,
+                        bases=bases,
+                    )
+                    for item in node.body:
+                        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                            mi = _function_info(item, name, norm, node.name)
+                            ci.methods[item.name] = mi
+                    info.classes[node.name] = ci
+                elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign) else [node.target]
+                    )
+                    for tgt in targets:
+                        if isinstance(tgt, ast.Name):
+                            info.global_names.add(tgt.id)
+            modules[name] = info
+        for info in modules.values():
+            info.mutated_globals = _collect_mutated_globals(info)
+        return cls(modules)
+
+    @classmethod
+    def from_paths(
+        cls, paths: Iterable[str | Path], *, root: str | Path | None = "."
+    ) -> "ProjectIndex":
+        """Index every ``.py`` file under ``paths`` (CLI entry)."""
+        from repro.analysis.engine import iter_python_files
+
+        root_path = Path(root) if root is not None else None
+        sources: dict[str, str] = {}
+        for file_path in iter_python_files(paths):
+            display = file_path.as_posix()
+            if root_path is not None:
+                try:
+                    display = (
+                        file_path.resolve().relative_to(root_path.resolve()).as_posix()
+                    )
+                except ValueError:
+                    pass
+            sources[display] = file_path.read_text(encoding="utf-8")
+        return cls.from_sources(sources)
+
+    # -- resolution ----------------------------------------------------------
+    def expand(self, module: ModuleInfo, dotted: str) -> str:
+        """Expand a dotted name's first segment through ``module``'s imports."""
+        head, _, rest = dotted.partition(".")
+        target = module.imports.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    def resolve_qualified(self, qualified: str) -> FunctionInfo | None:
+        """Find a project function for a fully qualified dotted name.
+
+        Tries the name as ``module.func``, ``module.Class.method`` and —
+        for a bare class reference — ``module.Class.__init__``.
+        """
+        direct = self.functions.get(qualified)
+        if direct is not None:
+            return direct
+        cls = self.classes.get(qualified)
+        if cls is not None:
+            return cls.methods.get("__init__")
+        # ``package.Class.method`` spelled through a re-exporting package:
+        # try matching the trailing ``Class.method`` / ``func`` segments.
+        parts = qualified.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            tail = ".".join(parts[split:])
+            for candidate in self.functions:
+                if candidate.endswith("." + tail) or candidate == tail:
+                    head = ".".join(parts[:split])
+                    if candidate[: -(len(tail) + 1)].startswith(head.split(".")[0]):
+                        return self.functions[candidate]
+            break  # only the longest tail is trustworthy
+        return None
+
+    def mro_classes(self, cls: ClassInfo) -> list[ClassInfo]:
+        """``cls`` plus its in-project base classes, nearest first."""
+        out: list[ClassInfo] = []
+        queue = [cls]
+        seen: set[str] = set()
+        while queue:
+            current = queue.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            out.append(current)
+            module = self.modules[current.module]
+            for base in current.bases:
+                expanded = self.expand(module, base)
+                target = self.classes.get(expanded)
+                if target is None:
+                    # Same-module base written bare.
+                    target = self.classes.get(f"{current.module}.{base}")
+                if target is None:
+                    # Last resort: unique class-name match anywhere.
+                    tail = expanded.split(".")[-1]
+                    matches = [
+                        c for c in self.classes.values() if c.name == tail
+                    ]
+                    if len(matches) == 1:
+                        target = matches[0]
+                if target is not None:
+                    queue.append(target)
+        return out
+
+    def subclasses_of(self, base_name: str) -> list[ClassInfo]:
+        """Every in-project class whose MRO contains a class named ``base_name``."""
+        out = []
+        for cls in self.classes.values():
+            mro = self.mro_classes(cls)
+            if any(c.name == base_name for c in mro[1:]) or cls.name == base_name:
+                out.append(cls)
+        return out

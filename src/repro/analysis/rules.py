@@ -7,6 +7,13 @@ exemptions: e.g. wall-clock reads are the whole point of
 ``repro.utils.timing``, and the test suite asserts *bitwise* seed-for-seed
 reproducibility, so exact float equality is the point there, not a bug.
 
+Two rule families share this registry: the per-file AST checkers
+(:mod:`repro.analysis.checkers`) and the whole-program flow rules
+(:mod:`repro.analysis.flow`). Flow rules see the call graph, so their
+exemptions mark *sanctioned boundaries* — the execution fabric itself may
+read monotonic clocks for liveness, the solver registry is an idempotent
+per-process cache — rather than "places we don't look".
+
 Paths are matched with :func:`fnmatch.fnmatch` against ``/``-normalized
 paths; every pattern is also tried with a ``*/`` prefix so configuration
 can say ``repro/utils/timing.py`` regardless of whether files are linted
@@ -22,14 +29,18 @@ __all__ = [
     "Rule",
     "RULES",
     "RULE_IDS",
+    "FLOW_RULE_IDS",
     "path_matches",
     "SEED_DISCIPLINE",
     "WALLCLOCK",
     "FLOAT_EQUALITY",
     "PARALLEL_SAFETY",
     "MUTABLE_STATE",
-    "BUDGET_DISCIPLINE",
     "KERNEL_DISCIPLINE",
+    "RNG_PROVENANCE",
+    "SHM_LIFECYCLE",
+    "BUDGET_FLOW",
+    "WORKER_PURITY",
     "PARSE_ERROR",
 ]
 
@@ -38,8 +49,12 @@ WALLCLOCK = "wallclock"
 FLOAT_EQUALITY = "float-equality"
 PARALLEL_SAFETY = "parallel-safety"
 MUTABLE_STATE = "mutable-state"
-BUDGET_DISCIPLINE = "budget-discipline"
 KERNEL_DISCIPLINE = "kernel-discipline"
+# Whole-program flow rules (repro.analysis.flow).
+RNG_PROVENANCE = "rng-provenance"
+SHM_LIFECYCLE = "shm-lifecycle"
+BUDGET_FLOW = "budget-flow"
+WORKER_PURITY = "worker-purity"
 #: Pseudo-rule for files the linter cannot parse; not suppressible.
 PARSE_ERROR = "parse-error"
 
@@ -59,13 +74,10 @@ class Rule:
     rationale: str
     #: Files where the whole rule is off by default (see module docstring).
     exempt_globs: tuple[str, ...] = ()
-    #: When non-empty, the rule applies *only* to matching files (e.g.
-    #: budget-discipline guards the search-loop packages, nothing else).
-    only_globs: tuple[str, ...] = ()
+    #: True for the whole-program rules run under ``repro-lint --flow``.
+    flow: bool = False
 
     def is_exempt(self, path: str) -> bool:
-        if self.only_globs and not path_matches(path, self.only_globs):
-            return True
         return path_matches(path, self.exempt_globs)
 
 
@@ -133,30 +145,95 @@ RULES: dict[str, Rule] = {
             ),
         ),
         Rule(
-            id=BUDGET_DISCIPLINE,
-            summary="search loops must charge cost evaluations to an EvaluationBudget",
-            rationale=(
-                "the Table 1/3 head-to-head claims only hold under matched "
-                "effort; a while/for loop that calls the cost model without "
-                "EvaluationBudget.charge spends evaluations the budget cannot "
-                "see, so budget-capped comparisons silently over-run; charge "
-                "the aggregated probe count in the same function, or noqa "
-                "with a justification for loops outside the mapping runtime"
-            ),
-            only_globs=("repro/ce/*", "repro/baselines/*"),
-        ),
-        Rule(
             id=KERNEL_DISCIPLINE,
             summary="compiled-kernel access only through repro.kernels",
             rationale=(
                 "the bit-exactness contract (numpy == numba == C, golden "
                 "fixtures invariant under REPRO_KERNEL) is enforced at the "
-                "repro.kernels dispatch boundary; a numba import, @njit "
-                "decoration, or ctypes CDLL elsewhere creates a compiled "
-                "path the parity matrix never tests and that breaks "
-                "environments without the optional toolchain"
+                "repro.kernels dispatch boundary; a numba/cffi/Cython/cppyy "
+                "import, @njit decoration, or ctypes/CDLL load elsewhere "
+                "creates a compiled path the parity matrix never tests and "
+                "that breaks environments without the optional toolchain"
             ),
             exempt_globs=("repro/kernels/*",),
+        ),
+        Rule(
+            id=RNG_PROVENANCE,
+            summary="dispatched/solver code must seed Generators from the per-cell stream",
+            rationale=(
+                "parallel == serial and salvage-replay identity require every "
+                "worker draw to come from the cell's (seed, chain) stream; a "
+                "Generator seeded from module state, a literal, or ambient "
+                "entropy anywhere in the dispatched call chain couples cells "
+                "or collapses them onto one stream — flow analysis tracks the "
+                "seed back through assignments and call chains to prove "
+                "provenance"
+            ),
+            # The generator factory itself, and leaf code with fixed-seed
+            # fixtures, build Generators by design.
+            exempt_globs=(
+                "repro/utils/rng.py",
+                "tests/*",
+                "benchmarks/*",
+                "examples/*",
+            ),
+            flow=True,
+        ),
+        Rule(
+            id=SHM_LIFECYCLE,
+            summary="SharedMemory(create=True) must be guarded on every CFG exit path",
+            rationale=(
+                "a segment whose unlink is skipped on one exception path "
+                "outlives the run and poisons later runs on the same host "
+                "(the CI leak check would fail); every creation must reach "
+                "unlink(), a weakref.finalize guard, or transfer ownership "
+                "(return/store/pass the segment) on all paths to the exit"
+            ),
+            flow=True,
+        ),
+        Rule(
+            id=BUDGET_FLOW,
+            summary="solver-reachable cost probes must be charge-covered on their path",
+            rationale=(
+                "the Table 1/3 head-to-head claims only hold under matched "
+                "effort; a cost-model probe reachable from a SearchSolver "
+                "start/step/finalize must be dominated or post-dominated by "
+                "an EvaluationBudget.charge() — otherwise some path spends "
+                "evaluations the budget cannot see; callees with no budget "
+                "access are excused when every call site is charge-covered "
+                "in its caller"
+            ),
+            # The cost model's own implementation (repro/mapping) IS the
+            # boundary being charged — probes there are the thing itself,
+            # not un-accounted consumption.
+            exempt_globs=("repro/mapping/*",),
+            flow=True,
+        ),
+        Rule(
+            id=WORKER_PURITY,
+            summary="fabric-dispatched functions must be pure in (handle, spec, seed)",
+            rationale=(
+                "worker-count invariance and deterministic salvage replay "
+                "hold only if a cell's result is a function of its task "
+                "tuple: no wall-clock reads, no ambient RNG, no reads or "
+                "writes of mutable module globals anywhere in the dispatched "
+                "call chain; the fabric's own liveness plumbing (parallel, "
+                "shared_plane, faults, timing) and the idempotent per-process "
+                "caches (solver registry, kernel dispatch) are sanctioned "
+                "boundaries and exempt by path"
+            ),
+            exempt_globs=(
+                "repro/utils/parallel.py",
+                "repro/utils/shared_plane.py",
+                "repro/utils/faults.py",
+                "repro/utils/timing.py",
+                "repro/runtime/registry.py",
+                "repro/kernels/*",
+                "tests/*",
+                "benchmarks/*",
+                "examples/*",
+            ),
+            flow=True,
         ),
         Rule(
             id=PARSE_ERROR,
@@ -168,3 +245,6 @@ RULES: dict[str, Rule] = {
 
 #: Selectable rule ids (excludes the parse-error pseudo-rule).
 RULE_IDS: tuple[str, ...] = tuple(r for r in RULES if r != PARSE_ERROR)
+
+#: The whole-program rules run by ``repro-lint --flow``.
+FLOW_RULE_IDS: tuple[str, ...] = tuple(r for r in RULE_IDS if RULES[r].flow)

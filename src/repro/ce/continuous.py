@@ -123,7 +123,7 @@ class ContinuousCEOptimizer:
             best_point=best_point, best_value=best_value, n_iterations=0, converged=False
         )
 
-        for k in range(1, cfg.max_iterations + 1):  # repro: noqa[budget-discipline] -- generic CE showcase outside the mapping runtime; no EvaluationBudget exists here
+        for k in range(1, cfg.max_iterations + 1):
             X = self.rng.normal(self.mean, self.sigma, size=(cfg.n_samples, d))
             if self.bounds is not None:
                 np.clip(X, self.bounds[0], self.bounds[1], out=X)

@@ -162,7 +162,7 @@ def estimate_rare_event(
     v = u.copy()
     levels: list[float] = []
 
-    for it in range(1, max_iterations + 1):  # repro: noqa[budget-discipline] -- rare-event CE estimates a probability, not a mapping; no EvaluationBudget exists here
+    for it in range(1, max_iterations + 1):
         x = family.sample(v, n_samples, gen)
         s = np.asarray(score(x), dtype=np.float64)
         gamma_t = float(np.quantile(s, 1.0 - rho))

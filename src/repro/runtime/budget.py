@@ -6,8 +6,8 @@ of Eq. (2) cost evaluations: a CE batch of ``N`` candidates, ``M`` GA
 fitness calls and ``M`` SA neighbor probes all cost the platform the same
 work per row. :class:`EvaluationBudget` counts exactly that — every solver
 calls :meth:`EvaluationBudget.charge` at each cost-model call site (the
-``budget-discipline`` lint rule enforces this for search loops in
-``repro.ce`` / ``repro.baselines``) — and composes three limits that the
+``budget-flow`` analysis proves every solver-reachable probe is
+charge-covered on its path) — and composes three limits that the
 :class:`~repro.runtime.loop.SearchLoop` checks between solver steps:
 
 * ``max_evaluations`` — cap on charged cost evaluations;

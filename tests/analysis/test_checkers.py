@@ -409,6 +409,40 @@ class TestKernelDiscipline:
         """
         assert "kernel-discipline" not in rules_hit(src)
 
+    def test_cffi_import_flagged(self):
+        assert "kernel-discipline" in rules_hit("import cffi\n")
+        assert "kernel-discipline" in rules_hit("from cffi import FFI\n")
+
+    def test_cython_and_cppyy_imports_flagged(self):
+        assert "kernel-discipline" in rules_hit("from Cython.Build import cythonize\n")
+        assert "kernel-discipline" in rules_hit("import pyximport\n")
+        assert "kernel-discipline" in rules_hit("import cppyy\n")
+
+    def test_windll_and_pydll_loads_flagged(self):
+        src = """
+            import ctypes
+            a = ctypes.WinDLL("foo.dll")
+            b = ctypes.PyDLL("bar.so")
+            c = ctypes.cdll.LoadLibrary("baz.so")
+        """
+        findings = [f for f in findings_for(src) if f.rule == "kernel-discipline"]
+        assert len(findings) == 3
+
+    def test_numpy_ctypeslib_load_flagged(self):
+        src = """
+            import numpy
+            lib = numpy.ctypeslib.load_library("kernels", ".")
+        """
+        assert "kernel-discipline" in rules_hit(src)
+
+    def test_ffi_imports_exempt_in_kernels_package(self):
+        src = """
+            import cffi
+            import cppyy
+            from Cython.Build import cythonize
+        """
+        assert rules_hit(src, path="src/repro/kernels/impl_cffi.py") == set()
+
 
 class TestEngineBasics:
     def test_syntax_error_reported_as_parse_error(self):

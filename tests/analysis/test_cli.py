@@ -60,11 +60,68 @@ class TestOutputFormats:
             "float-equality",
             "parallel-safety",
             "mutable-state",
+            "kernel-discipline",
+            "rng-provenance",
+            "shm-lifecycle",
+            "budget-flow",
+            "worker-purity",
         ):
             assert rule in out
+        assert "flow" in out  # the scope column distinguishes the two layers
 
     def test_select_filters_rules(self, bad_tree, capsys):
         assert main(["--select", "wallclock", "src"]) == 0
+
+
+@pytest.fixture()
+def impure_worker_tree(tmp_path, monkeypatch):
+    """A tiny repo whose only violation needs the flow layer to see."""
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "driver.py").write_text(
+        "from repro.cells import run_cell\n"
+        "from repro.utils.parallel import parallel_map\n\n"
+        "def run_all(specs):\n"
+        "    return parallel_map(run_cell, specs)\n",
+        encoding="utf-8",
+    )
+    (pkg / "cells.py").write_text(
+        "_CACHE = {}\n\n"
+        "def run_cell(spec):\n"
+        "    _CACHE[spec] = 1\n"
+        "    return spec\n",
+        encoding="utf-8",
+    )
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestFlowMode:
+    def test_flow_findings_exit_one_with_trace_rendering(
+        self, impure_worker_tree, capsys
+    ):
+        assert main(["--flow", "src"]) == 1
+        out = capsys.readouterr().out
+        assert "worker-purity" in out
+        assert "src/repro/cells.py:4" in out
+
+    def test_flow_default_path_is_src_repro(self, impure_worker_tree, capsys):
+        assert main(["--flow"]) == 1
+        assert "worker-purity" in capsys.readouterr().out
+
+    def test_per_file_mode_misses_the_flow_violation(self, impure_worker_tree):
+        assert main(["src"]) == 0
+
+    def test_flow_sarif_output(self, impure_worker_tree, capsys):
+        assert main(["--flow", "--format", "sarif", "src"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        [result] = log["runs"][0]["results"]
+        assert result["ruleId"] == "worker-purity"
+
+    def test_flow_select_nonflow_rule_runs_nothing(self, impure_worker_tree):
+        assert main(["--flow", "--select", "seed-discipline", "src"]) == 0
 
 
 class TestBaselineFlow:

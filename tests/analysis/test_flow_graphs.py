@@ -1,0 +1,251 @@
+"""Units for the flow layer's graphs: project index, CFG, call graph."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.flow import CallGraph, ProjectIndex, build_cfg
+from repro.analysis.flow.cfg import walk_scan
+from repro.analysis.flow.project import module_name_for
+
+
+def make_cfg(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    fn = tree.body[0]
+    assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(fn)
+
+
+def node_calling(cfg, name: str) -> int:
+    """The CFG node whose scanned expressions call bare ``name``."""
+    for node_id, roots in cfg.scan.items():
+        for sub in walk_scan(roots):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id == name
+            ):
+                return node_id
+    raise AssertionError(f"no node calls {name}()")
+
+
+class TestModuleNames:
+    def test_src_prefix_stripped(self):
+        assert module_name_for("src/repro/ce/optimizer.py") == "repro.ce.optimizer"
+
+    def test_init_maps_to_package(self):
+        assert module_name_for("src/repro/ce/__init__.py") == "repro.ce"
+
+
+class TestProjectIndex:
+    SOURCES = {
+        "src/repro/alpha.py": textwrap.dedent(
+            """
+            from repro.beta import helper as h
+
+            _REGISTRY = {}
+
+            def register(key, value):
+                _REGISTRY[key] = value
+
+            class Base:
+                def greet(self):
+                    return "hi"
+
+            class Child(Base):
+                def child_only(self):
+                    return h()
+            """
+        ),
+        "src/repro/beta.py": textwrap.dedent(
+            """
+            def helper():
+                return 1
+            """
+        ),
+    }
+
+    def test_functions_and_methods_indexed_by_qualname(self):
+        index = ProjectIndex.from_sources(self.SOURCES)
+        assert "repro.alpha.register" in index.functions
+        assert "repro.alpha.Base.greet" in index.functions
+        assert "repro.beta.helper" in index.functions
+
+    def test_import_aliases_recorded(self):
+        index = ProjectIndex.from_sources(self.SOURCES)
+        assert index.modules["repro.alpha"].imports["h"] == "repro.beta.helper"
+
+    def test_mutated_globals_detected(self):
+        index = ProjectIndex.from_sources(self.SOURCES)
+        assert "_REGISTRY" in index.modules["repro.alpha"].mutated_globals
+
+    def test_subclasses_found_through_written_base_name(self):
+        index = ProjectIndex.from_sources(self.SOURCES)
+        subs = {c.qualname for c in index.subclasses_of("Base")}
+        assert "repro.alpha.Child" in subs
+
+    def test_unparsable_module_skipped(self):
+        index = ProjectIndex.from_sources({"src/repro/bad.py": "def broken(:\n"})
+        assert index.modules == {}
+
+
+class TestCFG:
+    def test_straight_line_postdomination(self):
+        cfg = make_cfg(
+            """
+            def f():
+                a()
+                b()
+            """
+        )
+        a, b = node_calling(cfg, "a"), node_calling(cfg, "b")
+        assert b in cfg.postdominators()[a]
+        assert not cfg.reaches_exit_avoiding(a, {b})
+
+    def test_branch_guard_does_not_cover_else_path(self):
+        cfg = make_cfg(
+            """
+            def f(flag):
+                a()
+                if flag:
+                    guard()
+            """
+        )
+        a, guard = node_calling(cfg, "a"), node_calling(cfg, "guard")
+        assert guard not in cfg.postdominators()[a]
+        assert cfg.reaches_exit_avoiding(a, {guard})
+
+    def test_guard_in_both_branches_covers(self):
+        cfg = make_cfg(
+            """
+            def f(flag):
+                a()
+                if flag:
+                    guard()
+                else:
+                    guard2()
+            """
+        )
+        a = node_calling(cfg, "a")
+        blocked = {node_calling(cfg, "guard"), node_calling(cfg, "guard2")}
+        assert not cfg.reaches_exit_avoiding(a, blocked)
+
+    def test_early_return_escapes_a_later_guard(self):
+        cfg = make_cfg(
+            """
+            def f(flag):
+                a()
+                if flag:
+                    return None
+                guard()
+            """
+        )
+        a, guard = node_calling(cfg, "a"), node_calling(cfg, "guard")
+        assert cfg.reaches_exit_avoiding(a, {guard})
+
+    def test_finally_guard_covers_the_raise_path(self):
+        cfg = make_cfg(
+            """
+            def f(flag):
+                try:
+                    a()
+                    if flag:
+                        raise ValueError("boom")
+                finally:
+                    guard()
+            """
+        )
+        a, guard = node_calling(cfg, "a"), node_calling(cfg, "guard")
+        assert not cfg.reaches_exit_avoiding(a, {guard})
+
+    def test_raise_outside_try_goes_to_exit(self):
+        cfg = make_cfg(
+            """
+            def f(flag):
+                a()
+                if flag:
+                    raise ValueError("boom")
+                guard()
+            """
+        )
+        a, guard = node_calling(cfg, "a"), node_calling(cfg, "guard")
+        assert cfg.reaches_exit_avoiding(a, {guard})
+
+    def test_entry_dominates_every_node(self):
+        cfg = make_cfg(
+            """
+            def f(xs):
+                for x in xs:
+                    a()
+                b()
+            """
+        )
+        dom = cfg.dominators()
+        assert all(cfg.entry in dominators for dominators in dom.values())
+
+    def test_loop_body_does_not_postdominate_header(self):
+        cfg = make_cfg(
+            """
+            def f(xs):
+                for x in xs:
+                    a()
+            """
+        )
+        a = node_calling(cfg, "a")
+        assert cfg.reaches_exit_avoiding(cfg.entry, {a})
+
+
+class TestCallGraph:
+    SOURCES = {
+        "src/repro/driver.py": textwrap.dedent(
+            """
+            from repro.cells import run_cell
+
+            def run_all(specs):
+                return [run_cell(s) for s in specs]
+            """
+        ),
+        "src/repro/cells.py": textwrap.dedent(
+            """
+            def run_cell(spec):
+                return _inner(spec)
+
+            def _inner(spec):
+                return spec
+
+            class Base:
+                def entry(self):
+                    return self.leaf()
+
+                def leaf(self):
+                    return 0
+
+            class Child(Base):
+                def leaf(self):
+                    return 1
+            """
+        ),
+    }
+
+    def test_cross_module_bare_call_resolved_through_import(self):
+        index = ProjectIndex.from_sources(self.SOURCES)
+        graph = CallGraph(index)
+        callees = {c for c, _ in graph.edges.get("repro.driver.run_all", ())}
+        assert "repro.cells.run_cell" in callees
+
+    def test_self_method_resolved(self):
+        index = ProjectIndex.from_sources(self.SOURCES)
+        graph = CallGraph(index)
+        callees = {c for c, _ in graph.edges.get("repro.cells.Base.entry", ())}
+        assert callees & {"repro.cells.Base.leaf", "repro.cells.Child.leaf"}
+
+    def test_reachability_records_shortest_chain(self):
+        index = ProjectIndex.from_sources(self.SOURCES)
+        graph = CallGraph(index)
+        scope = graph.reachable(["repro.driver.run_all"])
+        assert scope["repro.cells._inner"] == (
+            "repro.driver.run_all",
+            "repro.cells.run_cell",
+            "repro.cells._inner",
+        )

@@ -1,0 +1,59 @@
+"""The repo must satisfy its own flow rules — fast and without findings.
+
+Companion to ``test_self_scan.py``: the whole-program layer over
+``src/repro`` reports zero findings (every sanctioned boundary is an
+explicit rule exemption with a written rationale, not a suppression),
+and the analysis stays cheap enough to gate CI and pre-push runs.
+"""
+
+from __future__ import annotations
+
+import time  # repro: noqa[wallclock] -- timing the analyzer itself, not results
+from pathlib import Path
+
+import repro
+from repro.analysis import flow_paths
+from repro.analysis.rules import FLOW_RULE_IDS, RULES
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+
+
+def test_flow_scan_of_src_repro_is_clean_and_fast():
+    start = time.perf_counter()  # repro: noqa[wallclock] -- timing the analyzer itself
+    result = flow_paths([REPO_ROOT / "src" / "repro"], root=REPO_ROOT)
+    elapsed = time.perf_counter() - start  # repro: noqa[wallclock] -- timing the analyzer itself
+    details = "\n".join(
+        f"{f.location()} [{f.rule}] {f.message} (via {' -> '.join(f.trace)})"
+        for f in result.findings
+    )
+    assert result.ok, f"flow analysis found violations:\n{details}"
+    assert result.files_scanned > 100  # the whole package really was indexed
+    assert elapsed < 10.0, f"flow analysis took {elapsed:.1f}s (budget: 10s)"
+
+
+def test_flow_rules_are_registered_with_rationales():
+    assert set(FLOW_RULE_IDS) == {
+        "rng-provenance",
+        "shm-lifecycle",
+        "budget-flow",
+        "worker-purity",
+    }
+    for rule_id in FLOW_RULE_IDS:
+        rule = RULES[rule_id]
+        assert rule.flow
+        assert len(rule.rationale) > 40  # a real rationale, not a stub
+
+
+def test_no_budget_discipline_leftovers():
+    # The glob-based budget-discipline checker was replaced by the
+    # flow-sensitive budget-flow rule; neither the rule id nor its noqa
+    # markers may survive in the tree.
+    from repro.analysis.rules import RULE_IDS
+
+    assert "budget-discipline" not in RULE_IDS
+    for sub in ("src", "tests"):
+        for path in (REPO_ROOT / sub).rglob("*.py"):
+            if path.name in ("test_flow_self_scan.py",):
+                continue
+            text = path.read_text(encoding="utf-8")
+            assert "noqa[budget-discipline]" not in text, path

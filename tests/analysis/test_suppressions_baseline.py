@@ -64,6 +64,30 @@ class TestNoqa:
         findings, _ = lint("def broken(:  # repro: noqa\n")
         assert [f.rule for f in findings] == ["parse-error"]
 
+    def test_bare_noqa_on_line_with_findings_from_two_rules(self):
+        # One line, two different rules (wallclock + float-equality): a
+        # bare marker silences both at once.
+        findings, suppressed = lint(
+            """
+            import time
+            flag = time.time() == 0.5  # repro: noqa
+            """
+        )
+        assert findings == []
+        assert suppressed == 2
+
+    def test_bracketed_noqa_suppresses_only_its_rule_on_shared_line(self):
+        # Same two-rule line, but the marker names only one rule — the
+        # other finding must survive.
+        findings, suppressed = lint(
+            """
+            import time
+            flag = time.time() == 0.5  # repro: noqa[float-equality]
+            """
+        )
+        assert [f.rule for f in findings] == ["wallclock"]
+        assert suppressed == 1
+
     def test_parser_is_case_insensitive_and_tolerant(self):
         marks = parse_suppressions("x = 1  # REPRO: NOQA[float-equality]\n")
         assert marks == {1: frozenset({"float-equality"})}
@@ -121,6 +145,31 @@ class TestBaseline:
         second = lint_paths([bad], baseline_path=baseline_path, root=tmp_path)
         assert second.ok
         assert second.baselined == 1
+
+    def test_round_trip_with_parse_error_findings(self, tmp_path):
+        # A vendored or generated file that never parses can be baselined
+        # like any other debt: the parse-error finding's fingerprint is
+        # stable, so the round trip keeps the build green until it is
+        # fixed — while a parse error in a *second* file still fails.
+        bad = tmp_path / "src" / "repro" / "generated.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def broken(:\n", encoding="utf-8")
+        baseline_path = tmp_path / ".repro-lint-baseline.json"
+
+        first = lint_paths([bad], root=tmp_path)
+        assert [f.rule for f in first.findings] == ["parse-error"]
+        write_baseline(first.findings, baseline_path)
+
+        second = lint_paths([bad], baseline_path=baseline_path, root=tmp_path)
+        assert second.ok
+        assert second.baselined == 1
+
+        other = tmp_path / "src" / "repro" / "other.py"
+        other.write_text("def also_broken(:\n", encoding="utf-8")
+        third = lint_paths([bad, other], baseline_path=baseline_path, root=tmp_path)
+        assert not third.ok
+        assert [f.rule for f in third.findings] == ["parse-error"]
+        assert third.findings[0].path == "src/repro/other.py"
 
     def test_unsupported_format_rejected(self, tmp_path):
         import json
