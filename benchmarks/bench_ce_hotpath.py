@@ -45,8 +45,6 @@ parity) or the script aborts.
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
 import time
 from pathlib import Path
@@ -61,6 +59,7 @@ from repro.core.match import MatchMapper
 from repro.experiments.suite import build_suite
 from repro.mapping.cost_model import CostModel
 from repro.mapping.problem import MappingProblem
+from repro.runstore import BenchResult
 from repro.utils.rng import RngStreams, as_generator
 
 #: The acceptance bar this file exists to document: fused multi-chain vs the
@@ -336,33 +335,23 @@ def _bench_backend(name: str, smoke: bool) -> dict:
     return group
 
 
-def run(smoke: bool = False, out: str | Path | None = None) -> dict:
+def run(
+    smoke: bool = False,
+    out: str | Path | None = None,
+    runs_root: str | Path | None = None,
+) -> dict:
     """Execute every measurement group per backend and write the JSON report."""
     backend_names = [n for n, ok in kernels.available_backends().items() if ok]
     # numpy first: it is the reference every speedup is taken against.
     backend_names.sort(key=lambda n: (n != "numpy", n))
 
-    report: dict = {
-        "benchmark": "ce_hotpath",
-        "smoke": smoke,
-        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "host": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "kernel_backends": backend_names,
-        },
-        "kernels": {},
-    }
-    for name in backend_names:
-        report["kernels"][name] = _bench_backend(name, smoke)
-
+    by_backend = {name: _bench_backend(name, smoke) for name in backend_names}
     # Legacy top-level groups = the numpy reference backend, so the file
     # stays comparable with the pre-kernel committed history.
-    report.update(report["kernels"]["numpy"])
+    legacy = by_backend["numpy"]
 
-    measured = report["end_to_end"]["10"]["speedup_fused_vs_seed_path"]
-    report["acceptance"] = {
+    measured = legacy["end_to_end"]["10"]["speedup_fused_vs_seed_path"]
+    acceptance: dict = {
         "criterion": (
             "fused multi-chain >= 3x faster than the serial seed path on the "
             "30-run n=10 Table 3 replication"
@@ -385,22 +374,27 @@ def run(smoke: bool = False, out: str | Path | None = None) -> dict:
         "met": None,
     }
     if compiled and not smoke:
-        ref = report["kernels"]["numpy"]["end_to_end"]["50"]["fused_seconds"]
+        ref = by_backend["numpy"]["end_to_end"]["50"]["fused_seconds"]
         best_name = min(
             compiled,
-            key=lambda n: report["kernels"][n]["end_to_end"]["50"]["fused_seconds"],
+            key=lambda n: by_backend[n]["end_to_end"]["50"]["fused_seconds"],
         )
-        speed = ref / report["kernels"][best_name]["end_to_end"]["50"]["fused_seconds"]
+        speed = ref / by_backend[best_name]["end_to_end"]["50"]["fused_seconds"]
         kernel_acc.update(
             measured_speedup=speed,
             best_backend=best_name,
             met=bool(speed >= TARGET_KERNEL_SPEEDUP),
         )
-    report["acceptance"]["kernel"] = kernel_acc
+    acceptance["kernel"] = kernel_acc
 
     out_path = Path(out) if out is not None else Path(__file__).parent.parent / "BENCH_ce_hotpath.json"
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
-    return report
+    return BenchResult(
+        "ce_hotpath",
+        smoke=smoke,
+        groups={"kernels": by_backend, **legacy},
+        acceptance=acceptance,
+        host_extra={"kernel_backends": backend_names},
+    ).write(out_path, runs_root=runs_root)
 
 
 def main() -> None:
@@ -417,8 +411,14 @@ def main() -> None:
         help=f"exit non-zero unless a compiled backend clears "
         f"{TARGET_KERNEL_SPEEDUP}x end-to-end at n=50 (full scale only)",
     )
+    parser.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help="run-store root for this bench's runs/{run_id}/ record",
+    )
     args = parser.parse_args()
-    report = run(smoke=args.smoke, out=args.out)
+    report = run(smoke=args.smoke, out=args.out, runs_root=args.runs_dir)
     for backend, groups in report["kernels"].items():
         for n, row in groups["end_to_end"].items():
             line = (

@@ -31,16 +31,13 @@ recorded as met/not-met on full runs.
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Callable
 
-import numpy as np
-
 from repro.experiments.suite import build_suite
+from repro.runstore import BenchResult
 from repro.runtime.registry import SolverSpec
 from repro.utils.parallel import WorkerPool
 from repro.utils.rng import RngStreams
@@ -121,7 +118,8 @@ def stage_per_call(calls, n_workers) -> tuple[float, list[list[float]]]:
     def run():
         results = []
         for cells in calls:
-            with ProcessPoolExecutor(max_workers=n_workers) as executor:
+            # The pre-fabric dispatch path IS the measured baseline here.
+            with ProcessPoolExecutor(max_workers=n_workers) as executor:  # repro: noqa[parallel-safety]
                 results.append(list(executor.map(_run_cell, cells, chunksize=1)))
         return results
 
@@ -163,7 +161,11 @@ def stage_warm_shared(calls, n_workers, *, weighted: bool) -> tuple[float, list[
     return _timed(run)
 
 
-def run(smoke: bool = False, out: str | Path | None = None) -> dict:
+def run(
+    smoke: bool = False,
+    out: str | Path | None = None,
+    runs_root: str | Path | None = None,
+) -> dict:
     """Execute all four stages and write the JSON report."""
     if smoke:
         sizes, n_pairs, rounds, reps, n_workers, repeats = (6, 8), 2, 2, 1, 2, 1
@@ -194,40 +196,17 @@ def run(smoke: bool = False, out: str | Path | None = None) -> dict:
             )
 
     per_call_s = stages["per_call"][0]
-    report: dict = {
-        "benchmark": "parallel_runner",
-        "smoke": smoke,
-        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "host": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "cpu_count": __import__("os").cpu_count(),
-        },
-        "workload": {
-            "sizes": list(sizes),
-            "n_pairs": n_pairs,
-            "rounds": rounds,
-            "n_instances": len(instances),
-            "map_calls": len(calls),
-            "cells_total": n_cells,
-            "n_workers": n_workers,
-            "heuristics": [str(h) for h in HEURISTICS],
-            "repeats_best_of": repeats,
-        },
-        "stages": {
-            name: {
-                "seconds": seconds,
-                "cells_per_s": n_cells / seconds,
-                "speedup_vs_per_call": per_call_s / seconds,
-            }
-            for name, (seconds, _) in stages.items()
-        },
-        "results_bit_identical_across_stages": True,
+    stage_rows = {
+        name: {
+            "seconds": seconds,
+            "cells_per_s": n_cells / seconds,
+            "speedup_vs_per_call": per_call_s / seconds,
+        }
+        for name, (seconds, _) in stages.items()
     }
 
-    measured = report["stages"]["warm_shared_lpt"]["speedup_vs_per_call"]
-    report["acceptance"] = {
+    measured = stage_rows["warm_shared_lpt"]["speedup_vs_per_call"]
+    acceptance = {
         "criterion": (
             "warm pool + shared plane + LPT >= 2x faster than per-call "
             "pool dispatch on suite-style traffic at >= 4 workers"
@@ -242,8 +221,26 @@ def run(smoke: bool = False, out: str | Path | None = None) -> dict:
         if out is not None
         else Path(__file__).parent.parent / "BENCH_parallel_runner.json"
     )
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
-    return report
+    return BenchResult(
+        "parallel_runner",
+        smoke=smoke,
+        groups={
+            "workload": {
+                "sizes": list(sizes),
+                "n_pairs": n_pairs,
+                "rounds": rounds,
+                "n_instances": len(instances),
+                "map_calls": len(calls),
+                "cells_total": n_cells,
+                "n_workers": n_workers,
+                "heuristics": [str(h) for h in HEURISTICS],
+                "repeats_best_of": repeats,
+            },
+            "stages": stage_rows,
+            "results_bit_identical_across_stages": True,
+        },
+        acceptance=acceptance,
+    ).write(out_path, runs_root=runs_root)
 
 
 def main() -> None:
@@ -256,8 +253,14 @@ def main() -> None:
         default=None,
         help="output JSON path (default: repo-root BENCH_parallel_runner.json)",
     )
+    parser.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help="run-store root for this bench's runs/{run_id}/ record",
+    )
     args = parser.parse_args()
-    report = run(smoke=args.smoke, out=args.out)
+    report = run(smoke=args.smoke, out=args.out, runs_root=args.runs_dir)
     for name, row in report["stages"].items():
         print(
             f"{name:16s} {row['seconds']:7.3f}s  "

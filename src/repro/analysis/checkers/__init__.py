@@ -5,6 +5,7 @@ from repro.analysis.checkers.float_equality import FloatEqualityChecker
 from repro.analysis.checkers.kernel_discipline import KernelDisciplineChecker
 from repro.analysis.checkers.mutable_state import MutableStateChecker
 from repro.analysis.checkers.parallel_safety import ParallelSafetyChecker
+from repro.analysis.checkers.run_discipline import RunDisciplineChecker
 from repro.analysis.checkers.seed_discipline import SeedDisciplineChecker
 from repro.analysis.checkers.wallclock import WallclockChecker
 
@@ -16,6 +17,7 @@ __all__ = [
     "KernelDisciplineChecker",
     "MutableStateChecker",
     "ParallelSafetyChecker",
+    "RunDisciplineChecker",
     "SeedDisciplineChecker",
     "WallclockChecker",
 ]

@@ -20,6 +20,7 @@ from repro.analysis.checkers.float_equality import FloatEqualityChecker
 from repro.analysis.checkers.kernel_discipline import KernelDisciplineChecker
 from repro.analysis.checkers.mutable_state import MutableStateChecker
 from repro.analysis.checkers.parallel_safety import ParallelSafetyChecker
+from repro.analysis.checkers.run_discipline import RunDisciplineChecker
 from repro.analysis.checkers.seed_discipline import SeedDisciplineChecker
 from repro.analysis.checkers.wallclock import WallclockChecker
 from repro.analysis.findings import Finding
@@ -42,6 +43,7 @@ ALL_CHECKERS: tuple[Type[Checker], ...] = (
     ParallelSafetyChecker,
     MutableStateChecker,
     KernelDisciplineChecker,
+    RunDisciplineChecker,
 )
 
 #: Directories never worth descending into.

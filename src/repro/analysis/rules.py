@@ -37,6 +37,7 @@ __all__ = [
     "PARALLEL_SAFETY",
     "MUTABLE_STATE",
     "KERNEL_DISCIPLINE",
+    "RUN_DISCIPLINE",
     "RNG_PROVENANCE",
     "SHM_LIFECYCLE",
     "BUDGET_FLOW",
@@ -50,6 +51,7 @@ FLOAT_EQUALITY = "float-equality"
 PARALLEL_SAFETY = "parallel-safety"
 MUTABLE_STATE = "mutable-state"
 KERNEL_DISCIPLINE = "kernel-discipline"
+RUN_DISCIPLINE = "run-discipline"
 # Whole-program flow rules (repro.analysis.flow).
 RNG_PROVENANCE = "rng-provenance"
 SHM_LIFECYCLE = "shm-lifecycle"
@@ -156,6 +158,22 @@ RULES: dict[str, Rule] = {
                 "that breaks environments without the optional toolchain"
             ),
             exempt_globs=("repro/kernels/*",),
+        ),
+        Rule(
+            id=RUN_DISCIPLINE,
+            summary="experiments/benches must write results through the run-store",
+            rationale=(
+                "a result file written with a bare json.dump or "
+                "open(..., 'w') carries no manifest — no git SHA, env "
+                "surface, kernel backend, or seeds — so the numbers it holds "
+                "cannot be attributed or replayed; run-producing layers "
+                "(repro/experiments, benchmarks) must route output through "
+                "repro.runstore (RunStore/RunHandle/BenchResult), which is "
+                "where provenance is attached"
+            ),
+            # The rule only *applies* inside the run-producing layers; the
+            # positive scoping (experiments/ + benchmarks/) lives in the
+            # checker, since exempt_globs can only subtract.
         ),
         Rule(
             id=RNG_PROVENANCE,

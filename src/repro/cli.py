@@ -78,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_kernel_arg(solve)
     _add_budget_args(solve)
+    _add_runstore_args(solve)
 
     resume = sub.add_parser(
         "resume", help="continue an interrupted run from its checkpoint file"
@@ -90,6 +91,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_kernel_arg(resume)
     _add_budget_args(resume)
+    _add_runstore_args(resume)
+
+    runs = sub.add_parser("runs", help="inspect and replay recorded runs")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    r_list = runs_sub.add_parser("list", help="list recorded run ids")
+    r_show = runs_sub.add_parser(
+        "show", help="print one run's manifest, metrics and events"
+    )
+    r_show.add_argument("run_id")
+    r_diff = runs_sub.add_parser(
+        "diff", help="manifest keys that differ between two runs"
+    )
+    r_diff.add_argument("run_a")
+    r_diff.add_argument("run_b")
+    r_replay = runs_sub.add_parser(
+        "replay",
+        help=(
+            "re-execute a recorded solve run from its manifest alone "
+            "(env surface, solver, seed; verifies the problem checksum)"
+        ),
+    )
+    r_replay.add_argument("run_id")
+    r_replay.add_argument(
+        "--max-evals",
+        type=int,
+        default=2000,
+        metavar="N",
+        help="evaluation cap for the replay smoke run (default 2000)",
+    )
+    for p in (r_list, r_show, r_diff, r_replay):
+        p.add_argument(
+            "--runs-dir",
+            default=None,
+            metavar="DIR",
+            help="run-store root (default: REPRO_RUNS_DIR or ./runs)",
+        )
+
+    perf = sub.add_parser("perf", help="tracked perf history and the regression gate")
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    p_check = perf_sub.add_parser(
+        "check",
+        help=(
+            "compare fresh benchmark reports against perf/history.jsonl; "
+            "exits non-zero on any regression"
+        ),
+    )
+    p_check.add_argument(
+        "reports",
+        nargs="*",
+        help="bench report JSON files (default: ./BENCH_*.json)",
+    )
+    p_update = perf_sub.add_parser(
+        "update", help="fold benchmark reports into the tracked perf history"
+    )
+    p_update.add_argument("reports", nargs="+", help="bench report JSON files")
+    for p in (p_check, p_update):
+        p.add_argument(
+            "--history",
+            default="perf/history.jsonl",
+            metavar="FILE",
+            help="perf history file (default: perf/history.jsonl)",
+        )
+        p.add_argument(
+            "--host-class",
+            default=None,
+            metavar="CLASS",
+            help="override the host-class key (default: from each report/host)",
+        )
 
     # Sugar: every experiment id is also a first-class subcommand.
     from repro.experiments.registry import EXPERIMENTS
@@ -142,6 +211,28 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         ),
     )
     _add_kernel_arg(parser)
+    _add_runstore_args(parser)
+
+
+def _add_runstore_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "run-store root for this invocation's runs/{run_id}/ record "
+            "(default: REPRO_RUNS_DIR env or ./runs)"
+        ),
+    )
+    parser.add_argument(
+        "--run-id",
+        default=None,
+        metavar="ID",
+        help=(
+            "explicit run id (default: derived from the command and UTC "
+            "stamp; collisions get a numeric suffix, never overwritten)"
+        ),
+    )
 
 
 def _add_kernel_arg(parser: argparse.ArgumentParser) -> None:
@@ -255,15 +346,55 @@ def _print_solve_result(title: str, result) -> None:
     print(np.array2string(result.assignment, max_line_width=100))
 
 
+def _start_cli_run(args: argparse.Namespace, kind: str, **manifest_kwargs):
+    """Open a run for one CLI invocation (root from --runs-dir / env)."""
+    from repro.runstore import RunStore, build_manifest
+
+    store = RunStore(getattr(args, "runs_dir", None))
+    return store.start_run(
+        kind,
+        run_id=getattr(args, "run_id", None),
+        manifest=build_manifest(kind, **manifest_kwargs),
+    )
+
+
+def _record_solve_result(run, result) -> None:
+    run.record_metrics(
+        "result",
+        {
+            "execution_time": result.execution_time,
+            "mapping_time": result.mapping_time,
+            "n_evaluations": result.n_evaluations,
+            "iterations": result.extras.get("iterations"),
+            "stop_reason": result.extras.get("stop_reason"),
+        },
+    )
+    run.add_artifact("assignment.json", payload={"assignment": result.assignment})
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.graphs import generate_paper_pair
     from repro.mapping import MappingProblem
+    from repro.runstore import RunEventHook, problem_checksum
     from repro.runtime import CheckpointWriter, create_mapper
 
     pair = generate_paper_pair(args.size, args.seed)
     problem = MappingProblem(pair.tig, pair.resources, require_square=True)
     params = {"rho": args.rho, "zeta": args.zeta} if args.heuristic == "match" else {}
     mapper = create_mapper(args.heuristic, params)
+    run = _start_cli_run(
+        args,
+        "solve",
+        seed=args.seed,
+        config={
+            "size": args.size,
+            "budget_evals": args.budget_evals,
+            "budget_seconds": args.budget_seconds,
+            "target_cost": args.target_cost,
+        },
+        solver={"name": args.heuristic, "params": params},
+        problems={"instance": problem_checksum(problem)},
+    )
     checkpointer = None
     if args.checkpoint:
         checkpointer = CheckpointWriter(
@@ -274,37 +405,221 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             seed=args.seed,
             every=args.checkpoint_every,
         )
+        run.update_manifest({"checkpoint": str(args.checkpoint)})
     try:
         result = mapper.map(
             problem,
             args.seed,
             budget=_budget_from_args(args),
+            hooks=RunEventHook(run),
             checkpointer=checkpointer,
         )
     except KeyboardInterrupt:
+        run.finalize(status="interrupted")
         if args.checkpoint:
             print(
                 f"\ninterrupted; resume with: repro-match resume {args.checkpoint}",
                 file=sys.stderr,
             )
         return 130
+    except BaseException:
+        run.finalize(status="failed")
+        raise
+    _record_solve_result(run, result)
+    run.finalize(status="complete")
     _print_solve_result(
         f"{mapper.name} on a fresh n={args.size} instance (seed {args.seed})",
         result,
     )
+    print(f"run recorded: {run.path}", file=sys.stderr)
     return 0
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.runstore import RunEventHook
     from repro.runtime import resume_run
 
-    mapper, result = resume_run(
-        args.checkpoint,
-        budget=_budget_from_args(args),
-        keep_checkpointing=not args.no_checkpoint,
+    run = _start_cli_run(
+        args, "resume", config={"checkpoint": str(args.checkpoint)}
     )
+    try:
+        mapper, result = resume_run(
+            args.checkpoint,
+            budget=_budget_from_args(args),
+            hooks=RunEventHook(run),
+            keep_checkpointing=not args.no_checkpoint,
+        )
+    except BaseException:
+        run.finalize(status="failed")
+        raise
+    _record_solve_result(run, result)
+    run.finalize(status="complete")
     _print_solve_result(f"{mapper.name} resumed from {args.checkpoint}", result)
+    print(f"run recorded: {run.path}", file=sys.stderr)
     return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runstore import RunStore
+
+    store = RunStore(args.runs_dir)
+    if args.runs_command == "list":
+        ids = store.list_runs()
+        if not ids:
+            print(f"no runs under {store.root}")
+            return 0
+        for run_id in ids:
+            manifest = store.load_manifest(run_id)
+            print(
+                f"{run_id:44s} {manifest.get('kind', '?'):24s} "
+                f"{manifest.get('status', '?'):11s} {manifest.get('generated', '')}"
+            )
+        return 0
+    if args.runs_command == "show":
+        manifest = store.load_manifest(args.run_id)
+        metrics = store.load_metrics(args.run_id)
+        events = store.read_events(args.run_id)
+        print(json.dumps({"manifest": manifest, "metrics": metrics}, indent=2, sort_keys=True))
+        print(f"\nevents ({len(events)}):")
+        for event in events:
+            rest = {k: v for k, v in event.items() if k not in ("t", "event")}
+            print(f"  {event.get('t', '')} {event.get('event', '?')} {rest or ''}")
+        return 0
+    if args.runs_command == "diff":
+        delta = store.diff(args.run_a, args.run_b)
+        if not delta:
+            print("runs are identical (excluding run id and timestamps)")
+            return 0
+        width = max(len(k) for k in delta)
+        for key, (a, b) in delta.items():
+            print(f"{key:{width}s}  {a!r}  ->  {b!r}")
+        return 0
+    if args.runs_command == "replay":
+        return _cmd_runs_replay(args, store)
+    raise AssertionError(f"unhandled runs subcommand {args.runs_command!r}")
+
+
+def _cmd_runs_replay(args: argparse.Namespace, store) -> int:
+    """Re-execute a solve run from its manifest alone (the replayability
+    contract behind capturing the full ``REPRO_*`` surface)."""
+    from repro.exceptions import ReproError
+    from repro.graphs import generate_paper_pair
+    from repro.mapping import MappingProblem
+    from repro.runstore import (
+        RunEventHook,
+        build_manifest,
+        pinned_env,
+        problem_checksum,
+    )
+    from repro.runtime import EvaluationBudget, create_mapper
+
+    manifest = store.load_manifest(args.run_id)
+    if manifest.get("kind") not in ("solve", "replay"):
+        raise ReproError(
+            f"run {args.run_id!r} has kind {manifest.get('kind')!r}; "
+            "only solve runs can be replayed"
+        )
+    config = manifest.get("config") or {}
+    solver = manifest.get("solver") or {}
+    seed = (manifest.get("rng") or {}).get("root_seed")
+    if seed is None or "size" not in config or "name" not in solver:
+        raise ReproError(
+            f"run {args.run_id!r} has an incomplete manifest "
+            "(needs rng.root_seed, config.size, solver.name)"
+        )
+
+    with pinned_env(manifest.get("env") or {}):
+        pair = generate_paper_pair(int(config["size"]), int(seed))
+        problem = MappingProblem(pair.tig, pair.resources, require_square=True)
+        checksum = problem_checksum(problem)
+        recorded = (manifest.get("problems") or {}).get("instance")
+        if recorded is not None and checksum != recorded:
+            print(
+                f"error: rebuilt instance checksum {checksum[:12]} does not "
+                f"match the recorded {str(recorded)[:12]} — the generator or "
+                "its inputs changed since the run",
+                file=sys.stderr,
+            )
+            return 1
+        mapper = create_mapper(solver["name"], dict(solver.get("params") or {}))
+        run = store.start_run(
+            "replay",
+            manifest=build_manifest(
+                "replay",
+                seed=int(seed),
+                config=dict(config),
+                solver=dict(solver),
+                problems={"instance": checksum},
+                extra={"replay_of": args.run_id},
+            ),
+        )
+        try:
+            result = mapper.map(
+                problem,
+                int(seed),
+                budget=EvaluationBudget(max_evaluations=args.max_evals),
+                hooks=RunEventHook(run),
+            )
+        except BaseException:
+            run.finalize(status="failed")
+            raise
+        _record_solve_result(run, result)
+        run.finalize(status="complete")
+    print(
+        f"replayed {args.run_id} as {run.run_id}: problem checksum verified, "
+        f"{solver['name']} reached ET {result.execution_time:.6g} within "
+        f"{args.max_evals} evaluations"
+    )
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.exceptions import ReproError
+    from repro.runstore import (
+        append_history,
+        check_report,
+        git_revision,
+        load_history,
+        samples_from_bench,
+    )
+
+    report_paths = [Path(p) for p in (args.reports or sorted(Path(".").glob("BENCH_*.json")))]
+    if not report_paths:
+        raise ReproError(
+            "no benchmark reports given and no ./BENCH_*.json found; "
+            "run a bench first or pass report paths explicitly"
+        )
+    fresh = []
+    for path in report_paths:
+        try:
+            report = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(f"cannot read bench report {path}: {exc}") from exc
+        fresh.extend(samples_from_bench(report, host_class=args.host_class))
+
+    if args.perf_command == "update":
+        sha = git_revision().get("sha")
+        stamped = [
+            type(s)(**{**s.__dict__, "git_sha": s.git_sha or sha}) for s in fresh
+        ]
+        count = append_history(args.history, stamped)
+        print(f"appended {count} sample(s) from {len(report_paths)} report(s) to {args.history}")
+        return 0
+
+    history = load_history(args.history)
+    if not history:
+        raise ReproError(
+            f"perf history {args.history} is missing or empty; "
+            "seed it with 'repro-match perf update <reports...>'"
+        )
+    result = check_report(fresh, history)
+    print(result.summary())
+    return 0 if result.ok else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -324,15 +639,28 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_solve(args)
         if args.command == "resume":
             return _cmd_resume(args)
+        if args.command == "runs":
+            return _cmd_runs(args)
+        if args.command == "perf":
+            return _cmd_perf(args)
         if args.command == "report":
             from pathlib import Path
 
             from repro.experiments.reporting import build_report, render_report_markdown
+            from repro.runstore import activate_run
 
             profile = _resolve_profile(args.scale)
-            text = render_report_markdown(
-                build_report(profile, seed=args.seed, n_workers=args.workers)
+            run = _start_cli_run(
+                args,
+                "report",
+                seed=args.seed,
+                config={"profile": profile.name, "n_workers": args.workers},
             )
+            with activate_run(run):
+                text = render_report_markdown(
+                    build_report(profile, seed=args.seed, n_workers=args.workers)
+                )
+                run.add_artifact("report.md", text=text)
             if args.out:
                 Path(args.out).write_text(text, encoding="utf-8")
                 print(f"wrote {args.out}")
@@ -348,6 +676,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                         n_workers=args.workers,
                         max_retries=args.max_retries,
                         cell_timeout=args.cell_timeout,
+                        runs_dir=args.runs_dir, run_id=args.run_id,
                     )
                 )
                 print("\n" + "#" * 72 + "\n")
@@ -358,6 +687,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             run_experiment(
                 exp_id, profile=profile, seed=args.seed, n_workers=args.workers,
                 max_retries=args.max_retries, cell_timeout=args.cell_timeout,
+                runs_dir=args.runs_dir, run_id=args.run_id,
             )
         )
         return 0

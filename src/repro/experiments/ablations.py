@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.config import MatchConfig
 from repro.core.match import MatchMapper
 from repro.experiments.suite import build_suite
+from repro.runstore import current_run
 from repro.utils.parallel import CellFailure, WorkerPool
 from repro.utils.rng import RngStreams
 from repro.utils.shared_plane import ProblemRef, resolve_problem
@@ -173,13 +174,40 @@ def sweep(
                 mean_evaluations=means[3],
             )
         )
-    return AblationResult(
+    result = AblationResult(
         knob=knob,
         size=size,
         runs=runs,
         points=tuple(points),
         failures=report.failures,
     )
+    run = current_run()
+    if run is not None:
+        run.record_metrics(
+            f"ablation-{_metric_slug(knob)}",
+            {
+                "knob": knob,
+                "size": size,
+                "runs": runs,
+                "points": [
+                    {"value": p.knob_value, "mean_et": p.mean_et, "mean_mt": p.mean_mt,
+                     "mean_iterations": p.mean_iterations,
+                     "mean_evaluations": p.mean_evaluations}
+                    for p in points
+                ],
+                "failed_cells": len(report.failures),
+            },
+        )
+        run.log_event(
+            "ablation-finished", knob=knob, values=len(values),
+            failures=len(report.failures),
+        )
+    return result
+
+
+def _metric_slug(knob: str) -> str:
+    """A filesystem/metric-safe slug for a knob label like ``N / n^2``."""
+    return "".join(c if c.isalnum() else "-" for c in knob).strip("-")
 
 
 def rho_sweep(

@@ -14,6 +14,7 @@ from pathlib import Path
 
 from repro.exceptions import SerializationError
 from repro.experiments.runner import ComparisonData, RunRecord
+from repro.runstore import current_run
 from repro.stats.comparison import SeriesBySize
 from repro.utils.serialization import dump_json, load_json
 
@@ -84,8 +85,22 @@ def comparison_from_dict(payload: dict) -> ComparisonData:
 
 
 def save_comparison(data: ComparisonData, path: str | Path) -> Path:
-    """Write a comparison to ``path`` as JSON; returns the path."""
-    return dump_json(comparison_to_dict(data), path)
+    """Write a comparison to ``path`` as JSON; returns the path.
+
+    When a run is active the write is also logged into its lifecycle
+    events, so the run records where its heavyweight payload went. (The
+    run-store itself archives every in-run comparison under ``artifacts/``
+    — see :func:`repro.experiments.runner.run_comparison`; this function
+    is for explicit exports to caller-chosen locations.)
+    """
+    out = dump_json(comparison_to_dict(data), path)
+    run = current_run()
+    if run is not None:
+        run.log_event(
+            "comparison-exported", path=str(out),
+            profile=data.profile_name, seed=data.seed,
+        )
+    return out
 
 
 def load_comparison(path: str | Path) -> ComparisonData:

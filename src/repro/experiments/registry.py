@@ -177,6 +177,8 @@ def run_experiment(
     n_workers: int | None = None,
     max_retries: int | None = None,
     cell_timeout: float | None = None,
+    runs_dir: str | None = None,
+    run_id: str | None = None,
 ) -> str:
     """Regenerate one artifact by id; raises :class:`ExperimentError` on typos.
 
@@ -186,6 +188,12 @@ def run_experiment(
     override the fabric's fault-tolerance policy for the duration of the
     experiment (``None`` keeps the defaults and any ambient
     ``REPRO_MAX_RETRIES`` / ``REPRO_CELL_TIMEOUT``).
+
+    Every invocation is recorded as a run: a ``runs/{run_id}/`` directory
+    (under ``runs_dir``, ``$REPRO_RUNS_DIR``, or ``runs/``) holding the
+    manifest, the metrics the layers below logged into the active run, and
+    the rendered artifact. The artifact text itself is still the return
+    value — recording never changes what callers see.
     """
     if exp_id not in EXPERIMENTS:
         raise ExperimentError(
@@ -194,4 +202,28 @@ def run_experiment(
     profile = profile if profile is not None else active_profile()
     _, fn = EXPERIMENTS[exp_id]
     with _fault_tolerance_env(max_retries, cell_timeout):
-        return fn(profile, seed, n_workers)
+        from repro.runstore import RunStore, activate_run, build_manifest
+
+        store = RunStore(runs_dir)
+        run = store.start_run(
+            f"experiment-{exp_id}",
+            run_id=run_id,
+            manifest=build_manifest(
+                f"experiment-{exp_id}",
+                seed=seed,
+                config={
+                    "experiment": exp_id,
+                    "profile": profile.name,
+                    "sizes": list(profile.sizes),
+                    "n_pairs": profile.n_pairs,
+                    "runs_per_pair": profile.runs_per_pair,
+                    "n_workers": n_workers,
+                    "max_retries": max_retries,
+                    "cell_timeout": cell_timeout,
+                },
+            ),
+        )
+        with activate_run(run):
+            artifact = fn(profile, seed, n_workers)
+            run.add_artifact("artifact.txt", text=artifact)
+        return artifact

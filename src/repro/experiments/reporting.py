@@ -16,6 +16,7 @@ from repro.experiments.deviation import DeviationStudy, ga_variant_study
 from repro.experiments.figures import compute_fig3
 from repro.experiments.runner import get_comparison
 from repro.experiments.spec import ScaleProfile, active_profile
+from repro.runstore import current_run
 from repro.experiments.table1 import Table1Result, compute_table1
 from repro.experiments.table2 import Table2Result, compute_table2
 from repro.experiments.table3 import Table3Result, compute_table3
@@ -101,7 +102,7 @@ def build_report(
         f"{f.attempts} attempts ({f.message})"
         for group, f in t3.failures
     )
-    return ReproductionReport(
+    report = ReproductionReport(
         profile=profile,
         seed=seed,
         table1=t1,
@@ -114,6 +115,16 @@ def build_report(
         convergence=convergence,
         dispatch_failures=dispatch_failures,
     )
+    run = current_run()
+    if run is not None:
+        run.record_metrics(
+            "report-verdicts",
+            {
+                "verdicts": report.verdicts(),
+                "dispatch_failures": len(report.dispatch_failures),
+            },
+        )
+    return report
 
 
 def _md_table(headers: list[str], rows: list[list[str]]) -> str:

@@ -46,6 +46,7 @@ from repro.runtime.budget import EvaluationBudget
 from repro.runtime.checkpoint import CheckpointWriter
 from repro.runtime.hooks import SearchHooks
 from repro.runtime.registry import SolverSpec
+from repro.runstore import current_run
 from repro.stats.comparison import SeriesBySize
 from repro.utils.parallel import RetryPolicy, WorkerPool
 from repro.utils.rng import RngStreams
@@ -346,6 +347,16 @@ def run_comparison(
         max_retries=max_retries, cell_timeout=cell_timeout
     )
 
+    active = current_run()
+    if active is not None:
+        active.log_event(
+            "comparison-started",
+            profile=profile.name,
+            seed=seed,
+            heuristics=sorted(mappers),
+            sizes=list(profile.sizes),
+        )
+
     with WorkerPool(n_workers) as pool:
         suite = build_suite(profile.sizes, profile.n_pairs, seed=seed, pool=pool)
 
@@ -414,7 +425,7 @@ def run_comparison(
             values[name] = tuple(per_size)
         return SeriesBySize(metric=metric, sizes=tuple(profile.sizes), values=values)
 
-    return ComparisonData(
+    data = ComparisonData(
         profile_name=profile.name,
         seed=seed,
         sizes=tuple(profile.sizes),
@@ -422,6 +433,43 @@ def run_comparison(
         mt_series=mean_series("MT (s)", lambda r: r.mapping_time),
         records=records,
         failures=failures,
+    )
+    if active is not None:
+        _record_comparison(active, data, n_cells=len(cells))
+    return data
+
+
+def _record_comparison(run: Any, data: ComparisonData, *, n_cells: int) -> None:
+    """Log one finished §5.3 comparison into the active run.
+
+    The aggregate series land in ``metrics.json`` (keyed by profile+seed so
+    distinct comparisons inside one run never clobber each other) and the
+    full per-record payload — everything ``load_comparison`` needs — goes
+    to ``artifacts/``.
+    """
+    from repro.experiments.persistence import comparison_to_dict
+
+    tag = f"{data.profile_name}-seed{data.seed}"
+    run.record_metrics(
+        f"comparison-{tag}",
+        {
+            "profile": data.profile_name,
+            "seed": data.seed,
+            "sizes": list(data.sizes),
+            "cells": n_cells,
+            "records": len(data.records),
+            "failures": len(data.failures),
+            "et_mean_by_size": {k: list(v) for k, v in data.et_series.values.items()},
+            "mt_mean_by_size": {k: list(v) for k, v in data.mt_series.values.items()},
+        },
+    )
+    run.add_artifact(f"comparison-{tag}.json", payload=comparison_to_dict(data))
+    run.log_event(
+        "comparison-finished",
+        profile=data.profile_name,
+        seed=data.seed,
+        records=len(data.records),
+        failures=len(data.failures),
     )
 
 

@@ -7,11 +7,12 @@ prints the published values alongside for the reproduction log.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.experiments import paper_data
 from repro.experiments.runner import ComparisonData, get_comparison
 from repro.experiments.spec import ScaleProfile, active_profile
+from repro.runstore import current_run
 from repro.utils.tables import format_table
 
 __all__ = ["Table1Result", "compute_table1", "render_table1"]
@@ -48,12 +49,16 @@ def compute_table1(
     data: ComparisonData = get_comparison(profile, seed=seed, n_workers=n_workers)
     et = data.et_series
     ratio = et.ratio_row("FastMap-GA", "MaTCH")
-    return Table1Result(
+    result = Table1Result(
         sizes=et.sizes,
         et_ga=et.values["FastMap-GA"],
         et_match=et.values["MaTCH"],
         ratio=ratio,
     )
+    run = current_run()
+    if run is not None:
+        run.record_metrics("table1", asdict(result))
+    return result
 
 
 def render_table1(

@@ -10,11 +10,12 @@ population), with the ratio crossing 1 at small n.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.experiments import paper_data
 from repro.experiments.runner import get_comparison
 from repro.experiments.spec import ScaleProfile, active_profile
+from repro.runstore import current_run
 from repro.utils.tables import format_table
 
 __all__ = ["Table2Result", "compute_table2", "render_table2"]
@@ -46,12 +47,16 @@ def compute_table2(
     data = get_comparison(profile, seed=seed, n_workers=n_workers)
     mt = data.mt_series
     ratio = mt.ratio_row("MaTCH", "FastMap-GA")
-    return Table2Result(
+    result = Table2Result(
         sizes=mt.sizes,
         mt_ga=mt.values["FastMap-GA"],
         mt_match=mt.values["MaTCH"],
         ratio=ratio,
     )
+    run = current_run()
+    if run is not None:
+        run.record_metrics("table2", asdict(result))
+    return result
 
 
 def render_table2(result: Table2Result, *, include_paper: bool = True) -> str:

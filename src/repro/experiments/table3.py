@@ -28,6 +28,7 @@ from repro.core.match import MatchMapper
 from repro.experiments import paper_data
 from repro.experiments.spec import ScaleProfile, active_profile
 from repro.experiments.suite import build_suite
+from repro.runstore import current_run
 from repro.stats.anova import AnovaResult, one_way_anova
 from repro.stats.descriptive import SampleSummary, summarize_sample
 from repro.utils.parallel import CellFailure, WorkerPool
@@ -130,7 +131,7 @@ def compute_table3(
         summarize_sample(vals, label=name) for name, vals in samples.items()
     )
     anova = one_way_anova(list(samples.values()))
-    return Table3Result(
+    result = Table3Result(
         size=size,
         runs=profile.anova_runs,
         summaries=summaries,
@@ -138,6 +139,24 @@ def compute_table3(
         samples=samples,
         failures=tuple(failures),
     )
+    run = current_run()
+    if run is not None:
+        run.record_metrics(
+            "table3",
+            {
+                "size": size,
+                "runs": profile.anova_runs,
+                "groups": {
+                    s.label: {"mean": s.mean, "std": s.std, "median": s.median,
+                              "ci_low": s.ci_low, "ci_high": s.ci_high}
+                    for s in summaries
+                },
+                "anova": {"f_value": anova.f_value, "p_value": anova.p_value,
+                          "df_between": anova.df_between, "df_within": anova.df_within},
+                "failed_replications": len(failures),
+            },
+        )
+    return result
 
 
 def render_table3(result: Table3Result, *, include_paper: bool = True) -> str:

@@ -1,0 +1,73 @@
+"""The run-store substrate: every run writes ``runs/{run_id}/``.
+
+One directory per run — ``manifest.json`` (provenance: git SHA, env
+surface, kernel backend, seeds, problem checksums), ``metrics.json``
+(results), ``events.jsonl`` (lifecycle log), ``artifacts/`` (checkpoints,
+report snapshots). Experiments, benchmarks, and the CLI all report through
+here; :mod:`repro.runstore.perf` folds benchmark reports into the tracked
+``perf/history.jsonl`` that ``repro perf check`` gates CI against.
+
+See DESIGN.md §13.
+"""
+
+from repro.runstore.bench import BenchResult
+from repro.runstore.manifest import (
+    MANIFEST_SCHEMA,
+    REPRO_ENV_KEYS,
+    build_manifest,
+    env_surface,
+    git_revision,
+    host_class,
+    host_info,
+    kernel_backend_name,
+    pinned_env,
+    problem_checksum,
+)
+from repro.runstore.perf import (
+    PerfCheckEntry,
+    PerfCheckResult,
+    PerfSample,
+    append_history,
+    check_report,
+    load_history,
+    samples_from_bench,
+)
+from repro.runstore.store import (
+    RunEventHook,
+    RunHandle,
+    RunStore,
+    RunStoreError,
+    activate_run,
+    current_run,
+    default_runs_dir,
+    diff_manifests,
+)
+
+__all__ = [
+    "BenchResult",
+    "MANIFEST_SCHEMA",
+    "REPRO_ENV_KEYS",
+    "build_manifest",
+    "env_surface",
+    "git_revision",
+    "host_class",
+    "host_info",
+    "kernel_backend_name",
+    "pinned_env",
+    "problem_checksum",
+    "PerfCheckEntry",
+    "PerfCheckResult",
+    "PerfSample",
+    "append_history",
+    "check_report",
+    "load_history",
+    "samples_from_bench",
+    "RunEventHook",
+    "RunHandle",
+    "RunStore",
+    "RunStoreError",
+    "activate_run",
+    "current_run",
+    "default_runs_dir",
+    "diff_manifests",
+]

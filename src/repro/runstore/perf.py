@@ -1,0 +1,431 @@
+"""Tracked perf history and the regression gate behind ``repro perf check``.
+
+The two loose ``BENCH_*.json`` files used to be the entire perf record: a
+regression was only caught if someone happened to re-run the right bench
+and eyeball the right number. This module folds benchmark reports into one
+append-only ``perf/history.jsonl``, where each line is a
+:class:`PerfSample` — a single numeric observation keyed by
+
+    (benchmark, group, metric, host_class, scale)
+
+``host_class`` (e.g. ``linux-x86_64``) keeps an ARM laptop from gating
+against a CI-fleet baseline; ``scale`` (``smoke`` vs ``full``) keeps the
+30-second CI benches from gating against full paper-scale numbers.
+
+:func:`check_report` compares a fresh bench report against history with
+per-metric relative tolerances (direction inferred from the metric name:
+``*speedup*``/``*_per_s`` are higher-is-better, ``*seconds*`` lower) plus
+optional absolute ``floor`` values carried on history lines — which is how
+the PR 6 acceptance gate (compiled kernel >= 2.5x the numpy path) survives
+as an enforced check instead of a comment. Metrics with no matching
+baseline are *skipped*, never failed: new benches enter history before
+they start gating.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "PerfSample",
+    "PerfCheckEntry",
+    "PerfCheckResult",
+    "samples_from_bench",
+    "append_history",
+    "load_history",
+    "check_report",
+    "infer_direction",
+    "tolerance_for",
+]
+
+HISTORY_SCHEMA = "repro.perf-sample/1"
+
+#: Report keys that are provenance, not measurements.
+_META_KEYS = frozenset({"benchmark", "smoke", "generated", "host", "schema"})
+
+#: Default relative tolerances by metric kind. Wall-clock derived numbers
+#: are noisy on shared CI runners, so raw times and throughputs get wide
+#: bands; ratios of two timings measured in the same process (speedups)
+#: cancel most machine noise and gate tighter.
+_TOLERANCE_SPEEDUP = 0.35
+_TOLERANCE_THROUGHPUT = 0.60
+_TOLERANCE_TIME = 0.75
+
+
+class PerfHistoryError(ReproError):
+    """Raised for unreadable history files or malformed samples."""
+
+
+@dataclass(frozen=True)
+class PerfSample:
+    """One numeric observation in the perf history."""
+
+    benchmark: str
+    group: str
+    metric: str
+    value: float
+    host_class: str
+    scale: str  # "smoke" | "full"
+    floor: float | None = None  # absolute acceptance floor (higher-is-better)
+    git_sha: str | None = None
+    generated: str | None = None
+
+    @property
+    def key(self) -> tuple[str, str, str, str, str]:
+        return (self.benchmark, self.group, self.metric, self.host_class, self.scale)
+
+    def to_json(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "schema": HISTORY_SCHEMA,
+            "benchmark": self.benchmark,
+            "group": self.group,
+            "metric": self.metric,
+            "value": self.value,
+            "host_class": self.host_class,
+            "scale": self.scale,
+        }
+        if self.floor is not None:
+            record["floor"] = self.floor
+        if self.git_sha is not None:
+            record["git_sha"] = self.git_sha
+        if self.generated is not None:
+            record["generated"] = self.generated
+        return record
+
+    @classmethod
+    def from_json(cls, record: Mapping[str, Any]) -> "PerfSample":
+        try:
+            return cls(
+                benchmark=str(record["benchmark"]),
+                group=str(record["group"]),
+                metric=str(record["metric"]),
+                value=float(record["value"]),
+                host_class=str(record["host_class"]),
+                scale=str(record["scale"]),
+                floor=None if record.get("floor") is None else float(record["floor"]),
+                git_sha=record.get("git_sha"),
+                generated=record.get("generated"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PerfHistoryError(f"malformed perf sample {dict(record)!r}: {exc}") from exc
+
+
+def infer_direction(metric: str) -> str:
+    """``"higher"``, ``"lower"``, or ``"neutral"`` from the metric name.
+
+    Neutral metrics (counts, sizes, flags folded to numbers) are recorded
+    for the archaeology but never gated — a change in either direction is
+    information, not a regression.
+    """
+    name = metric.lower()
+    if "speedup" in name or name.endswith("_per_s") or "throughput" in name:
+        return "higher"
+    if "seconds" in name or name.endswith("_s") or name.endswith("_time"):
+        return "lower"
+    return "neutral"
+
+
+def tolerance_for(metric: str, overrides: Mapping[str, float] | None = None) -> float:
+    """The relative tolerance band for ``metric`` (overrides win, by exact
+    ``group.metric`` name or bare metric suffix)."""
+    if overrides:
+        if metric in overrides:
+            return overrides[metric]
+        tail = metric.rsplit(".", 1)[-1]
+        if tail in overrides:
+            return overrides[tail]
+    name = metric.lower()
+    if "speedup" in name:
+        return _TOLERANCE_SPEEDUP
+    if name.endswith("_per_s") or "throughput" in name:
+        return _TOLERANCE_THROUGHPUT
+    return _TOLERANCE_TIME
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _walk_numeric(prefix: str, obj: Any, out: dict[str, float]) -> None:
+    if isinstance(obj, Mapping):
+        for key in sorted(obj):
+            _walk_numeric(f"{prefix}.{key}" if prefix else str(key), obj[key], out)
+    elif _is_number(obj):
+        out[prefix] = float(obj)
+
+
+def _acceptance_samples(
+    benchmark: str, acceptance: Any, host_class: str, scale: str
+) -> list[PerfSample]:
+    """Acceptance blocks become floor-carrying samples.
+
+    Any dict in the acceptance subtree that pairs a numeric ``measured*``
+    key with a ``target*`` key yields one sample whose ``floor`` is the
+    target — e.g. ``{"target_speedup": 2.5, "measured_speedup": 3.4}``
+    becomes a sample gated at >= 2.5 forever after. Floors only attach on
+    full-scale reports: a smoke run records its measured ratio for trend
+    tracking, but the acceptance bar is a paper-scale claim a smoke
+    workload legitimately falls short of (``met`` is ``None`` there).
+    """
+    samples: list[PerfSample] = []
+
+    def visit(prefix: str, obj: Any) -> None:
+        if not isinstance(obj, Mapping):
+            return
+        targets = {k: v for k, v in obj.items() if k.startswith("target") and _is_number(v)}
+        for key in sorted(obj):
+            value = obj[key]
+            if key.startswith("measured") and _is_number(value):
+                suffix = key[len("measured"):].lstrip("_")
+                floor = None
+                if scale == "full":
+                    for tkey in sorted(targets):
+                        if not suffix or suffix in tkey or tkey == "target":
+                            floor = float(targets[tkey])
+                            break
+                samples.append(
+                    PerfSample(
+                        benchmark=benchmark,
+                        group="acceptance",
+                        metric=f"{prefix}.{key}" if prefix else key,
+                        value=float(value),
+                        host_class=host_class,
+                        scale=scale,
+                        floor=floor,
+                    )
+                )
+            elif isinstance(value, Mapping):
+                visit(f"{prefix}.{key}" if prefix else key, value)
+
+    visit("", acceptance)
+    return samples
+
+
+def _host_class_of(report: Mapping[str, Any], override: str | None) -> str:
+    if override is not None:
+        return override
+    host = report.get("host")
+    if isinstance(host, Mapping):
+        if isinstance(host.get("host_class"), str):
+            return str(host["host_class"])
+        # Pre-run-store reports only carried platform.platform() strings
+        # like "Linux-6.8.0-...-x86_64-with-glibc2.39".
+        plat = str(host.get("platform", ""))
+        parts = plat.split("-")
+        if len(parts) >= 3:
+            for arch in ("x86_64", "aarch64", "arm64", "amd64"):
+                if arch in parts:
+                    return f"{parts[0]}-{arch}".lower()
+    return "unknown"
+
+
+def samples_from_bench(
+    report: Mapping[str, Any],
+    *,
+    host_class: str | None = None,
+    git_sha: str | None = None,
+) -> list[PerfSample]:
+    """Flatten one bench report into perf samples.
+
+    Top-level keys other than the provenance block become *groups*; every
+    numeric leaf under a group becomes a metric (dotted path). The
+    ``acceptance`` block is handled specially — see
+    :func:`_acceptance_samples`.
+    """
+    benchmark = str(report.get("benchmark", "unknown"))
+    scale = "smoke" if report.get("smoke") else "full"
+    hc = _host_class_of(report, host_class)
+    generated = report.get("generated")
+    samples: list[PerfSample] = []
+    for key in sorted(report):
+        if key in _META_KEYS:
+            continue
+        if key == "acceptance":
+            for sample in _acceptance_samples(benchmark, report[key], hc, scale):
+                samples.append(
+                    PerfSample(
+                        **{**sample.__dict__, "git_sha": git_sha, "generated": generated}
+                    )
+                )
+            continue
+        leaves: dict[str, float] = {}
+        _walk_numeric("", report[key], leaves)
+        for metric, value in sorted(leaves.items()):
+            samples.append(
+                PerfSample(
+                    benchmark=benchmark,
+                    group=key,
+                    metric=metric or key,
+                    value=value,
+                    host_class=hc,
+                    scale=scale,
+                    git_sha=git_sha,
+                    generated=generated,
+                )
+            )
+    return samples
+
+
+def append_history(path: str | Path, samples: Iterable[PerfSample]) -> int:
+    """Append samples to the history file; returns the number written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with open(path, "a", encoding="utf-8") as fh:
+        for sample in samples:
+            fh.write(json.dumps(sample.to_json(), sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def load_history(path: str | Path) -> list[PerfSample]:
+    """All samples in the history file (order preserved)."""
+    path = Path(path)
+    if not path.is_file():
+        return []
+    samples = []
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise PerfHistoryError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+        samples.append(PerfSample.from_json(record))
+    return samples
+
+
+@dataclass(frozen=True)
+class PerfCheckEntry:
+    """Verdict for one fresh metric against its history baseline."""
+
+    benchmark: str
+    group: str
+    metric: str
+    status: str  # "ok" | "regression" | "skipped"
+    fresh: float
+    baseline: float | None
+    floor: float | None
+    tolerance: float
+    direction: str
+    detail: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.benchmark}:{self.group}:{self.metric}"
+
+
+@dataclass
+class PerfCheckResult:
+    """Aggregate verdict for one or more fresh bench reports."""
+
+    entries: list[PerfCheckEntry] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[PerfCheckEntry]:
+        return [e for e in self.entries if e.status == "regression"]
+
+    @property
+    def checked(self) -> list[PerfCheckEntry]:
+        return [e for e in self.entries if e.status != "skipped"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def summary(self) -> str:
+        lines = []
+        for entry in self.entries:
+            mark = {"ok": "ok  ", "regression": "FAIL", "skipped": "skip"}[entry.status]
+            lines.append(f"  [{mark}] {entry.label}: {entry.detail}")
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"perf check: {verdict} — {len(self.checked)} gated, "
+            f"{len(self.regressions)} regressed, "
+            f"{len(self.entries) - len(self.checked)} skipped "
+            "(neutral metric or no baseline)"
+        )
+        return "\n".join(lines)
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def check_report(
+    fresh: Iterable[PerfSample],
+    history: Iterable[PerfSample],
+    *,
+    tolerances: Mapping[str, float] | None = None,
+) -> PerfCheckResult:
+    """Gate fresh samples against the history baseline.
+
+    The baseline for a sample is the *median* history value under the same
+    (benchmark, group, metric, host_class, scale) key — medians shrug off
+    the occasional noisy CI run that lands in history. A fresh value
+    regresses when it falls outside the tolerance band in the bad
+    direction, or (for floor-carrying baselines) below the absolute floor.
+    Neutral-direction metrics and metrics with no baseline are skipped.
+    """
+    by_key: dict[tuple[str, str, str, str, str], list[PerfSample]] = {}
+    for sample in history:
+        by_key.setdefault(sample.key, []).append(sample)
+
+    result = PerfCheckResult()
+    for sample in fresh:
+        qualified = f"{sample.group}.{sample.metric}"
+        direction = infer_direction(sample.metric)
+        tolerance = tolerance_for(qualified, tolerances)
+        baselines = by_key.get(sample.key, [])
+        floors = [b.floor for b in baselines if b.floor is not None]
+        floor = max(floors) if floors else None
+
+        if not baselines:
+            result.entries.append(
+                PerfCheckEntry(
+                    sample.benchmark, sample.group, sample.metric, "skipped",
+                    sample.value, None, None, tolerance, direction,
+                    "no baseline for this host-class/scale",
+                )
+            )
+            continue
+
+        baseline = _median([b.value for b in baselines])
+        status = "ok"
+        detail = f"{sample.value:.4g} vs baseline {baseline:.4g} (tol {tolerance:.0%})"
+
+        if floor is not None and sample.value < floor:
+            status = "regression"
+            detail = f"{sample.value:.4g} below absolute floor {floor:.4g}"
+        elif direction == "higher" and sample.value < baseline * (1.0 - tolerance):
+            status = "regression"
+            detail = (
+                f"{sample.value:.4g} < {baseline * (1.0 - tolerance):.4g} "
+                f"(baseline {baseline:.4g} - {tolerance:.0%})"
+            )
+        elif direction == "lower" and sample.value > baseline * (1.0 + tolerance):
+            status = "regression"
+            detail = (
+                f"{sample.value:.4g} > {baseline * (1.0 + tolerance):.4g} "
+                f"(baseline {baseline:.4g} + {tolerance:.0%})"
+            )
+        elif direction == "neutral":
+            status = "skipped"
+            detail = f"{sample.value:.4g} recorded (neutral metric, not gated)"
+
+        result.entries.append(
+            PerfCheckEntry(
+                sample.benchmark, sample.group, sample.metric, status,
+                sample.value, baseline, floor, tolerance, direction, detail,
+            )
+        )
+    return result

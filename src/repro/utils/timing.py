@@ -10,11 +10,26 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from datetime import datetime, timezone
 from typing import Any, Callable, TypeVar
 
-__all__ = ["Stopwatch", "TimingRecord", "time_call"]
+__all__ = ["Stopwatch", "TimingRecord", "time_call", "utc_stamp"]
 
 T = TypeVar("T")
+
+
+def utc_stamp() -> str:
+    """The one sanctioned wall-clock *timestamp* in the library.
+
+    Every ``generated`` field and run timestamp (run-store manifests,
+    benchmark reports, perf-history samples) routes through this helper so
+    provenance stamps are uniform (UTC, second precision, ISO 8601 with a
+    ``Z`` suffix) and the wallclock lint debt stays at exactly one call
+    site. Timestamps are provenance only — they must never feed back into
+    a reported result.
+    """
+    now = datetime.now(timezone.utc)  # repro: noqa[wallclock] sole provenance stamp; results only carry Stopwatch durations
+    return now.strftime("%Y-%m-%dT%H:%M:%SZ")
 
 
 @dataclass(frozen=True)

@@ -471,3 +471,70 @@ class TestEngineBasics:
         findings = findings_for(src)
         assert findings == sorted(findings)
         assert all(f.path == LIB and f.line >= 1 for f in findings)
+
+
+class TestRunDiscipline:
+    BENCH = "benchmarks/bench_toy.py"
+    EXP = "src/repro/experiments/toy.py"
+
+    def test_json_dump_flagged_in_benchmarks(self):
+        src = """
+            import json
+            def save(report, fh):
+                json.dump(report, fh)
+        """
+        assert "run-discipline" in rules_hit(src, path=self.BENCH)
+
+    def test_json_dumps_flagged_in_experiments(self):
+        src = """
+            import json
+            def save(report):
+                return json.dumps(report)
+        """
+        assert "run-discipline" in rules_hit(src, path=self.EXP)
+
+    def test_open_for_write_flagged(self):
+        src = """
+            def save(path, text):
+                with open(path, "w") as fh:
+                    fh.write(text)
+        """
+        assert "run-discipline" in rules_hit(src, path=self.BENCH)
+
+    def test_write_text_flagged(self):
+        src = """
+            from pathlib import Path
+            def save(path, text):
+                Path(path).write_text(text)
+        """
+        assert "run-discipline" in rules_hit(src, path=self.BENCH)
+
+    def test_read_paths_stay_clean(self):
+        src = """
+            import json
+            from pathlib import Path
+            def load(path):
+                with open(path) as fh:
+                    return json.load(fh)
+            def load2(path):
+                return json.loads(Path(path).read_text())
+        """
+        assert "run-discipline" not in rules_hit(src, path=self.BENCH)
+
+    def test_library_code_is_out_of_scope(self):
+        # The run-store itself (and any non-experiment library layer) must
+        # write files; the rule scopes to result-producing entry points.
+        src = """
+            import json
+            def save(report, fh):
+                json.dump(report, fh)
+        """
+        assert "run-discipline" not in rules_hit(src, path=LIB)
+
+    def test_computed_mode_stays_quiet(self):
+        src = """
+            def save(path, mode):
+                with open(path, mode) as fh:
+                    fh.write("x")
+        """
+        assert "run-discipline" not in rules_hit(src, path=self.BENCH)

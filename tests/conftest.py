@@ -24,6 +24,27 @@ from repro.graphs import (
 from repro.mapping import CostModel, MappingProblem
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _runs_dir_sandbox(tmp_path_factory):
+    """Point the run-store at a session temp directory.
+
+    Every experiment/CLI/bench entry point records a ``runs/{run_id}/``
+    directory; without this pin the suite would scatter run directories
+    through the working tree. Tests that assert on run contents use their
+    own ``REPRO_RUNS_DIR`` (monkeypatch wins over this session default).
+    """
+    import os
+
+    root = tmp_path_factory.mktemp("runstore")
+    previous = os.environ.get("REPRO_RUNS_DIR")
+    os.environ["REPRO_RUNS_DIR"] = str(root)
+    yield root
+    if previous is None:
+        os.environ.pop("REPRO_RUNS_DIR", None)
+    else:
+        os.environ["REPRO_RUNS_DIR"] = previous
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A fresh deterministic generator per test."""

@@ -1,0 +1,81 @@
+"""BenchResult: the one way a benchmark writes its report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runstore import BenchResult, RunStore
+
+
+def _result(**kwargs):
+    defaults = dict(
+        smoke=True,
+        groups={"stages": {"warm": {"seconds": 1.5}}, "flag": True},
+        acceptance={"target_speedup": 2.0, "measured_speedup": 3.0, "met": None},
+        host_extra={"kernel_backends": ["numpy"]},
+    )
+    defaults.update(kwargs)
+    return BenchResult("toy", **defaults)
+
+
+class TestReportShape:
+    def test_schema_keys_and_groups_at_top_level(self):
+        report = _result().build_report()
+        assert report["benchmark"] == "toy"
+        assert report["smoke"] is True
+        assert "generated" in report
+        assert report["stages"]["warm"]["seconds"] == 1.5
+        assert report["flag"] is True
+        assert report["acceptance"]["met"] is None
+        # host = standard facts + bench-specific extras, merged.
+        assert report["host"]["kernel_backends"] == ["numpy"]
+        assert "platform" in report["host"] and "python" in report["host"]
+
+    def test_group_name_may_not_shadow_schema_keys(self):
+        with pytest.raises(ValueError, match="collides"):
+            BenchResult("toy", smoke=True, groups={"host": {}})
+
+    def test_report_is_json_pure(self):
+        # Tuples and numpy scalars must already be JSON-shaped, so the
+        # in-memory report compares equal to its disk round trip.
+        import numpy as np
+
+        report = _result(
+            groups={"g": {"sizes": (6, 8), "value": np.float64(1.5)}}
+        ).build_report()
+        assert report == json.loads(json.dumps(report))
+        assert report["g"]["sizes"] == [6, 8]
+
+
+class TestWrite:
+    def test_legacy_file_and_run_record(self, tmp_path):
+        out = tmp_path / "BENCH_toy.json"
+        runs = tmp_path / "runs"
+        report = _result().write(out, runs_root=runs)
+        assert json.loads(out.read_text()) == report
+
+        store = RunStore(runs)
+        (run_id,) = store.list_runs()
+        assert run_id.startswith("bench-toy-")
+        manifest = store.load_manifest(run_id)
+        assert manifest["status"] == "complete"
+        assert manifest["bench"] == {"smoke": True, "groups": ["flag", "stages"]}
+        metrics = store.load_metrics(run_id)
+        assert metrics["stages"] == {"warm": {"seconds": 1.5}}
+        assert metrics["acceptance"]["measured_speedup"] == 3.0
+        artifact = runs / run_id / "artifacts" / "report.json"
+        assert json.loads(artifact.read_text()) == report
+
+    def test_run_record_can_be_disabled(self, tmp_path):
+        out = tmp_path / "BENCH_toy.json"
+        _result().write(out, runs_root=tmp_path / "runs", record_run=False)
+        assert out.is_file()
+        assert not (tmp_path / "runs").exists()
+
+    def test_no_legacy_file_writes_only_the_run(self, tmp_path):
+        _result().write(out=None, runs_root=tmp_path / "runs")
+        store = RunStore(tmp_path / "runs")
+        assert len(store.list_runs()) == 1
+        assert not list(tmp_path.glob("BENCH_*.json"))

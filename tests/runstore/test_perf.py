@@ -1,0 +1,197 @@
+"""Perf history and the regression gate: sample extraction and verdicts.
+
+The synthetic-history cases pin both gate directions (a pass inside the
+tolerance band, a fail outside it, a fail below an absolute floor); the
+committed-history cases assert the PR 6 kernel acceptance gate (compiled
+backend >= 2.5x at n = 50) survives as an enforced check reproduced from
+``perf/history.jsonl`` alone.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.runstore import (
+    PerfSample,
+    append_history,
+    check_report,
+    load_history,
+    samples_from_bench,
+)
+from repro.runstore.perf import PerfHistoryError, infer_direction, tolerance_for
+
+REPO_ROOT = Path(__file__).parents[2]
+
+
+def _sample(metric="fused_seconds", value=1.0, *, group="end_to_end", floor=None,
+            scale="full", benchmark="ce_hotpath", host_class="linux-x86_64"):
+    return PerfSample(
+        benchmark=benchmark, group=group, metric=metric, value=value,
+        host_class=host_class, scale=scale, floor=floor,
+    )
+
+
+class TestDirections:
+    def test_speedup_and_throughput_are_higher_better(self):
+        assert infer_direction("speedup_fused_vs_serial") == "higher"
+        assert infer_direction("plain_rows_per_s") == "higher"
+        assert infer_direction("sampling.throughput") == "higher"
+
+    def test_times_are_lower_better(self):
+        assert infer_direction("fused_seconds") == "lower"
+        assert infer_direction("per_call_s") == "lower"
+        assert infer_direction("mean_execution_time") == "lower"
+
+    def test_counts_are_neutral(self):
+        assert infer_direction("batch_size") == "neutral"
+        assert infer_direction("n_runs") == "neutral"
+
+    def test_tolerance_overrides_win(self):
+        assert tolerance_for("stages.seconds", {"seconds": 0.1}) == 0.1
+        assert tolerance_for("x.speedup", None) == pytest.approx(0.35)
+
+
+class TestCheckReport:
+    def test_within_tolerance_passes(self):
+        history = [_sample(value=1.0), _sample(value=1.1)]
+        fresh = [_sample(value=1.3)]  # +24% on a lower-is-better, tol 75%
+        result = check_report(fresh, history)
+        assert result.ok
+        assert result.entries[0].status == "ok"
+
+    def test_time_blowup_regresses(self):
+        history = [_sample(value=1.0)]
+        result = check_report([_sample(value=2.0)], history)  # +100% > 75%
+        assert not result.ok
+        assert result.regressions[0].metric == "fused_seconds"
+        assert "FAIL" in result.summary()
+
+    def test_speedup_drop_regresses(self):
+        history = [_sample(metric="measured_speedup", value=4.0)]
+        result = check_report([_sample(metric="measured_speedup", value=2.0)], history)
+        assert not result.ok  # -50% on higher-is-better, tol 35%
+
+    def test_floor_beats_tolerance(self):
+        # Within the 35% band of the baseline, but below the absolute bar.
+        history = [_sample(metric="measured_speedup", value=2.8, floor=2.5)]
+        result = check_report([_sample(metric="measured_speedup", value=2.1)], history)
+        assert not result.ok
+        assert "floor" in result.regressions[0].detail
+
+    def test_median_baseline_shrugs_off_one_noisy_run(self):
+        history = [_sample(value=1.0), _sample(value=1.0), _sample(value=50.0)]
+        result = check_report([_sample(value=1.2)], history)
+        assert result.ok
+
+    def test_no_baseline_is_skipped_never_failed(self):
+        result = check_report([_sample(metric="brand_new_seconds")], [])
+        assert result.ok
+        assert result.entries[0].status == "skipped"
+
+    def test_scale_and_host_class_partition_baselines(self):
+        history = [_sample(value=1.0, scale="full")]
+        fresh = [_sample(value=100.0, scale="smoke")]  # full baseline must not gate it
+        result = check_report(fresh, history)
+        assert result.entries[0].status == "skipped"
+        other_host = [_sample(value=100.0, host_class="darwin-arm64")]
+        assert check_report(other_host, history).entries[0].status == "skipped"
+
+    def test_neutral_metrics_recorded_not_gated(self):
+        history = [_sample(metric="batch_size", value=200.0)]
+        result = check_report([_sample(metric="batch_size", value=900.0)], history)
+        assert result.ok
+        assert result.entries[0].status == "skipped"
+
+
+class TestSamplesFromBench:
+    REPORT = {
+        "benchmark": "toy",
+        "smoke": False,
+        "generated": "2026-01-01T00:00:00Z",
+        "host": {"host_class": "linux-x86_64", "platform": "ignored"},
+        "stages": {"warm": {"seconds": 1.5, "cells_per_s": 64.0}},
+        "acceptance": {
+            "criterion": "prose, not a number",
+            "target_speedup": 2.0,
+            "measured_speedup": 3.4,
+            "met": True,
+        },
+    }
+
+    def test_groups_flatten_to_dotted_metrics(self):
+        samples = {s.metric: s for s in samples_from_bench(self.REPORT)}
+        assert samples["warm.seconds"].value == 1.5
+        assert samples["warm.seconds"].group == "stages"
+        assert samples["warm.cells_per_s"].host_class == "linux-x86_64"
+        assert samples["warm.seconds"].scale == "full"
+
+    def test_full_scale_acceptance_carries_floor(self):
+        acc = [s for s in samples_from_bench(self.REPORT) if s.group == "acceptance"]
+        assert len(acc) == 1
+        assert acc[0].metric == "measured_speedup"
+        assert acc[0].value == 3.4
+        assert acc[0].floor == 2.0
+
+    def test_smoke_acceptance_has_no_floor(self):
+        smoke = {**self.REPORT, "smoke": True}
+        acc = [s for s in samples_from_bench(smoke) if s.group == "acceptance"]
+        assert acc[0].floor is None
+        assert acc[0].scale == "smoke"
+
+    def test_legacy_platform_string_yields_host_class(self):
+        legacy = {**self.REPORT, "host": {"platform": "Linux-6.8.0-x86_64-with-glibc2.39"}}
+        assert samples_from_bench(legacy)[0].host_class == "linux-x86_64"
+
+
+class TestHistoryFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        written = [_sample(value=1.25, floor=2.5), _sample(metric="other_seconds")]
+        assert append_history(path, written) == 2
+        assert load_history(path) == written
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(PerfHistoryError, match="history.jsonl:1"):
+            load_history(path)
+
+
+class TestCommittedHistory:
+    """The tracked perf/history.jsonl reproduces the landed perf gates."""
+
+    def test_kernel_gate_survives_in_history(self):
+        history = load_history(REPO_ROOT / "perf" / "history.jsonl")
+        floors = {
+            (s.benchmark, s.metric): s.floor
+            for s in history
+            if s.group == "acceptance" and s.floor is not None
+        }
+        # PR 6's acceptance bar: compiled kernel >= 2.5x at n=50.
+        assert floors[("ce_hotpath", "kernel.measured_speedup")] == 2.5
+        assert floors[("ce_hotpath", "measured_speedup_vs_seed_path")] == 3.0
+        assert floors[("parallel_runner", "measured_speedup")] == 2.0
+
+    def test_committed_report_passes_the_gate(self):
+        history = load_history(REPO_ROOT / "perf" / "history.jsonl")
+        report = json.loads((REPO_ROOT / "BENCH_ce_hotpath.json").read_text())
+        result = check_report(samples_from_bench(report), history)
+        assert result.ok, result.summary()
+        assert any(e.floor == 2.5 for e in result.checked)
+
+    def test_injected_regression_fails_the_gate(self):
+        history = load_history(REPO_ROOT / "perf" / "history.jsonl")
+        report = json.loads((REPO_ROOT / "BENCH_ce_hotpath.json").read_text())
+        report["acceptance"]["kernel"]["measured_speedup"] = 1.4  # < 2.5 floor
+        result = check_report(samples_from_bench(report), history)
+        assert not result.ok
+        assert any(
+            e.metric == "kernel.measured_speedup" and "floor" in e.detail
+            for e in result.regressions
+        )

@@ -1,0 +1,212 @@
+"""Run-store core: directory layout, atomicity, collisions, diffs, events.
+
+The kill test reuses the PR 3 idea (interrupt a live writer, assert the
+on-disk state is a consistent snapshot) against ``manifest.json``: a
+subprocess is SIGKILLed while rewriting the manifest in a tight loop, and
+the survivor file must always parse as complete JSON — ``os.replace``
+atomicity is the whole point of the store's write path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runstore import (
+    RunStore,
+    activate_run,
+    current_run,
+    diff_manifests,
+)
+from repro.runstore.store import RunStoreError
+
+
+@pytest.fixture
+def store(tmp_path) -> RunStore:
+    return RunStore(tmp_path / "runs")
+
+
+class TestLayout:
+    def test_start_run_creates_dir_and_manifest(self, store):
+        run = store.start_run("solve", manifest={"kind": "solve", "config": {"size": 8}})
+        assert run.path.is_dir()
+        manifest = store.load_manifest(run.run_id)
+        assert manifest["kind"] == "solve"
+        assert manifest["run_id"] == run.run_id
+        assert manifest["status"] == "running"
+        assert manifest["config"] == {"size": 8}
+        events = store.read_events(run.run_id)
+        assert [e["event"] for e in events] == ["run-started"]
+
+    def test_finalize_stamps_status_once(self, store):
+        run = store.start_run("solve")
+        run.finalize(status="complete")
+        run.finalize(status="failed")  # idempotent: first status wins
+        manifest = store.load_manifest(run.run_id)
+        assert manifest["status"] == "complete"
+        assert "finished" in manifest
+        assert [e["event"] for e in store.read_events(run.run_id)] == [
+            "run-started",
+            "run-finalized",
+        ]
+
+    def test_metrics_groups_accumulate_and_replace(self, store):
+        run = store.start_run("exp")
+        run.record_metrics("table1", {"rows": 3})
+        run.record_metrics("table2", {"rows": 5})
+        run.record_metrics("table1", {"rows": 4})
+        assert store.load_metrics(run.run_id) == {
+            "table1": {"rows": 4},
+            "table2": {"rows": 5},
+        }
+
+    def test_artifact_takes_exactly_one_source(self, store):
+        run = store.start_run("exp")
+        with pytest.raises(RunStoreError):
+            run.add_artifact("x.json")
+        with pytest.raises(RunStoreError):
+            run.add_artifact("x.json", text="hi", payload={"also": True})
+        target = run.add_artifact("x.json", payload={"ok": 1})
+        assert json.loads(target.read_text()) == {"ok": 1}
+
+    def test_invalid_run_id_rejected(self, store):
+        with pytest.raises(RunStoreError):
+            store.start_run("solve", run_id="../escape")
+
+    def test_missing_run_lists_known_ids(self, store):
+        store.start_run("solve", run_id="known-run")
+        with pytest.raises(RunStoreError, match="known-run"):
+            store.load_manifest("no-such-run")
+
+
+class TestCollisions:
+    def test_same_second_starts_get_suffixes(self, store):
+        first = store.start_run("solve", run_id="solve-20260101T000000")
+        second = store.start_run("solve", run_id="solve-20260101T000000")
+        third = store.start_run("solve", run_id="solve-20260101T000000")
+        assert first.run_id == "solve-20260101T000000"
+        assert second.run_id == "solve-20260101T000000-2"
+        assert third.run_id == "solve-20260101T000000-3"
+        # All three are real, listable runs — nothing was clobbered.
+        assert store.list_runs() == [first.run_id, second.run_id, third.run_id]
+
+    def test_collision_never_rewrites_existing_manifest(self, store):
+        first = store.start_run("solve", run_id="pinned")
+        first.update_manifest({"marker": "original"})
+        store.start_run("solve", run_id="pinned")
+        assert store.load_manifest("pinned")["marker"] == "original"
+
+
+class TestEvents:
+    def test_torn_tail_is_skipped(self, store):
+        run = store.start_run("exp")
+        run.log_event("good-one", n=1)
+        with open(run.path / "events.jsonl", "a", encoding="utf-8") as fh:
+            fh.write('{"t": "2026-01-01T00:00:00Z", "event": "torn')
+        events = store.read_events(run.run_id)
+        assert [e["event"] for e in events] == ["run-started", "good-one"]
+
+
+class TestActiveRun:
+    def test_activate_run_finalizes_complete(self, store):
+        run = store.start_run("exp")
+        assert current_run() is None
+        with activate_run(run) as active:
+            assert current_run() is active
+        assert current_run() is None
+        assert store.load_manifest(run.run_id)["status"] == "complete"
+
+    def test_activate_run_records_failure(self, store):
+        run = store.start_run("exp")
+        with pytest.raises(ValueError, match="boom"):
+            with activate_run(run):
+                raise ValueError("boom")
+        assert current_run() is None
+        assert store.load_manifest(run.run_id)["status"] == "failed"
+        failures = [e for e in store.read_events(run.run_id) if e["event"] == "run-failed"]
+        assert failures and "boom" in failures[0]["error"]
+
+    def test_nested_runs_stack(self, store):
+        outer = store.start_run("outer")
+        inner = store.start_run("inner")
+        with activate_run(outer):
+            with activate_run(inner):
+                assert current_run() is inner
+            assert current_run() is outer
+
+
+class TestDiff:
+    def test_volatile_keys_are_ignored(self, store):
+        a = store.start_run("solve", manifest={"kind": "solve", "config": {"size": 8}})
+        b = store.start_run("solve", manifest={"kind": "solve", "config": {"size": 8}})
+        a.finalize("complete")
+        b.finalize("failed")
+        assert store.diff(a.run_id, b.run_id) == {}
+
+    def test_kernel_backend_only_difference(self, store):
+        base = {"kind": "solve", "config": {"size": 8}, "env": {}}
+        a = store.start_run("solve", manifest={**base, "kernel_backend": "cext"})
+        b = store.start_run(
+            "solve",
+            manifest={**base, "kernel_backend": "numpy", "env": {"REPRO_KERNEL": "numpy"}},
+        )
+        delta = store.diff(a.run_id, b.run_id)
+        assert delta == {
+            "kernel_backend": ("cext", "numpy"),
+            "env.REPRO_KERNEL": (None, "numpy"),
+        }
+
+    def test_missing_key_reads_as_none(self):
+        delta = diff_manifests({"kind": "a", "x": 1}, {"kind": "a"})
+        assert delta == {"x": (1, None)}
+
+
+_KILL_WRITER = """
+import sys
+from repro.runstore import RunStore
+
+store = RunStore(sys.argv[1])
+run = store.start_run("victim", run_id="victim")
+print("ready", flush=True)
+i = 0
+while True:  # rewrite the manifest as fast as possible until killed
+    i += 1
+    run.update_manifest({"counter": i, "payload": "x" * 4096})
+"""
+
+
+class TestKillAtomicity:
+    def test_sigkill_mid_write_leaves_consistent_manifest(self, tmp_path):
+        """SIGKILL a process hot-looping manifest rewrites; the surviving
+        manifest.json must always be one complete snapshot."""
+        root = tmp_path / "runs"
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _KILL_WRITER, str(root)],
+            stdout=subprocess.PIPE,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(Path(__file__).parents[2] / "src")},
+        )
+        try:
+            assert proc.stdout.readline().strip() == "ready"
+            time.sleep(0.2)  # let it through many rewrite cycles
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.wait()
+
+        manifest = json.loads((root / "victim" / "manifest.json").read_text())
+        assert manifest["run_id"] == "victim"
+        assert manifest["counter"] >= 1
+        assert manifest["payload"] == "x" * 4096
+        # The writer's temp files never linger as the visible state.
+        survivors = [p.name for p in (root / "victim").iterdir()]
+        assert "manifest.json" in survivors
