@@ -9,8 +9,10 @@ measurement groups:
 * **scoring** — batch Eq. (2) throughput, plain vs duplicate-collapsed,
   with the measured collapse rate on a near-degenerate batch;
 * **end_to_end** — multi-run CE wall-clock: the fused multi-chain engine
-  (:meth:`MatchMapper.map_many`) vs a serial per-run loop vs the seed-path
-  replica. At ``n = 10`` this is the Table 3 MaTCH replication (30 paper
+  (:meth:`MatchMapper.map_many` with ``mode="fused"`` forced) vs a serial
+  per-run loop vs the seed-path replica, plus an ``auto`` stage recording
+  which path the crossover-aware default picks at this (n, R) and what it
+  costs. At ``n = 10`` this is the Table 3 MaTCH replication (30 paper
   repetitions, per-rep derived seeds); the recorded acceptance ratio is
   fused vs seed path there.
 
@@ -230,7 +232,11 @@ def _bench_end_to_end(
 
     Mirrors the Table 3 MaTCH group: one suite instance, ``n_runs``
     repetitions with per-rep derived seeds. The fused and serial paths must
-    produce identical execution times (seed-for-seed parity).
+    produce identical execution times (seed-for-seed parity). The fused
+    stage forces ``mode="fused"`` so the measurement stays comparable with
+    the committed history even where the crossover-aware auto-select would
+    choose the serial loop; a third ``auto`` stage records what
+    ``map_many``'s default now picks (and costs) at this (n, R).
     """
     instance = build_suite((size,), 1, seed=seed)[size][0]
     problem = instance.problem
@@ -240,13 +246,20 @@ def _bench_end_to_end(
     ]
     config = MatchConfig(max_iterations=max_iterations)
 
+    auto_mode: list[str] = []
+
     def fused() -> list[float]:
-        results = MatchMapper(config).map_many(problem, run_seeds)
+        results = MatchMapper(config).map_many(problem, run_seeds, mode="fused")
         return [r.execution_time for r in results]
 
     def serial() -> list[float]:
         mapper = MatchMapper(config)
         return [mapper.map(problem, s).execution_time for s in run_seeds]
+
+    def auto() -> list[float]:
+        results = MatchMapper(config).map_many(problem, run_seeds)
+        auto_mode[:] = [results[0].extras["multichain_mode"]] if results else []
+        return [r.execution_time for r in results]
 
     def seed_path() -> list[float]:
         from dataclasses import replace
@@ -275,6 +288,12 @@ def _bench_end_to_end(
             f"fused/serial execution times diverged at n={size}: "
             f"{ets_fused} vs {ets_serial}"
         )
+    t_auto, ets_auto = _best_of(auto, repeats)
+    if ets_auto != ets_fused:
+        raise AssertionError(
+            f"auto-mode execution times diverged at n={size}: "
+            f"{ets_auto} vs {ets_fused}"
+        )
     out = {
         "n": size,
         "n_runs": n_runs,
@@ -282,6 +301,12 @@ def _bench_end_to_end(
         "fused_seconds": t_fused,
         "serial_seconds": t_serial,
         "speedup_fused_vs_serial": t_serial / t_fused,
+        # The mode map_many picks on its own for this (n, R), plus what
+        # the crossover-aware auto-select actually costs relative to the
+        # better of the two hand-forced paths.
+        "auto_seconds": t_auto,
+        "auto_mode": auto_mode[0] if auto_mode else None,
+        "speedup_auto_vs_best_forced": min(t_fused, t_serial) / t_auto,
         "et_parity_fused_vs_serial": True,
         "mean_execution_time": float(np.mean(ets_fused)),
     }
@@ -424,7 +449,8 @@ def main() -> None:
             line = (
                 f"[{backend}] n={n}: fused {row['fused_seconds']:.3f}s, "
                 f"serial {row['serial_seconds']:.3f}s "
-                f"({row['speedup_fused_vs_serial']:.2f}x)"
+                f"({row['speedup_fused_vs_serial']:.2f}x), "
+                f"auto={row['auto_mode']} {row['auto_seconds']:.3f}s"
             )
             if "seed_path_seconds" in row:
                 line += (

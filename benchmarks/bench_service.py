@@ -1,0 +1,356 @@
+"""Mapping-gateway benchmark — writes ``BENCH_service.json``.
+
+Drives the :mod:`repro.service` gateway with an open-loop request trace —
+mixed problem sizes, Zipf-repeated jobs (a few hot (problem, seed) pairs
+dominate, a long tail appears once) — and compares it against the
+one-request-at-a-time baseline the gateway replaces: a sequential
+``spec.build().map(problem, seed)`` per request with no cache, no
+coalescing and no worker fabric.
+
+Three measurement groups:
+
+* **trace** — the workload's shape (request count, unique jobs, Zipf
+  exponent, size mix);
+* **baseline** — sequential per-request solving wall-clock;
+* **service** — the gateway on the same trace at ``--workers`` workers:
+  wall-clock, request throughput, cache hit rate, coalesce widths, and
+  client-observed latency percentiles.
+
+Every gateway response is checked bit-identical to the direct solve of
+its job (the cache/coalesce layer must be invisible in the numbers), and
+cache hits must carry ``charged == 0`` — hits are served without touching
+worker time or client quota. The acceptance bar is the ISSUE 9 claim:
+coalesced+cached serving >= ``TARGET_SERVICE_SPEEDUP``x the sequential
+baseline's throughput on the Zipf trace at 4 workers (full scale only).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--smoke] [--out PATH]
+        [--check] [--workers N] [--runs-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.graphs import generate_paper_pair
+from repro.mapping import MappingProblem
+from repro.runstore import BenchResult
+from repro.runtime.registry import SolverSpec
+from repro.service import MappingRequest, MappingService, ServiceConfig
+
+#: The ISSUE 9 acceptance bar: gateway throughput vs one-at-a-time solving
+#: on the Zipf trace at 4 workers.
+TARGET_SERVICE_SPEEDUP = 3.0
+
+#: Zipf popularity exponent for job repetition (rank r drawn ∝ 1/r^s).
+ZIPF_EXPONENT = 1.1
+
+
+# -- trace construction ---------------------------------------------------------
+
+
+def _build_jobs(
+    sizes: tuple[int, ...], n_jobs: int, max_iterations: int, seed: int
+) -> list[tuple[MappingProblem, SolverSpec, int]]:
+    """``n_jobs`` distinct (problem, spec, seed) jobs cycling the size mix."""
+    spec = SolverSpec.of("match", {"max_iterations": max_iterations})
+    jobs = []
+    for idx in range(n_jobs):
+        size = sizes[idx % len(sizes)]
+        pair = generate_paper_pair(size, seed + idx // len(sizes))
+        problem = MappingProblem(pair.tig, pair.resources, require_square=True)
+        jobs.append((problem, spec, seed + idx))
+    return jobs
+
+
+def _zipf_trace(n_jobs: int, n_requests: int, seed: int) -> list[int]:
+    """Job index per request: Zipf-weighted ranks, shuffled arrival order."""
+    ranks = np.arange(1, n_jobs + 1, dtype=np.float64)
+    weights = ranks ** -ZIPF_EXPONENT
+    weights /= weights.sum()
+    rng = np.random.default_rng(seed)
+    # Every job appears at least once (the long tail), the rest are
+    # popularity-weighted repeats of the head.
+    trace = list(range(n_jobs))
+    trace += rng.choice(n_jobs, size=max(0, n_requests - n_jobs), p=weights).tolist()
+    rng.shuffle(trace)
+    return [int(i) for i in trace]
+
+
+# -- measurement ----------------------------------------------------------------
+
+
+def _run_baseline(
+    jobs: list[tuple[MappingProblem, SolverSpec, int]],
+    trace: list[int],
+    rounds: int,
+) -> tuple[float, dict[int, dict]]:
+    """Sequential per-request solving; returns (seconds, per-job reference).
+
+    The reference payload (first occurrence per job) doubles as the
+    bit-parity oracle for the gateway's responses.
+    """
+    reference: dict[int, dict] = {}
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        for job_idx in trace:
+            problem, spec, seed = jobs[job_idx]
+            result = spec.build().map(problem, seed)
+            if job_idx not in reference:
+                reference[job_idx] = {
+                    "assignment": [int(x) for x in result.assignment],
+                    "execution_time": float(result.execution_time),
+                }
+    return time.perf_counter() - t0, reference
+
+
+async def _drive_service(
+    service: MappingService,
+    jobs: list[tuple[MappingProblem, SolverSpec, int]],
+    trace: list[int],
+    rounds: int,
+    gap_s: float,
+) -> tuple[float, list]:
+    """Open-loop replay: submit one request every ``gap_s``, gather all.
+
+    The trace is replayed for ``rounds`` rounds with a drain between them:
+    round one is the cold fill (coalesce + single-flight dedup), later
+    rounds are the steady-state repeat traffic a long-lived gateway serves
+    from the result cache.
+    """
+
+    async def submit(job_idx: int):
+        problem, spec, seed = jobs[job_idx]
+        request = MappingRequest(
+            problem=problem, solver=spec, seed=seed, client="bench"
+        )
+        return await service.submit(request)
+
+    t0 = time.perf_counter()
+    responses: list = []
+    for _ in range(rounds):
+        tasks = []
+        for job_idx in trace:
+            tasks.append(asyncio.ensure_future(submit(job_idx)))
+            await asyncio.sleep(gap_s)
+        responses.extend(await asyncio.gather(*tasks))
+    return time.perf_counter() - t0, responses
+
+
+def _run_service(
+    jobs: list[tuple[MappingProblem, SolverSpec, int]],
+    trace: list[int],
+    *,
+    rounds: int,
+    n_workers: int,
+    gap_s: float,
+) -> tuple[float, list, dict]:
+    """Gateway pass; pool startup happens before the clock starts (the
+    daemon is long-lived — trace replay measures serving, not spawn)."""
+
+    async def main():
+        config = ServiceConfig(
+            n_workers=n_workers, max_batch=16, coalesce_window=0.02
+        )
+        async with MappingService(config) as service:
+            elapsed, responses = await _drive_service(
+                service, jobs, trace, rounds, gap_s
+            )
+            return elapsed, responses, service.stats()
+
+    return asyncio.run(main())
+
+
+def _check_parity(responses: list, trace: list[int], reference: dict[int, dict]) -> None:
+    """Every gateway response must be bit-identical to the direct solve."""
+    for job_idx, response in zip(trace, responses):
+        if response.status != "ok":
+            raise AssertionError(
+                f"gateway response for job {job_idx} not ok: {response.status} "
+                f"({response.error})"
+            )
+        expect = reference[job_idx]
+        got = {
+            "assignment": response.result["assignment"],
+            "execution_time": response.result["execution_time"],
+        }
+        if got != expect:
+            raise AssertionError(
+                f"gateway result for job {job_idx} diverged from the direct "
+                f"solve: {got} vs {expect}"
+            )
+        if response.cached and response.charged != 0:
+            raise AssertionError(
+                f"cache hit for job {job_idx} charged {response.charged} "
+                "evaluations; hits must be free"
+            )
+
+
+def _percentile(values: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+# -- driver ---------------------------------------------------------------------
+
+
+def run(
+    smoke: bool = False,
+    out: str | Path | None = None,
+    runs_root: str | Path | None = None,
+    n_workers: int = 4,
+) -> dict:
+    if smoke:
+        sizes: tuple[int, ...] = (8, 10)
+        n_jobs, n_requests = 4, 12
+        max_iterations = 60
+        gap_s = 0.002
+        rounds = 2
+        n_workers = min(n_workers, 2)
+    else:
+        sizes = (10, 16, 24)
+        n_jobs, n_requests = 16, 80
+        max_iterations = 500
+        gap_s = 0.005
+        rounds = 2
+
+    jobs = _build_jobs(sizes, n_jobs, max_iterations, seed=2005)
+    trace = _zipf_trace(n_jobs, n_requests, seed=7)
+    total_requests = rounds * n_requests
+
+    baseline_s, reference = _run_baseline(jobs, trace, rounds)
+    service_s, responses, stats = _run_service(
+        jobs, trace, rounds=rounds, n_workers=n_workers, gap_s=gap_s
+    )
+    _check_parity(responses, trace * rounds, reference)
+
+    latencies = [r.latency_s for r in responses]
+    hits = [r for r in responses if r.cached]
+    speedup = (baseline_s / service_s) if service_s > 0 else float("inf")
+
+    trace_group = {
+        "n_requests_per_round": n_requests,
+        "rounds": rounds,
+        "n_requests": total_requests,
+        "n_unique_jobs": n_jobs,
+        "zipf_exponent": ZIPF_EXPONENT,
+        "sizes": list(sizes),
+        "max_iterations": max_iterations,
+        "arrival_gap_s": gap_s,
+    }
+    baseline_group = {
+        "seconds": baseline_s,
+        "requests_per_s": total_requests / baseline_s,
+    }
+    service_group = {
+        "workers": n_workers,
+        "seconds": service_s,
+        "requests_per_s": total_requests / service_s,
+        "speedup_vs_baseline": speedup,
+        "cache_hits": len(hits),
+        "cache_hit_rate": len(hits) / total_requests,
+        "coalesced_dedup": stats["coalesced_dedup"],
+        "batches": stats["batches"],
+        "coalesced_batches": stats["coalesced_batches"],
+        "max_batch_width": stats["max_batch_width"],
+        "mean_batch_width": stats["mean_batch_width"],
+        "worker_cells": stats["worker_cells"],
+        "latency_p50_s": _percentile(latencies, 50),
+        "latency_p95_s": _percentile(latencies, 95),
+        "hit_latency_p50_s": _percentile([r.latency_s for r in hits], 50) if hits else None,
+        "evaluations_charged_on_hits": sum(r.charged for r in hits),
+    }
+
+    acceptance = {
+        "criterion": (
+            "coalesced+cached gateway >= 3x the sequential one-request-at-"
+            "a-time throughput on the Zipf trace at 4 workers; every "
+            "response bit-identical to the direct solve; cache hits "
+            "charged zero worker evaluations"
+        ),
+        "target_speedup": TARGET_SERVICE_SPEEDUP,
+        "measured_speedup": speedup,
+        "parity_ok": True,
+        "hits_charged_zero": service_group["evaluations_charged_on_hits"] == 0,
+        "met": bool(speedup >= TARGET_SERVICE_SPEEDUP) if not smoke else None,
+    }
+
+    out_path = Path(out) if out is not None else Path(__file__).parent.parent / "BENCH_service.json"
+    return BenchResult(
+        "service",
+        smoke=smoke,
+        groups={
+            "trace": trace_group,
+            "baseline": baseline_group,
+            "service": service_group,
+        },
+        acceptance=acceptance,
+    ).write(out_path, runs_root=runs_root)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny trace (seconds, CI-friendly)"
+    )
+    parser.add_argument(
+        "--out", default=None, help="output JSON path (default: repo-root BENCH_service.json)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="gateway worker count (default: 4)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit non-zero unless the gateway clears "
+        f"{TARGET_SERVICE_SPEEDUP}x vs the baseline (full scale only)",
+    )
+    parser.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help="run-store root for this bench's runs/{run_id}/ record",
+    )
+    args = parser.parse_args()
+    report = run(
+        smoke=args.smoke,
+        out=args.out,
+        runs_root=args.runs_dir,
+        n_workers=args.workers,
+    )
+    svc = report["service"]
+    print(
+        f"baseline: {report['baseline']['seconds']:.3f}s "
+        f"({report['baseline']['requests_per_s']:.1f} req/s) | "
+        f"gateway[{svc['workers']}w]: {svc['seconds']:.3f}s "
+        f"({svc['requests_per_s']:.1f} req/s, {svc['speedup_vs_baseline']:.2f}x)"
+    )
+    print(
+        f"cache: {svc['cache_hits']} hits ({svc['cache_hit_rate']:.0%}), "
+        f"dedup {svc['coalesced_dedup']} | batches: {svc['batches']} "
+        f"({svc['coalesced_batches']} coalesced, max width {svc['max_batch_width']}) | "
+        f"latency p50 {svc['latency_p50_s']*1e3:.1f}ms p95 {svc['latency_p95_s']*1e3:.1f}ms"
+    )
+    acc = report["acceptance"]
+    print(
+        f"acceptance: {acc['measured_speedup']:.2f}x "
+        f"(target {acc['target_speedup']}x, met={acc['met']}, "
+        f"parity={acc['parity_ok']}, hits_free={acc['hits_charged_zero']})"
+    )
+    if args.check and acc["met"] is not True:
+        print(
+            f"--check FAILED: gateway did not clear {TARGET_SERVICE_SPEEDUP}x "
+            "vs the sequential baseline",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,7 +1,7 @@
 """run-discipline: result files in run-producing layers go through the run-store.
 
-Applies only inside ``repro/experiments/`` and ``benchmarks/`` — the layers
-whose output *is* the reproduction's evidence. There, a bare ``json.dump``,
+Applies only inside ``repro/experiments/``, ``repro/service/`` and
+``benchmarks/`` — the layers whose output *is* the reproduction's evidence. There, a bare ``json.dump``,
 a ``open(path, "w")``, or a ``Path.write_text`` is a result file with no
 manifest attached: no git SHA, no env surface, no seeds, nothing a later
 cross-run comparison can hold on to. Those layers must route persistent
@@ -22,8 +22,11 @@ from repro.analysis.rules import RUN_DISCIPLINE, path_matches
 
 __all__ = ["RunDisciplineChecker"]
 
-#: The layers where raw result-writing is banned.
-SCOPED_GLOBS = ("repro/experiments/*", "benchmarks/*")
+#: The layers where raw result-writing is banned. The service module is in
+#: scope since PR 9: a gateway's responses, cache entries and counters are
+#: run evidence too, and must land in the run store / the sanctioned
+#: ``repro.runstore.cache`` tier rather than ad-hoc files.
+SCOPED_GLOBS = ("repro/experiments/*", "repro/service/*", "benchmarks/*")
 
 #: ``open`` mode strings that create or truncate a file for writing.
 _WRITE_MODE_CHARS = frozenset("wax")

@@ -167,13 +167,13 @@ RULES: dict[str, Rule] = {
                 "open(..., 'w') carries no manifest — no git SHA, env "
                 "surface, kernel backend, or seeds — so the numbers it holds "
                 "cannot be attributed or replayed; run-producing layers "
-                "(repro/experiments, benchmarks) must route output through "
-                "repro.runstore (RunStore/RunHandle/BenchResult), which is "
-                "where provenance is attached"
+                "(repro/experiments, repro/service, benchmarks) must route "
+                "output through repro.runstore (RunStore/RunHandle/"
+                "BenchResult), which is where provenance is attached"
             ),
             # The rule only *applies* inside the run-producing layers; the
-            # positive scoping (experiments/ + benchmarks/) lives in the
-            # checker, since exempt_globs can only subtract.
+            # positive scoping (experiments/ + service/ + benchmarks/) lives
+            # in the checker, since exempt_globs can only subtract.
         ),
         Rule(
             id=RNG_PROVENANCE,

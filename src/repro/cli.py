@@ -93,6 +93,87 @@ def build_parser() -> argparse.ArgumentParser:
     _add_budget_args(resume)
     _add_runstore_args(resume)
 
+    serve = sub.add_parser(
+        "serve", help="run the mapping gateway daemon (HTTP, batch-coalescing, cached)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8753, help="bind port (default 8753)")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the shared pool (default: REPRO_WORKERS or cpus-1)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        metavar="N",
+        help="max requests coalesced into one dispatch batch (default 16)",
+    )
+    serve.add_argument(
+        "--coalesce-ms",
+        type=float,
+        default=10.0,
+        metavar="MS",
+        help="coalesce window in milliseconds (default 10)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="in-memory result-cache entries (default 1024)",
+    )
+    serve.add_argument(
+        "--no-cache-persist",
+        action="store_true",
+        help="disable the on-disk cache tier under <runs-dir>/service-cache",
+    )
+    serve.add_argument(
+        "--quota",
+        type=int,
+        default=None,
+        metavar="EVALS",
+        help="per-client evaluation quota (default: unlimited admission)",
+    )
+    serve.add_argument(
+        "--default-charge",
+        type=int,
+        default=25_000,
+        metavar="EVALS",
+        help="quota charge for requests without max_evaluations (default 25000)",
+    )
+    _add_kernel_arg(serve)
+    _add_runstore_args(serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit one mapping request to a running gateway"
+    )
+    submit.add_argument("--host", default="127.0.0.1", help="gateway host (default 127.0.0.1)")
+    submit.add_argument("--port", type=int, default=8753, help="gateway port (default 8753)")
+    submit.add_argument(
+        "--size", type=int, default=20, help="|V_t| = |V_r| of the generated instance"
+    )
+    submit.add_argument(
+        "--heuristic",
+        choices=solver_names(),
+        default="match",
+        help="solver-registry name (default: match)",
+    )
+    submit.add_argument(
+        "--seed", type=int, default=2005, help="instance + run seed (matches 'solve')"
+    )
+    submit.add_argument("--client", default="cli", help="client id for quota accounting")
+    submit.add_argument(
+        "--max-evaluations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluation cap for the solve (also the quota charge)",
+    )
+
     runs = sub.add_parser("runs", help="inspect and replay recorded runs")
     runs_sub = runs.add_subparsers(dest="runs_command", required=True)
     r_list = runs_sub.add_parser("list", help="list recorded run ids")
@@ -435,6 +516,84 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.runstore import default_runs_dir
+    from repro.service import MappingService, ServiceConfig, start_http_server
+
+    cache_dir = None
+    if not args.no_cache_persist:
+        root = Path(args.runs_dir) if args.runs_dir else default_runs_dir()
+        cache_dir = root / "service-cache"
+    config = ServiceConfig(
+        n_workers=args.workers,
+        max_batch=args.max_batch,
+        coalesce_window=args.coalesce_ms / 1000.0,
+        cache_capacity=args.cache_size,
+        cache_dir=cache_dir,
+        client_quota=args.quota,
+        default_charge=args.default_charge,
+    )
+    run = _start_cli_run(
+        args,
+        "service",
+        config={
+            "host": args.host,
+            "port": args.port,
+            "n_workers": args.workers,
+            "max_batch": args.max_batch,
+            "coalesce_ms": args.coalesce_ms,
+            "cache_size": args.cache_size,
+            "cache_persistent": cache_dir is not None,
+            "quota": args.quota,
+            "default_charge": args.default_charge,
+        },
+    )
+
+    async def _serve() -> None:
+        async with MappingService(config, run=run) as service:
+            server = await start_http_server(service, args.host, args.port)
+            host, port = server.sockets[0].getsockname()[:2]
+            print(f"serving on http://{host}:{port}", file=sys.stderr)
+            print(f"run recorded: {run.path}", file=sys.stderr)
+            try:
+                await server.serve_forever()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+    run.finalize(status="complete")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import submit_over_http
+
+    url = f"http://{args.host}:{args.port}"
+    payload = {
+        "problem": {"size": args.size, "seed": args.seed},
+        "solver": {"name": args.heuristic, "params": {}},
+        "seed": args.seed,
+        "client": args.client,
+        "max_evaluations": args.max_evaluations,
+    }
+    try:
+        status, response = submit_over_http(url, payload)
+    except OSError as exc:
+        print(f"error: cannot reach gateway at {url}: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if status == 200 else 1
+
+
 def _cmd_resume(args: argparse.Namespace) -> int:
     from repro.runstore import RunEventHook
     from repro.runtime import resume_run
@@ -639,6 +798,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_solve(args)
         if args.command == "resume":
             return _cmd_resume(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
         if args.command == "runs":
             return _cmd_runs(args)
         if args.command == "perf":

@@ -43,7 +43,35 @@ from repro.runtime.loop import SearchLoop
 from repro.runtime.solver import SearchSolver, SolveOutput, StepReport
 from repro.types import SeedLike
 
-__all__ = ["MatchMapper", "match_map"]
+__all__ = ["MatchMapper", "match_map", "FUSED_CROSSOVER_MAX_TASKS", "prefer_fused"]
+
+#: Measured fused/serial crossover for :meth:`MatchMapper.map_many`.
+#:
+#: The fused multi-chain engine wins below this task count and loses above
+#: it, on both the numpy and compiled backends (BENCH_ce_hotpath.json and
+#: a crossover scan at R ∈ {2, 4, 16} chains, max_iterations=500):
+#:
+#: ====  =====================  =========================
+#: n     serial/fused (R=4)     notes
+#: ====  =====================  =========================
+#: 10    1.14x  (fused wins)    3.57x at the R=30 Table 3 load
+#: 16    1.05x  (fused wins)    1.14x at R=2
+#: 24    0.91x  (serial wins)   0.86x at R=16, ~1.04x at R=2
+#: 32    0.89x  (serial wins)   0.75x at R=16
+#: 50    0.75x  (serial wins)   0.85–0.88x at the bench's R=4
+#: ====  =====================  =========================
+#:
+#: Above the crossover the joint batch (R·N candidate rows per iteration)
+#: outgrows what batching amortizes: per-row scoring work is O(n + deg)
+#: and dominates the Python overhead fusion removes, while the collapsed
+#: duplicate rate falls with n, so fusing only adds tensor bookkeeping.
+#: More chains make that *worse*, not better, at large n.
+FUSED_CROSSOVER_MAX_TASKS = 20
+
+
+def prefer_fused(n_tasks: int, n_chains: int) -> bool:
+    """True when the fused multi-chain path is the measured faster choice."""
+    return n_chains >= 2 and n_tasks <= FUSED_CROSSOVER_MAX_TASKS
 
 
 def _check_one_to_one(problem: MappingProblem) -> None:
@@ -211,29 +239,50 @@ class MatchMapper(Mapper):
         n_workers: int | None = None,
         budget: EvaluationBudget | None = None,
         hooks: SearchHooks | None = None,
+        mode: str = "auto",
     ) -> list[MapperResult]:
-        """Fused repetitions: all seeds advance as one multi-chain CE run.
+        """Batched repetitions, fused or serial by the measured crossover.
 
-        Instead of dispatching run-at-a-time like the base implementation,
-        every repetition becomes a chain of one
-        :class:`~repro.ce.multichain.MultiChainCE` — one shared
+        ``mode="fused"`` advances every seed as one multi-chain CE run
+        (:class:`~repro.ce.multichain.MultiChainCE`): one shared
         :class:`CostModel`, one batched GenPerm/score/update pass per joint
-        iteration, duplicates collapsed across chains. Result ``r`` carries
-        the same assignment, execution time and CE diagnostics a
-        ``map(problem, seeds[r])`` call would produce (the engine is
-        seed-for-seed exact); only ``mapping_time`` differs — the joint
-        wall-clock is amortized evenly over the runs, which is also how a
-        per-run MT should be read in Table 3 style aggregates.
-        The joint loop is a :class:`~repro.runtime.loop.SearchLoop` like any
-        other: ``budget`` caps the combined evaluations of all chains and
-        ``hooks`` observe the joint iterations. ``n_workers`` is accepted
-        for interface symmetry and ignored: the fused path is
-        single-process by design.
+        iteration, duplicates collapsed across chains. ``mode="serial"``
+        runs a plain per-seed :meth:`map` loop. ``mode="auto"`` (the
+        default) picks by the measured crossover (:func:`prefer_fused`):
+        fused where fusion wins (small instances, ≥2 repetitions), serial
+        where the joint batch outgrows what batching amortizes. Both paths
+        are seed-for-seed exact — result ``r`` carries the same assignment,
+        execution time, evaluation count and CE diagnostics a
+        ``map(problem, seeds[r])`` call would produce — so the selection
+        can never change a reported number, only the wall-clock. Each
+        result's ``extras["multichain_mode"]`` records the path taken.
+
+        ``mapping_time`` is the one field that differs in kind: the fused
+        path amortizes the joint wall-clock evenly over the runs (how a
+        per-run MT should be read in Table 3 style aggregates), the serial
+        path reports each run's own stopwatch. ``budget`` caps the
+        *combined* evaluations either way (the serial loop threads one
+        shared budget through every run). ``n_workers`` is accepted for
+        interface symmetry and ignored: both paths are single-process by
+        design.
         """
         seeds = list(seeds)
         if not seeds:
             return []
+        if mode not in ("auto", "fused", "serial"):
+            raise ConfigurationError(
+                f"map_many mode must be 'auto', 'fused' or 'serial', got {mode!r}"
+            )
         _check_one_to_one(problem)
+        if mode == "auto":
+            mode = "fused" if prefer_fused(problem.n_tasks, len(seeds)) else "serial"
+        if mode == "serial":
+            results = []
+            for seed in seeds:
+                result = self.map(problem, seed, budget=budget, hooks=hooks)
+                result.extras["multichain_mode"] = "serial"
+                results.append(result)
+            return results
         model = CostModel(problem)
         ce_cfg = self.config.ce_config(problem.n_resources)
         engine = MultiChainCE(
@@ -272,6 +321,7 @@ class MatchMapper(Mapper):
                         ),
                         "joint_chains": joint.n_chains,
                         "joint_dedup_collapse_rate": joint.dedup_collapse_rate,
+                        "multichain_mode": "fused",
                     },
                 )
             )

@@ -15,10 +15,12 @@ from repro.mapping.cost_model import (
 from repro.mapping.incremental import IncrementalEvaluator
 from repro.mapping.mapping import Mapping
 from repro.mapping.problem import MappingProblem
+from repro.mapping.problem_key import problem_key
 from repro.mapping.turnaround import TurnaroundRecord
 
 __all__ = [
     "MappingProblem",
+    "problem_key",
     "MappingAnalysis",
     "analyze_mapping",
     "combined_lower_bound",

@@ -11,6 +11,7 @@ See DESIGN.md §13.
 """
 
 from repro.runstore.bench import BenchResult
+from repro.runstore.cache import ResultCache, cache_key
 from repro.runstore.manifest import (
     MANIFEST_SCHEMA,
     REPRO_ENV_KEYS,
@@ -45,6 +46,8 @@ from repro.runstore.store import (
 
 __all__ = [
     "BenchResult",
+    "ResultCache",
+    "cache_key",
     "MANIFEST_SCHEMA",
     "REPRO_ENV_KEYS",
     "build_manifest",

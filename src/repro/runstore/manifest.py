@@ -159,18 +159,15 @@ def kernel_backend_name() -> str:
 def problem_checksum(problem: Any) -> str:
     """Stable sha256 over a :class:`~repro.mapping.problem.MappingProblem`.
 
-    Hashes the plane arrays (weights, edges, communication closure) in
-    sorted-name order, so two runs solved the same instance iff their
-    checksums match — regardless of how the instance was built or shipped.
+    Delegates to :func:`repro.mapping.problem_key.problem_key`, the
+    canonical problem hash: arrays are canonicalized to 64-bit C-contiguous
+    form before hashing, so two runs solved the same instance iff their
+    checksums match — regardless of how the instance was built, shipped,
+    or which integer/float width its inputs arrived in.
     """
-    digest = hashlib.sha256()
-    for name in sorted(problem.plane_arrays()):
-        arr = np.ascontiguousarray(problem.plane_arrays()[name])
-        digest.update(name.encode("utf-8"))
-        digest.update(str(arr.dtype).encode("utf-8"))
-        digest.update(str(arr.shape).encode("utf-8"))
-        digest.update(arr.tobytes())
-    return digest.hexdigest()
+    from repro.mapping.problem_key import problem_key
+
+    return problem_key(problem)
 
 
 def build_manifest(

@@ -142,3 +142,54 @@ class TestMatchResult:
 
         model = CostModel(small_problem)
         assert decoded.cost(model) <= mr.best_cost * 1.5
+
+
+class TestMapManyModes:
+    """The crossover-aware multichain mode selection (PR 9, satellite 1).
+
+    Measured at max_iterations=500 on the cext backend, the fused joint
+    engine wins below ~20 tasks and loses above (0.75x at n=50); auto
+    must pick accordingly while both paths stay seed-for-seed exact.
+    """
+
+    config = MatchConfig(n_samples=60, max_iterations=25)
+
+    def _problem(self, n, seed=5):
+        from repro.graphs import generate_paper_pair
+
+        pair = generate_paper_pair(n, seed)
+        return MappingProblem(pair.tig, pair.resources, require_square=True)
+
+    def test_serial_mode_matches_fused_seed_for_seed(self, small_problem):
+        mapper = MatchMapper(self.config)
+        fused = mapper.map_many(small_problem, [1, 2, 3], mode="fused")
+        serial = mapper.map_many(small_problem, [1, 2, 3], mode="serial")
+        for f, s in zip(fused, serial):
+            assert f.execution_time == s.execution_time
+            assert list(f.assignment) == list(s.assignment)
+        assert all(r.extras["multichain_mode"] == "fused" for r in fused)
+        assert all(r.extras["multichain_mode"] == "serial" for r in serial)
+
+    def test_auto_fuses_small_problems(self, small_problem):
+        results = MatchMapper(self.config).map_many(small_problem, [1, 2])
+        assert all(r.extras["multichain_mode"] == "fused" for r in results)
+
+    def test_auto_goes_serial_past_crossover(self):
+        problem = self._problem(24)
+        results = MatchMapper(self.config).map_many(problem, [1, 2])
+        assert all(r.extras["multichain_mode"] == "serial" for r in results)
+
+    def test_auto_goes_serial_for_single_seed(self, small_problem):
+        results = MatchMapper(self.config).map_many(small_problem, [1])
+        assert results[0].extras["multichain_mode"] == "serial"
+
+    def test_prefer_fused_rule(self):
+        from repro.core.match import FUSED_CROSSOVER_MAX_TASKS, prefer_fused
+
+        assert prefer_fused(FUSED_CROSSOVER_MAX_TASKS, 2)
+        assert not prefer_fused(FUSED_CROSSOVER_MAX_TASKS + 1, 2)
+        assert not prefer_fused(10, 1)
+
+    def test_invalid_mode_rejected(self, small_problem):
+        with pytest.raises(ConfigurationError):
+            MatchMapper(self.config).map_many(small_problem, [1, 2], mode="typo")

@@ -1,0 +1,227 @@
+"""The batch-coalescing gateway (``repro.service``).
+
+The contracts under test are the ISSUE 9 guarantees: responses are
+bit-identical to direct ``Mapper.map`` solves no matter how requests are
+cached, coalesced, or interleaved; cache hits cost no worker time and no
+quota; over-quota requests get a structured rejection, not a timeout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import kernels
+from repro.graphs import generate_paper_pair
+from repro.mapping import MappingProblem
+from repro.runtime.registry import SolverSpec
+from repro.service import MappingRequest, MappingService, ServiceConfig
+
+AVAILABLE = [name for name, ok in kernels.available_backends().items() if ok]
+
+SPEC = SolverSpec.of("match", {"max_iterations": 40})
+
+
+def make_problem(n: int = 10, seed: int = 7) -> MappingProblem:
+    pair = generate_paper_pair(n, seed)
+    return MappingProblem(pair.tig, pair.resources, require_square=True)
+
+
+def serve(coro_fn, **config_kwargs):
+    """Run ``coro_fn(service)`` against a fresh serial-pool gateway."""
+    config = ServiceConfig(n_workers=1, coalesce_window=0.005, **config_kwargs)
+
+    async def main():
+        async with MappingService(config) as service:
+            return await coro_fn(service)
+
+    return asyncio.run(main())
+
+
+class TestBitParity:
+    @pytest.mark.parametrize("backend", AVAILABLE)
+    def test_response_matches_direct_solve(self, backend):
+        problem = make_problem()
+
+        async def go(service):
+            request = MappingRequest(problem=problem, solver=SPEC, seed=3)
+            first = await service.submit(request)
+            again = await service.submit(request)
+            return first, again
+
+        with kernels.use_backend(backend):
+            first, again = serve(go)
+            direct = SPEC.build().map(problem, 3)
+
+        assert first.status == "ok" and not first.cached
+        assert again.status == "ok" and again.cached
+        for response in (first, again):
+            assert response.result["assignment"] == [int(x) for x in direct.assignment]
+            assert response.result["execution_time"] == direct.execution_time
+
+    @pytest.mark.skipif(len(AVAILABLE) < 2, reason="needs a compiled backend")
+    def test_cache_key_is_backend_invariant(self):
+        """An entry cached under one backend serves hits under another —
+        sound because the kernel parity matrix keeps backends bit-exact."""
+        problem = make_problem()
+        request = MappingRequest(problem=problem, solver=SPEC, seed=3)
+
+        async def fill(service):
+            return await service.submit(request)
+
+        config = ServiceConfig(n_workers=1, coalesce_window=0.005)
+
+        async def main():
+            async with MappingService(config) as service:
+                with kernels.use_backend(AVAILABLE[0]):
+                    first = await service.submit(request)
+                with kernels.use_backend(AVAILABLE[1]):
+                    second = await service.submit(request)
+                return first, second
+
+        first, second = asyncio.run(main())
+        assert not first.cached and second.cached
+        assert second.result == first.result
+
+
+class TestQuota:
+    def test_over_quota_is_a_structured_rejection(self):
+        async def go(service):
+            ok = await service.submit(
+                MappingRequest(
+                    problem=make_problem(), solver=SPEC, seed=1, client="c1",
+                    max_evaluations=900,
+                )
+            )
+            rejected = await service.submit(
+                MappingRequest(
+                    problem=make_problem(seed=8), solver=SPEC, seed=2, client="c1",
+                    max_evaluations=900,
+                )
+            )
+            return ok, rejected
+
+        ok, rejected = serve(go, client_quota=1000)
+        assert ok.status == "ok" and ok.charged == 900
+        assert rejected.status == "rejected"
+        assert rejected.error["kind"] == "over-quota"
+        assert rejected.error["requested"] == 900
+        assert rejected.error["remaining"] == 100
+        assert rejected.result is None
+
+    def test_cache_hits_free_even_when_quota_exhausted(self):
+        async def go(service):
+            request = MappingRequest(
+                problem=make_problem(), solver=SPEC, seed=1, client="c1",
+                max_evaluations=1000,
+            )
+            first = await service.submit(request)
+            hit = await service.submit(request)  # quota now exhausted
+            return first, hit
+
+        first, hit = serve(go, client_quota=1000)
+        assert first.status == "ok"
+        assert hit.status == "ok" and hit.cached and hit.charged == 0
+        assert hit.result == first.result
+
+    def test_quota_is_per_client(self):
+        async def go(service):
+            a = await service.submit(
+                MappingRequest(
+                    problem=make_problem(), solver=SPEC, seed=1, client="a",
+                    max_evaluations=800,
+                )
+            )
+            b = await service.submit(
+                MappingRequest(
+                    problem=make_problem(), solver=SPEC, seed=2, client="b",
+                    max_evaluations=800,
+                )
+            )
+            return a, b
+
+        a, b = serve(go, client_quota=1000)
+        assert a.status == "ok" and b.status == "ok"
+
+
+class TestCoalescing:
+    def test_concurrent_submits_coalesce_and_dedup(self):
+        problem = make_problem()
+
+        async def go(service):
+            requests = [
+                MappingRequest(problem=problem, solver=SPEC, seed=s)
+                for s in (1, 2, 3, 1)
+            ]
+            responses = await asyncio.gather(*[service.submit(r) for r in requests])
+            return responses, service.stats()
+
+        responses, stats = serve(go)
+        assert all(r.status == "ok" for r in responses)
+        # The duplicate seed-1 request single-flights onto the in-flight
+        # solve: served, but never queued or charged.
+        assert stats["coalesced_dedup"] == 1
+        assert stats["max_batch_width"] == 3
+        assert stats["worker_cells"] == 3
+        assert responses[0].result == responses[3].result
+        assert responses[3].charged == 0
+
+    def test_results_invariant_under_arrival_interleaving(self):
+        """Same request set, three different arrival orders/timings —
+        bit-identical response payloads per (problem, spec, seed)."""
+        problems = [make_problem(seed=s) for s in (7, 8)]
+        requests = [
+            MappingRequest(problem=problems[i % 2], solver=SPEC, seed=s)
+            for i, s in enumerate((1, 2, 3, 4))
+        ]
+
+        def replay(order, stagger_s):
+            async def go(service):
+                async def submit(i):
+                    await asyncio.sleep(stagger_s * i)
+                    return i, await service.submit(requests[i])
+
+                pairs = await asyncio.gather(*[submit(i) for i in order])
+                # mapping_time is wall-clock by design; the deterministic
+                # contract covers the solve outcome.
+                return {
+                    i: {
+                        "assignment": resp.result["assignment"],
+                        "execution_time": resp.result["execution_time"],
+                        "n_evaluations": resp.result["n_evaluations"],
+                    }
+                    for i, resp in pairs
+                }
+
+            return serve(go)
+
+        serial_like = replay([0, 1, 2, 3], 0.02)  # arrives spread out
+        burst = replay([0, 1, 2, 3], 0.0)  # one coalesced burst
+        reversed_burst = replay([3, 2, 1, 0], 0.0)
+        assert burst == serial_like
+        assert reversed_burst == serial_like
+
+
+class TestLifecycle:
+    def test_submit_before_start_raises(self):
+        from repro.exceptions import ConfigurationError
+
+        service = MappingService(ServiceConfig(n_workers=1))
+        with pytest.raises(ConfigurationError):
+            asyncio.run(service.submit(
+                MappingRequest(problem=make_problem(), solver=SPEC, seed=1)
+            ))
+
+    def test_stats_shape(self):
+        async def go(service):
+            await service.submit(
+                MappingRequest(problem=make_problem(), solver=SPEC, seed=1)
+            )
+            return service.stats()
+
+        stats = serve(go)
+        assert stats["requests"] == 1
+        assert stats["batches"] == 1
+        assert stats["cache"]["entries"] == 1
+        assert stats["workers"] == 1
