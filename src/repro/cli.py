@@ -174,6 +174,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluation cap for the solve (also the quota charge)",
     )
 
+    island = sub.add_parser(
+        "island", help="multi-node island MaTCH (coordinator and island nodes)"
+    )
+    island_sub = island.add_subparsers(dest="island_command", required=True)
+    i_serve = island_sub.add_parser(
+        "serve",
+        help=(
+            "run the coordinator: wait for islands to join, then drive one "
+            "distributed solve (bit-identical to the sequential simulation)"
+        ),
+    )
+    i_serve.add_argument("--size", type=int, default=20, help="|V_t| = |V_r| (default 20)")
+    i_serve.add_argument("--seed", type=int, default=2005, help="root seed (default 2005)")
+    i_serve.add_argument(
+        "--islands",
+        type=int,
+        default=2,
+        metavar="N",
+        help="islands that must join before the run starts (default 2)",
+    )
+    i_serve.add_argument(
+        "--agents",
+        type=int,
+        default=4,
+        metavar="N",
+        help="CE agents sharded across the islands (default 4)",
+    )
+    i_serve.add_argument(
+        "--sync-every",
+        type=int,
+        default=5,
+        metavar="R",
+        help="gossip cadence in rounds (default 5)",
+    )
+    i_serve.add_argument(
+        "--gossip-weight",
+        type=float,
+        default=0.5,
+        metavar="W",
+        help="blend weight towards the leader matrix at each sync (default 0.5)",
+    )
+    i_serve.add_argument("--rho", type=float, default=0.05, help="focus parameter (default 0.05)")
+    i_serve.add_argument("--zeta", type=float, default=0.3, help="smoothing factor (default 0.3)")
+    i_serve.add_argument(
+        "--total-samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-round sample budget across all agents (default: paper's 2n^2)",
+    )
+    i_serve.add_argument(
+        "--max-rounds", type=int, default=500, metavar="R", help="round cap (default 500)"
+    )
+    i_serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    i_serve.add_argument("--port", type=int, default=8754, help="bind port (default 8754)")
+    i_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help=(
+            "heartbeat + join deadline in seconds; a silent island is declared "
+            "dead and its chains replay on survivors (default 60)"
+        ),
+    )
+    _add_kernel_arg(i_serve)
+    _add_runstore_args(i_serve)
+    i_join = island_sub.add_parser(
+        "join", help="run one island node against a listening coordinator"
+    )
+    i_join.add_argument(
+        "--connect",
+        default="127.0.0.1:8754",
+        metavar="HOST:PORT",
+        help="coordinator address (default 127.0.0.1:8754)",
+    )
+    i_join.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for this island's local pool (default 1)",
+    )
+    i_join.add_argument(
+        "--name", default="", help="island name for the coordinator's logs"
+    )
+    _add_kernel_arg(i_join)
+
     runs = sub.add_parser("runs", help="inspect and replay recorded runs")
     runs_sub = runs.add_subparsers(dest="runs_command", required=True)
     r_list = runs_sub.add_parser("list", help="list recorded run ids")
@@ -594,6 +682,108 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if status == 200 else 1
 
 
+def _cmd_island(args: argparse.Namespace) -> int:
+    if args.island_command == "join":
+        from repro.islands import run_island
+
+        host, _, port = args.connect.rpartition(":")
+        if not host or not port.isdigit():
+            print(
+                f"error: --connect wants HOST:PORT, got {args.connect!r}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"joining coordinator at {host}:{port}", file=sys.stderr)
+        run_island(host, int(port), n_workers=args.workers, name=args.name)
+        return 0
+
+    import numpy as np
+
+    from repro.core.distributed import DistributedMatchConfig
+    from repro.graphs import generate_paper_pair
+    from repro.islands import IslandCoordinator
+    from repro.mapping import MappingProblem
+    from repro.runstore import problem_checksum
+    from repro.utils.tables import render_kv_block
+
+    pair = generate_paper_pair(args.size, args.seed)
+    problem = MappingProblem(pair.tig, pair.resources, require_square=True)
+    params = {
+        "n_agents": args.agents,
+        "sync_every": args.sync_every,
+        "gossip_weight": args.gossip_weight,
+        "rho": args.rho,
+        "zeta": args.zeta,
+        "total_samples": args.total_samples,
+        "max_rounds": args.max_rounds,
+    }
+    config = DistributedMatchConfig(**params)
+    run = _start_cli_run(
+        args,
+        "islands",
+        seed=args.seed,
+        config={"size": args.size, "n_islands": args.islands, "timeout": args.timeout},
+        solver={"name": "match-islands", "params": params},
+        problems={"instance": problem_checksum(problem)},
+    )
+    coordinator = IslandCoordinator(
+        problem,
+        config,
+        seed=args.seed,
+        n_islands=args.islands,
+        host=args.host,
+        port=args.port,
+        heartbeat_timeout=args.timeout,
+        accept_timeout=args.timeout,
+        run=run,
+    )
+    host, port = coordinator.address
+    print(
+        f"coordinator on {host}:{port}; waiting for {args.islands} island(s) "
+        f"(repro-match island join --connect {host}:{port})",
+        file=sys.stderr,
+    )
+    try:
+        result = coordinator.run()
+    except KeyboardInterrupt:
+        run.finalize(status="interrupted")
+        return 130
+    except BaseException:
+        run.finalize(status="failed")
+        raise
+    extras = result["extras"]
+    run.record_metrics(
+        "result",
+        {
+            "execution_time": result["best_cost"],
+            "n_evaluations": result["n_evaluations"],
+            "rounds": extras["rounds"],
+            "n_syncs": extras["n_syncs"],
+            "node_failures": extras["node_failures"],
+            "finished_locally": extras["finished_locally"],
+        },
+    )
+    run.add_artifact("assignment.json", payload={"assignment": result["assignment"]})
+    run.finalize(status="complete")
+    rows = {
+        "execution time (ET)": result["best_cost"],
+        "evaluations": result["n_evaluations"],
+        "rounds": extras["rounds"],
+        "islands": extras["n_islands"],
+        "node failures": extras["node_failures"],
+        "replayed agent-rounds": extras["replayed_agent_rounds"],
+    }
+    print(
+        render_kv_block(
+            f"island MaTCH on a fresh n={args.size} instance (seed {args.seed})", rows
+        )
+    )
+    print("\nassignment (task -> resource):")
+    print(np.array2string(np.asarray(result["assignment"]), max_line_width=100))
+    print(f"run recorded: {run.path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_resume(args: argparse.Namespace) -> int:
     from repro.runstore import RunEventHook
     from repro.runtime import resume_run
@@ -802,6 +992,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "submit":
             return _cmd_submit(args)
+        if args.command == "island":
+            return _cmd_island(args)
         if args.command == "runs":
             return _cmd_runs(args)
         if args.command == "perf":

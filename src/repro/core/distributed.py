@@ -17,8 +17,11 @@ design as a deterministic simulation of the agent system:
 The simulation is sequential (single process): the point reproduced is the
 *algorithmic* behaviour of the distributed scheme — sample-budget split,
 delayed information sharing, heterogeneous exploration — not wall-clock
-parallel speedup. Running each agent in an OS process would only change
-MT, which DESIGN.md already marks as hardware-relative.
+parallel speedup. For actual multi-node execution see :mod:`repro.islands`,
+which runs the **same agent round** (:func:`repro.islands.chains.chain_round`
+— this module calls it too, so the two cannot diverge) over a socket
+transport and is pinned bit-identical to this simulation by the loopback
+parity tests.
 """
 
 from __future__ import annotations
@@ -29,15 +32,18 @@ from typing import Any
 import numpy as np
 
 from repro.baselines.base import Mapper
-from repro.ce.genperm import sample_permutations
-from repro.ce.quantile import select_top_k
-from repro.ce.stochastic_matrix import StochasticMatrix
 from repro.core.config import paper_sample_size
 from repro.exceptions import ConfigurationError
+from repro.islands.chains import (
+    DEGENERACY_TOL,
+    agent_streams,
+    blend_towards,
+    chain_round,
+)
+from repro.ce.stochastic_matrix import StochasticMatrix
 from repro.mapping.cost_model import CostModel
 from repro.mapping.problem import MappingProblem
 from repro.types import SeedLike
-from repro.utils.rng import as_generator, spawn_generators
 from repro.utils.validation import check_in_range
 
 __all__ = ["DistributedMatchConfig", "DistributedMatchMapper"]
@@ -101,7 +107,7 @@ class DistributedMatchMapper(Mapper):
         total = cfg.total_samples if cfg.total_samples is not None else paper_sample_size(n_r)
         per_agent = max(2, total // cfg.n_agents)
 
-        streams = spawn_generators(as_generator(rng), cfg.n_agents)
+        streams = agent_streams(rng, cfg.n_agents)
         agents = [_Agent(n_t, n_r, s) for s in streams]
 
         global_best = np.inf
@@ -115,16 +121,14 @@ class DistributedMatchMapper(Mapper):
         for r in range(1, cfg.max_rounds + 1):
             rounds = r
             for agent in agents:
-                X = sample_permutations(agent.matrix.view(), per_agent, agent.rng)
-                costs = model.evaluate_batch(X)
-                n_evals += X.shape[0]
-                gamma, elite_idx = select_top_k(costs, cfg.rho)
+                cost, x, gamma = chain_round(
+                    agent.matrix, agent.rng, model, per_agent, cfg.rho, cfg.zeta
+                )
+                n_evals += per_agent
                 agent.last_gamma = gamma
-                agent.matrix.update_from_elites(X[elite_idx], zeta=cfg.zeta)
-                it_best = int(np.argmin(costs))
-                if costs[it_best] < agent.best_cost:
-                    agent.best_cost = float(costs[it_best])
-                    agent.best_x = X[it_best].copy()
+                if cost < agent.best_cost:
+                    agent.best_cost = cost
+                    agent.best_x = x.copy()
                 if agent.best_cost < global_best:
                     global_best = agent.best_cost
                     global_x = agent.best_x.copy()
@@ -136,11 +140,9 @@ class DistributedMatchMapper(Mapper):
                 for agent in agents:
                     if agent is leader:
                         continue
-                    blended = (
-                        cfg.gossip_weight * leader_P
-                        + (1.0 - cfg.gossip_weight) * agent.matrix.values
+                    agent.matrix = blend_towards(
+                        agent.matrix, leader_P, cfg.gossip_weight
                     )
-                    agent.matrix = StochasticMatrix(blended)
                 n_syncs += 1
 
             if abs(global_best - prev_global) <= 1e-9:
@@ -150,7 +152,7 @@ class DistributedMatchMapper(Mapper):
             prev_global = global_best
             if stagnant >= cfg.gamma_window:
                 break
-            if all(a.matrix.is_degenerate(tol=1e-6) for a in agents):
+            if all(a.matrix.is_degenerate(tol=DEGENERACY_TOL) for a in agents):
                 break
 
         return global_x, n_evals, {

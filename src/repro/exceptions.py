@@ -77,6 +77,30 @@ class CellTimeoutError(ReproError):
     """
 
 
+class IslandError(ReproError):
+    """The multi-node island runtime failed beyond what healing can absorb.
+
+    Raised by the coordinator when a run cannot continue (no islands ever
+    joined, the listener died) and by an island worker when the coordinator
+    breaks protocol. Node *loss* is not an error — the coordinator heals it
+    by re-sharding chains onto survivors.
+    """
+
+
+class FrameError(IslandError):
+    """A length-prefixed wire frame is malformed.
+
+    Carries a structured ``kind`` — ``"truncated"`` (peer closed mid-frame),
+    ``"oversized"`` (length prefix exceeds the frame cap) or ``"malformed"``
+    (body is not valid JSON / not an object) — so transports can distinguish
+    a dead peer from a protocol bug.
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
 class CheckpointError(ReproError):
     """A solver checkpoint is missing, malformed, or incompatible.
 

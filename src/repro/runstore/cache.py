@@ -99,7 +99,15 @@ class ResultCache:
         return list(self._entries)
 
     def get(self, key: str) -> dict[str, Any] | None:
-        """The cached payload for ``key``, or None; a hit refreshes LRU."""
+        """The cached payload for ``key``, or None; a hit refreshes LRU.
+
+        ``hits`` counts *memory* hits only. An entry reloaded from the disk
+        tier counts once, as a ``disk_hits`` — the two tiers have very
+        different latencies, so conflating them would make the hit counter
+        useless for sizing ``capacity`` — and is re-admitted to the memory
+        LRU under the same capacity bound as any ``put`` (possibly evicting
+        the current least-recently-used entry).
+        """
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
@@ -107,7 +115,6 @@ class ResultCache:
             return entry
         entry = self._load_persisted(key)
         if entry is not None:
-            self.hits += 1
             self.disk_hits += 1
             self._admit(key, entry)
             return entry

@@ -15,9 +15,11 @@ against a CI-fleet baseline; ``scale`` (``smoke`` vs ``full``) keeps the
 :func:`check_report` compares a fresh bench report against history with
 per-metric relative tolerances (direction inferred from the metric name:
 ``*speedup*``/``*_per_s`` are higher-is-better, ``*seconds*`` lower) plus
-optional absolute ``floor`` values carried on history lines — which is how
-the PR 6 acceptance gate (compiled kernel >= 2.5x the numpy path) survives
-as an enforced check instead of a comment. Metrics with no matching
+optional absolute bounds carried on history lines — a ``floor`` for
+higher-is-better claims (how the PR 6 acceptance gate, compiled kernel
+>= 2.5x the numpy path, survives as an enforced check instead of a
+comment) or a ``ceiling`` for lower-is-better ones (the island runtime's
+protocol-overhead cap). Metrics with no matching
 baseline are *skipped*, never failed: new benches enter history before
 they start gating.
 """
@@ -72,6 +74,7 @@ class PerfSample:
     host_class: str
     scale: str  # "smoke" | "full"
     floor: float | None = None  # absolute acceptance floor (higher-is-better)
+    ceiling: float | None = None  # absolute acceptance ceiling (lower-is-better)
     git_sha: str | None = None
     generated: str | None = None
 
@@ -91,6 +94,8 @@ class PerfSample:
         }
         if self.floor is not None:
             record["floor"] = self.floor
+        if self.ceiling is not None:
+            record["ceiling"] = self.ceiling
         if self.git_sha is not None:
             record["git_sha"] = self.git_sha
         if self.generated is not None:
@@ -108,6 +113,9 @@ class PerfSample:
                 host_class=str(record["host_class"]),
                 scale=str(record["scale"]),
                 floor=None if record.get("floor") is None else float(record["floor"]),
+                ceiling=(
+                    None if record.get("ceiling") is None else float(record["ceiling"])
+                ),
                 git_sha=record.get("git_sha"),
                 generated=record.get("generated"),
             )
@@ -159,15 +167,30 @@ def _walk_numeric(prefix: str, obj: Any, out: dict[str, float]) -> None:
         out[prefix] = float(obj)
 
 
+def _target_is_ceiling(metric: str) -> bool:
+    """True when the acceptance target caps a lower-is-better measurement.
+
+    Speedups and throughputs carry *floors* (the claim is "at least this
+    fast"); overheads, latencies and raw times carry *ceilings* (the claim
+    is "at most this much tax").
+    """
+    name = metric.lower()
+    if "overhead" in name or "latency" in name:
+        return True
+    return infer_direction(name) == "lower"
+
+
 def _acceptance_samples(
     benchmark: str, acceptance: Any, host_class: str, scale: str
 ) -> list[PerfSample]:
-    """Acceptance blocks become floor-carrying samples.
+    """Acceptance blocks become floor- or ceiling-carrying samples.
 
     Any dict in the acceptance subtree that pairs a numeric ``measured*``
-    key with a ``target*`` key yields one sample whose ``floor`` is the
+    key with a ``target*`` key yields one sample whose bound is the
     target — e.g. ``{"target_speedup": 2.5, "measured_speedup": 3.4}``
-    becomes a sample gated at >= 2.5 forever after. Floors only attach on
+    becomes a sample gated at >= 2.5 forever after, while
+    ``{"target_overhead_ms": 25, "measured_overhead_ms": 0.3}`` gates at
+    <= 25 (see :func:`_target_is_ceiling`). Bounds only attach on
     full-scale reports: a smoke run records its measured ratio for trend
     tracking, but the acceptance bar is a paper-scale claim a smoke
     workload legitimately falls short of (``met`` is ``None`` there).
@@ -183,10 +206,14 @@ def _acceptance_samples(
             if key.startswith("measured") and _is_number(value):
                 suffix = key[len("measured"):].lstrip("_")
                 floor = None
+                ceiling = None
                 if scale == "full":
                     for tkey in sorted(targets):
                         if not suffix or suffix in tkey or tkey == "target":
-                            floor = float(targets[tkey])
+                            if _target_is_ceiling(suffix or tkey):
+                                ceiling = float(targets[tkey])
+                            else:
+                                floor = float(targets[tkey])
                             break
                 samples.append(
                     PerfSample(
@@ -197,6 +224,7 @@ def _acceptance_samples(
                         host_class=host_class,
                         scale=scale,
                         floor=floor,
+                        ceiling=ceiling,
                     )
                 )
             elif isinstance(value, Mapping):
@@ -311,6 +339,7 @@ class PerfCheckEntry:
     fresh: float
     baseline: float | None
     floor: float | None
+    ceiling: float | None
     tolerance: float
     direction: str
     detail: str
@@ -373,8 +402,9 @@ def check_report(
     (benchmark, group, metric, host_class, scale) key — medians shrug off
     the occasional noisy CI run that lands in history. A fresh value
     regresses when it falls outside the tolerance band in the bad
-    direction, or (for floor-carrying baselines) below the absolute floor.
-    Neutral-direction metrics and metrics with no baseline are skipped.
+    direction, or breaches an absolute bound carried on history lines —
+    below a ``floor`` or above a ``ceiling``. Neutral-direction metrics
+    without a bound and metrics with no baseline are skipped.
     """
     by_key: dict[tuple[str, str, str, str, str], list[PerfSample]] = {}
     for sample in history:
@@ -388,12 +418,14 @@ def check_report(
         baselines = by_key.get(sample.key, [])
         floors = [b.floor for b in baselines if b.floor is not None]
         floor = max(floors) if floors else None
+        ceilings = [b.ceiling for b in baselines if b.ceiling is not None]
+        ceiling = min(ceilings) if ceilings else None
 
         if not baselines:
             result.entries.append(
                 PerfCheckEntry(
                     sample.benchmark, sample.group, sample.metric, "skipped",
-                    sample.value, None, None, tolerance, direction,
+                    sample.value, None, None, None, tolerance, direction,
                     "no baseline for this host-class/scale",
                 )
             )
@@ -406,6 +438,9 @@ def check_report(
         if floor is not None and sample.value < floor:
             status = "regression"
             detail = f"{sample.value:.4g} below absolute floor {floor:.4g}"
+        elif ceiling is not None and sample.value > ceiling:
+            status = "regression"
+            detail = f"{sample.value:.4g} above absolute ceiling {ceiling:.4g}"
         elif direction == "higher" and sample.value < baseline * (1.0 - tolerance):
             status = "regression"
             detail = (
@@ -419,13 +454,18 @@ def check_report(
                 f"(baseline {baseline:.4g} + {tolerance:.0%})"
             )
         elif direction == "neutral":
-            status = "skipped"
-            detail = f"{sample.value:.4g} recorded (neutral metric, not gated)"
+            if floor is not None:
+                detail = f"{sample.value:.4g} clears absolute floor {floor:.4g}"
+            elif ceiling is not None:
+                detail = f"{sample.value:.4g} within absolute ceiling {ceiling:.4g}"
+            else:
+                status = "skipped"
+                detail = f"{sample.value:.4g} recorded (neutral metric, not gated)"
 
         result.entries.append(
             PerfCheckEntry(
                 sample.benchmark, sample.group, sample.metric, status,
-                sample.value, baseline, floor, tolerance, direction, detail,
+                sample.value, baseline, floor, ceiling, tolerance, direction, detail,
             )
         )
     return result

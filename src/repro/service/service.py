@@ -177,6 +177,23 @@ class QuotaLedger:
         budget.charge(charge)
         return None
 
+    def refund(self, client: str, n: int) -> int:
+        """Return ``n`` admission-charged evaluations to ``client``'s quota.
+
+        The inverse of :meth:`admit`, for requests that were charged but
+        never produced a result (worker death after salvage exhaustion,
+        dispatcher failure). :meth:`EvaluationBudget.charge` deliberately
+        rejects non-positive charges so *solver* accounting can never run
+        backwards; admission refunds are a ledger-level correction instead,
+        clamped so a client can never end up below zero used. Returns the
+        amount actually refunded.
+        """
+        budget = self.budget_for(client)
+        refunded = min(int(n), budget.used)
+        if refunded > 0:
+            budget.used -= refunded
+        return refunded
+
     def used(self, client: str) -> int:
         return self.budget_for(client).used
 
@@ -235,6 +252,8 @@ class _Work:
     digest: str
     request: MappingRequest
     future: "asyncio.Future[dict[str, Any]]"
+    #: Evaluations charged at admission; refunded if no result is produced.
+    charged: int = 0
     #: Runs from enqueue to dispatch; the batch's queue-wait metric.
     waited: Stopwatch = field(default_factory=lambda: Stopwatch().start())
 
@@ -272,6 +291,7 @@ class MappingService:
             "batched_requests": 0,
             "max_batch_width": 0,
             "worker_cells": 0,
+            "refunded_evaluations": 0,
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -363,7 +383,7 @@ class MappingService:
             charged = charge
             future = asyncio.get_running_loop().create_future()
             self._inflight[key] = future
-            await self._queue.put(_Work(key, digest, request, future))
+            await self._queue.put(_Work(key, digest, request, future, charged=charge))
         else:
             self._counters["coalesced_dedup"] += 1
 
@@ -371,12 +391,16 @@ class MappingService:
         latency = watch.stop()
         if "error" in payload:
             self._counters["failed"] += 1
+            # A failed dispatch refunds its admission charge (the request
+            # never produced a result), so the net charge reported is 0 for
+            # the admitting submitter too — see ``_run_batch``.
+            refunded = int(payload["error"].get("refunded", 0))
             return MappingResponse(
                 status="failed",
                 key=key,
                 coalesced=coalesced,
                 error=payload["error"],
-                charged=charged,
+                charged=max(0, charged - refunded),
                 latency_s=latency,
             )
         return MappingResponse(
@@ -429,49 +453,99 @@ class MappingService:
         if width >= 2:
             self._counters["coalesced_batches"] += 1
 
-        # Publish each distinct problem once; repeats reuse the handle.
-        fresh = 0
-        for work in batch:
-            if work.digest not in self._published:
-                self._published[work.digest] = self._pool.publish_problem(
-                    work.request.problem
-                )
-                fresh += 1
-        cells = [
-            _ServiceCell(
-                problem_ref=self._published[work.digest],
-                solver=work.request.solver,
-                seed=work.request.seed,
-                max_evaluations=work.request.max_evaluations,
-                n_tasks=work.request.problem.n_tasks,
-            )
-            for work in batch
-        ]
-        queue_wait = max(w.waited.stop() for w in batch)
-        self._event(
-            "batch-dispatched",
-            width=width,
-            queue_depth=queue_depth,
-            problems_published=fresh,
-            max_queue_wait_s=queue_wait,
-        )
-
         solve_watch = Stopwatch().start()
         pool = self._pool
-        report = await asyncio.get_running_loop().run_in_executor(
-            None, lambda: pool.map_salvage(_solve_cell, cells, weight=_cell_weight)
-        )
+        try:
+            # Publish each distinct problem once; repeats reuse the handle.
+            # Publication is inside the guarded region: a pool that died
+            # under the dispatcher raises here first, and an escaped
+            # exception would kill the dispatch loop and strand every
+            # queued future unresolved.
+            fresh = 0
+            for work in batch:
+                if work.digest not in self._published:
+                    self._published[work.digest] = pool.publish_problem(
+                        work.request.problem
+                    )
+                    fresh += 1
+            cells = [
+                _ServiceCell(
+                    problem_ref=self._published[work.digest],
+                    solver=work.request.solver,
+                    seed=work.request.seed,
+                    max_evaluations=work.request.max_evaluations,
+                    n_tasks=work.request.problem.n_tasks,
+                )
+                for work in batch
+            ]
+            queue_wait = max(w.waited.stop() for w in batch)
+            self._event(
+                "batch-dispatched",
+                width=width,
+                queue_depth=queue_depth,
+                problems_published=fresh,
+                max_queue_wait_s=queue_wait,
+            )
+            report = await asyncio.get_running_loop().run_in_executor(
+                None, lambda: pool.map_salvage(_solve_cell, cells, weight=_cell_weight)
+            )
+        except Exception as exc:
+            # The dispatch itself died (pool closed under us, publication
+            # failed, executor unusable). No request in this batch produced
+            # a result, so every admission charge is refunded before the
+            # error fans out.
+            solve_s = solve_watch.stop()
+            for work in batch:
+                refunded = self.quotas.refund(work.request.client, work.charged)
+                if refunded:
+                    self._counters["refunded_evaluations"] += refunded
+                    self._event(
+                        "quota-refunded",
+                        key=work.key,
+                        client=work.request.client,
+                        refunded=refunded,
+                        kind="dispatch-error",
+                    )
+                self._inflight.pop(work.key, None)
+                if not work.future.done():
+                    work.future.set_result(
+                        {
+                            "error": {
+                                "kind": "dispatch-error",
+                                "attempts": 0,
+                                "message": f"{type(exc).__name__}: {exc}",
+                                "refunded": refunded,
+                            }
+                        }
+                    )
+            self._event(
+                "batch-failed", width=width, solve_s=solve_s, message=str(exc)
+            )
+            return
         solve_s = solve_watch.stop()
 
         failed = {f.index: f for f in report.failures}
         for index, work in enumerate(batch):
             failure = failed.get(index)
             if failure is not None:
+                # The request never produced a result: return its admission
+                # charge so a failed dispatch can't leak quota forever.
+                refunded = self.quotas.refund(work.request.client, work.charged)
+                if refunded:
+                    self._counters["refunded_evaluations"] += refunded
+                    self._event(
+                        "quota-refunded",
+                        key=work.key,
+                        client=work.request.client,
+                        refunded=refunded,
+                        kind=failure.kind,
+                    )
                 payload: dict[str, Any] = {
                     "error": {
                         "kind": failure.kind,
                         "attempts": failure.attempts,
                         "message": failure.message,
+                        "refunded": refunded,
                     }
                 }
             else:

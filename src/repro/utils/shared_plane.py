@@ -117,10 +117,26 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
             try:
                 from multiprocessing import resource_tracker
 
-                resource_tracker.unregister(shm._name, "shared_memory")
+                resource_tracker.unregister(_tracker_name(shm), "shared_memory")
             except Exception:  # pragma: no cover - best-effort, platform-specific
                 pass
         return shm
+
+
+def _tracker_name(shm: shared_memory.SharedMemory) -> str:
+    """The key ``resource_tracker`` knows ``shm`` by, from public attributes.
+
+    On POSIX the segment registers under its slash-prefixed OS name while
+    the public :attr:`~multiprocessing.shared_memory.SharedMemory.name`
+    property strips the slash; unregistering by the stripped form is a
+    silent no-op (the tracker's cache ``discard`` misses) and the bpo-39959
+    misbehaviour comes back. Re-derive the registered form instead of
+    reaching into the private ``_name`` attribute.
+    """
+    name = shm.name
+    if os.name == "posix" and not name.startswith("/"):
+        return "/" + name
+    return name
 
 
 def _unlink_segments(segments: dict[str, shared_memory.SharedMemory]) -> None:

@@ -1,0 +1,63 @@
+"""Record the island-runtime golden fixture (`golden_islands.json`).
+
+Freezes one sequential :class:`DistributedMatchMapper` run — assignment,
+execution time, evaluation count, round/sync structure — for a small
+instance. The loopback parity test (``tests/islands/test_loopback.py``)
+pins **both** the sequential simulation and the 2-island socket runtime
+against these numbers, so either side drifting from the recorded bytes
+fails the suite, not just their mutual agreement drifting.
+
+Re-run only when an *intentional* behaviour change invalidates the
+numbers, and say so in the commit.
+
+Usage::
+
+    PYTHONPATH=src python tests/fixtures/record_golden_islands.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.distributed import DistributedMatchConfig, DistributedMatchMapper
+from repro.graphs import generate_paper_pair
+from repro.mapping import MappingProblem
+from repro.utils.serialization import dump_json
+
+SIZE = 8
+SEED = 7
+CONFIG = {
+    "n_agents": 4,
+    "sync_every": 5,
+    "gossip_weight": 0.5,
+    "rho": 0.05,
+    "zeta": 0.3,
+    "total_samples": 64,
+    "max_rounds": 30,
+}
+
+OUT = Path(__file__).parent / "golden_islands.json"
+
+
+def main() -> None:
+    pair = generate_paper_pair(SIZE, SEED)
+    problem = MappingProblem(pair.tig, pair.resources, require_square=True)
+    result = DistributedMatchMapper(DistributedMatchConfig(**CONFIG)).map(problem, SEED)
+    fixture = {
+        "size": SIZE,
+        "seed": SEED,
+        "config": CONFIG,
+        "expect": {
+            "assignment": [int(x) for x in result.assignment],
+            "execution_time": float(result.execution_time),
+            "n_evaluations": int(result.n_evaluations),
+            "rounds": int(result.extras["rounds"]),
+            "n_syncs": int(result.extras["n_syncs"]),
+        },
+    }
+    dump_json(fixture, OUT)
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Node-kill chaos: SIGKILL a real island process mid-round.
+
+The process-level version of the loopback healing tests — three island
+processes join over the CLI entry point, one is SIGKILL'd mid-round, and
+the run must converge to the sequential simulation's exact bytes, record
+a structured failure manifest, and leak no shared-memory segments.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.distributed import DistributedMatchConfig, DistributedMatchMapper
+from repro.graphs import generate_paper_pair
+from repro.islands import IslandCoordinator
+from repro.mapping import MappingProblem
+from repro.runstore import RunStore
+
+CONFIG = DistributedMatchConfig(
+    n_agents=3, sync_every=5, total_samples=48, max_rounds=25
+)
+
+SHM_DIR = Path("/dev/shm")
+
+
+def shm_segments() -> set[str]:
+    if not SHM_DIR.is_dir():  # pragma: no cover - non-tmpfs platforms
+        return set()
+    return {p.name for p in SHM_DIR.iterdir() if p.name.startswith("psm_")}
+
+
+def make_problem() -> MappingProblem:
+    pair = generate_paper_pair(8, 7)
+    return MappingProblem(pair.tig, pair.resources, require_square=True)
+
+
+def spawn_join(port: int, name: str) -> subprocess.Popen:
+    env = {**os.environ, "PYTHONPATH": "src"}
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "island", "join",
+            "--connect", f"127.0.0.1:{port}", "--workers", "1", "--name", name,
+        ],
+        env=env,
+        cwd=Path(__file__).parent.parent.parent,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+@pytest.mark.slow
+class TestNodeKillChaos:
+    def test_sigkill_mid_round_heals_to_sequential_bytes(self, tmp_path):
+        problem = make_problem()
+        reference = DistributedMatchMapper(CONFIG).map(problem, 7)
+        before = shm_segments()
+
+        store = RunStore(tmp_path)
+        run = store.start_run("islands-chaos")
+        procs: list[subprocess.Popen] = []
+        killed: list[int] = []
+
+        def round_hook(r: int) -> None:
+            # SIGKILL the first island just before round 4 is driven: no
+            # goodbye frame, no cleanup — the hardest death available.
+            if r == 4 and not killed:
+                procs[0].send_signal(signal.SIGKILL)
+                killed.append(procs[0].pid)
+
+        coordinator = IslandCoordinator(
+            problem, CONFIG, seed=7, n_islands=3,
+            heartbeat_timeout=30.0, accept_timeout=60.0,
+            run=run, round_hook=round_hook,
+        )
+        _, port = coordinator.address
+        try:
+            procs = [spawn_join(port, f"chaos-{i}") for i in range(3)]
+            result = coordinator.run()
+        finally:
+            for proc in procs:
+                proc.kill()
+                proc.wait(timeout=10)
+        run.finalize(status="complete")
+
+        # Converged result: bit-identical to the sequential simulation.
+        assert killed, "the chaos hook never fired"
+        assert result["assignment"] == [int(x) for x in reference.assignment]
+        assert result["best_cost"] == reference.execution_time
+        assert result["n_evaluations"] == reference.n_evaluations
+        assert result["extras"]["rounds"] == reference.extras["rounds"]
+        assert result["extras"]["node_failures"] >= 1
+
+        # Structured failure manifest into events.jsonl.
+        events = store.read_events(run.run_id)
+        lost = [e for e in events if e.get("event") == "node-lost"]
+        assert lost, "no node-lost manifest recorded"
+        manifest = lost[0]
+        assert manifest["kind"] in ("node-death", "node-timeout")
+        assert manifest["pid"] == killed[0]
+        assert manifest["agents"], "manifest must name the orphaned agents"
+
+        # Clean shm teardown: no segment outlives the run (give the
+        # kernel a beat to reap the killed process's tracker).
+        deadline = time.monotonic() + 10.0  # repro: noqa[wallclock] -- shm reap polling deadline
+        while time.monotonic() < deadline:  # repro: noqa[wallclock] -- shm reap polling deadline
+            leaked = shm_segments() - before
+            if not leaked:
+                break
+            time.sleep(0.2)
+        assert shm_segments() - before == set(), "leaked shared-memory segments"

@@ -27,10 +27,11 @@ REPO_ROOT = Path(__file__).parents[2]
 
 
 def _sample(metric="fused_seconds", value=1.0, *, group="end_to_end", floor=None,
-            scale="full", benchmark="ce_hotpath", host_class="linux-x86_64"):
+            ceiling=None, scale="full", benchmark="ce_hotpath",
+            host_class="linux-x86_64"):
     return PerfSample(
         benchmark=benchmark, group=group, metric=metric, value=value,
-        host_class=host_class, scale=scale, floor=floor,
+        host_class=host_class, scale=scale, floor=floor, ceiling=ceiling,
     )
 
 
@@ -80,6 +81,25 @@ class TestCheckReport:
         result = check_report([_sample(metric="measured_speedup", value=2.1)], history)
         assert not result.ok
         assert "floor" in result.regressions[0].detail
+
+    def test_ceiling_breach_regresses(self):
+        # Overhead-style metrics are neutral for the relative band but gate
+        # against the absolute ceiling their acceptance target carries.
+        metric = "measured_overhead_ms_per_agent_round"
+        history = [_sample(metric=metric, value=0.3, ceiling=25.0)]
+        result = check_report([_sample(metric=metric, value=30.0)], history)
+        assert not result.ok
+        assert "ceiling" in result.regressions[0].detail
+
+    def test_within_ceiling_passes_despite_relative_drift(self):
+        # 10x the baseline is fine: the claim is an absolute cap, and
+        # loopback overhead deltas are too noise-dominated to band.
+        metric = "measured_overhead_ms_per_agent_round"
+        history = [_sample(metric=metric, value=0.3, ceiling=25.0)]
+        result = check_report([_sample(metric=metric, value=3.0)], history)
+        assert result.ok
+        assert result.entries[0].status == "ok"
+        assert "ceiling" in result.entries[0].detail
 
     def test_median_baseline_shrugs_off_one_noisy_run(self):
         history = [_sample(value=1.0), _sample(value=1.0), _sample(value=50.0)]
@@ -141,6 +161,22 @@ class TestSamplesFromBench:
         assert acc[0].floor is None
         assert acc[0].scale == "smoke"
 
+    def test_overhead_target_becomes_a_ceiling(self):
+        report = {
+            **self.REPORT,
+            "acceptance": {
+                "target_overhead_ms_per_agent_round": 25.0,
+                "measured_overhead_ms_per_agent_round": 0.3,
+            },
+        }
+        acc = [s for s in samples_from_bench(report) if s.group == "acceptance"]
+        assert len(acc) == 1
+        assert acc[0].ceiling == 25.0
+        assert acc[0].floor is None
+        smoke = {**report, "smoke": True}
+        acc = [s for s in samples_from_bench(smoke) if s.group == "acceptance"]
+        assert acc[0].ceiling is None  # smoke never carries the bound
+
     def test_legacy_platform_string_yields_host_class(self):
         legacy = {**self.REPORT, "host": {"platform": "Linux-6.8.0-x86_64-with-glibc2.39"}}
         assert samples_from_bench(legacy)[0].host_class == "linux-x86_64"
@@ -149,8 +185,12 @@ class TestSamplesFromBench:
 class TestHistoryFile:
     def test_round_trip(self, tmp_path):
         path = tmp_path / "history.jsonl"
-        written = [_sample(value=1.25, floor=2.5), _sample(metric="other_seconds")]
-        assert append_history(path, written) == 2
+        written = [
+            _sample(value=1.25, floor=2.5),
+            _sample(metric="other_seconds"),
+            _sample(metric="measured_overhead_ms", value=0.3, ceiling=25.0),
+        ]
+        assert append_history(path, written) == 3
         assert load_history(path) == written
 
     def test_missing_file_is_empty(self, tmp_path):

@@ -65,3 +65,47 @@ class TestResultCache:
         cache.put(key(2), {"v": 2})  # evicts 1 from memory only
         assert cache.get(key(1)) == {"v": 1}
         assert cache.stats()["disk_hits"] == 1
+
+
+class TestDiskTierReadmission:
+    """Disk reloads are disk hits, not memory hits, and re-enter the LRU
+    under the same capacity bound as any put (the re-admission bugfix)."""
+
+    def test_disk_reload_is_not_a_memory_hit(self, tmp_path):
+        cache = ResultCache(capacity=1, persist_dir=tmp_path)
+        cache.put(key(1), {"v": 1})
+        cache.put(key(2), {"v": 2})  # evicts 1 from memory, disk copy stays
+        assert cache.get(key(1)) == {"v": 1}
+        stats = cache.stats()
+        assert stats["disk_hits"] == 1
+        assert stats["hits"] == 0  # the memory-hit counter must not move
+        assert stats["misses"] == 0
+
+    def test_reload_readmits_under_capacity(self, tmp_path):
+        cache = ResultCache(capacity=2, persist_dir=tmp_path)
+        cache.put(key(1), {"v": 1})
+        cache.put(key(2), {"v": 2})
+        cache.put(key(3), {"v": 3})  # evicts 1 (LRU)
+        assert cache.keys_lru_order == [key(2), key(3)]
+        assert cache.get(key(1)) == {"v": 1}  # disk reload, re-admitted
+        # Re-admission honoured capacity: 2 (now LRU) was evicted for 1.
+        assert cache.keys_lru_order == [key(3), key(1)]
+        assert len(cache) == 2
+        assert cache.stats()["evictions"] == 2
+        # The reloaded entry now serves from memory.
+        assert cache.get(key(1)) == {"v": 1}
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["disk_hits"] == 1
+
+    def test_eviction_reload_eviction_order_is_stable(self, tmp_path):
+        """Regression: reload -> evict -> reload again must cycle through
+        the disk tier indefinitely without corrupting LRU order."""
+        cache = ResultCache(capacity=2, persist_dir=tmp_path)
+        for i in (1, 2, 3):
+            cache.put(key(i), {"v": i})
+        for i in (1, 2, 3, 1, 2, 3):
+            assert cache.get(key(i)) == {"v": i}
+        stats = cache.stats()
+        assert stats["hits"] + stats["disk_hits"] == 6
+        assert stats["misses"] == 0
+        assert len(cache) == 2

@@ -225,3 +225,85 @@ class TestLifecycle:
         assert stats["batches"] == 1
         assert stats["cache"]["entries"] == 1
         assert stats["workers"] == 1
+
+
+class TestQuotaRefund:
+    """Charge-before-queue must not leak: a request that never produces a
+    result (cell failure after salvage, or the dispatch itself dying) gets
+    its admission charge back, and the ledger balances to zero."""
+
+    BROKEN = SolverSpec.of("match", {"bogus_param": 1})  # build() raises in the worker
+
+    def test_failed_cell_refunds_admission_charge(self):
+        async def go(service):
+            request = MappingRequest(
+                problem=make_problem(),
+                solver=self.BROKEN,
+                seed=3,
+                client="leaky",
+                max_evaluations=400,
+            )
+            response = await service.submit(request)
+            return response, service.quotas.snapshot(), service.stats()
+
+        response, quotas, stats = serve(go, client_quota=1000)
+        assert response.status == "failed"
+        assert response.error["kind"] == "exception"
+        assert response.error["refunded"] == 400
+        assert response.charged == 0  # net charge after the refund
+        assert quotas["clients"]["leaky"] == 0  # ledger balanced
+        assert stats["refunded_evaluations"] == 400
+
+    def test_mixed_batch_refunds_only_the_failures(self):
+        async def go(service):
+            good = MappingRequest(
+                problem=make_problem(), solver=SPEC, seed=3,
+                client="mixed", max_evaluations=300,
+            )
+            bad = MappingRequest(
+                problem=make_problem(), solver=self.BROKEN, seed=4,
+                client="mixed", max_evaluations=200,
+            )
+            responses = await asyncio.gather(service.submit(good), service.submit(bad))
+            return responses, service.quotas.snapshot()
+
+        (ok, failed), quotas = serve(go, client_quota=1000)
+        assert ok.status == "ok" and ok.charged == 300
+        assert failed.status == "failed" and failed.charged == 0
+        # Only the successful solve stays charged.
+        assert quotas["clients"]["mixed"] == 300
+
+    def test_pool_death_mid_batch_refunds_every_charge(self):
+        """Kill the pool out from under the dispatcher: the whole batch
+        fails as dispatch-error and every admission charge is returned."""
+
+        async def go(service):
+            service._pool.close()  # the pool dies before the batch dispatches
+            requests = [
+                MappingRequest(
+                    problem=make_problem(), solver=SPEC, seed=10 + i,
+                    client="victim", max_evaluations=250,
+                )
+                for i in range(3)
+            ]
+            responses = await asyncio.gather(*(service.submit(r) for r in requests))
+            stats = service.stats()
+            service._pool = None  # already closed; skip double-close in teardown
+            return responses, stats
+
+        responses, stats = serve(go, client_quota=1000)
+        for response in responses:
+            assert response.status == "failed"
+            assert response.error["kind"] == "dispatch-error"
+            assert response.charged == 0
+        assert stats["quotas"]["clients"]["victim"] == 0
+        assert stats["refunded_evaluations"] == 750
+
+    def test_refund_never_goes_below_zero(self):
+        from repro.service import QuotaLedger
+
+        ledger = QuotaLedger(1000)
+        assert ledger.admit("c", 100) is None
+        assert ledger.refund("c", 500) == 100  # clamped to what was charged
+        assert ledger.used("c") == 0
+        assert ledger.refund("c", 10) == 0

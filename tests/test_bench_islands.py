@@ -1,0 +1,47 @@
+"""Smoke-test the island-runtime benchmark script.
+
+Runs ``benchmarks/bench_islands.py`` in its ``--smoke`` configuration
+(tiny instance, loopback islands) so the sequential-vs-distributed parity
+assertion and the report schema are exercised by the suite without
+meaningful runtime cost.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+BENCH_PATH = Path(__file__).parent.parent / "benchmarks" / "bench_islands.py"
+
+
+def load_bench_module():
+    spec = importlib.util.spec_from_file_location("bench_islands", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_smoke_run_writes_report(tmp_path):
+    bench = load_bench_module()
+    out = tmp_path / "BENCH_islands.json"
+    report = bench.run(smoke=True, out=out, runs_root=tmp_path / "runs")
+
+    on_disk = json.loads(out.read_text())
+    assert on_disk == report
+    assert report["smoke"] is True
+    assert report["benchmark"] == "islands"
+
+    # One measurement group per island count, each parity-checked.
+    for n in bench.ISLAND_COUNTS:
+        group = report[f"islands_{n}"]
+        assert group["parity_ok"] is True
+        assert group["node_failures"] == 0
+        assert group["seconds"] > 0
+
+    acceptance = report["acceptance"]
+    assert acceptance["met"] is None  # smoke cannot judge the full-scale bar
+    assert acceptance["parity_ok"] is True
+    assert acceptance["measured_overhead_ms_per_agent_round"] >= 0

@@ -55,6 +55,7 @@ SUBPACKAGES = [
     "repro.stats",
     "repro.experiments",
     "repro.runtime",
+    "repro.islands",
     "repro.utils",
 ]
 

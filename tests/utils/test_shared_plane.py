@@ -209,3 +209,142 @@ class TestLifecycle:
         shm_name = out.stdout.strip().splitlines()[-1]
         assert shm_name
         assert not segment_exists(shm_name)
+
+
+class TestTrackerUnregister:
+    """The standalone-attacher unregister must hit the tracker's real key.
+
+    On POSIX the tracker registers the slash-prefixed OS name while the
+    public ``shm.name`` strips the slash; unregistering the stripped form
+    is a silent set-discard miss, resurrecting bpo-39959 (a short-lived
+    attacher's tracker unlinks the owner's live segment at exit). On
+    3.13+ the ``track=False`` constructor makes the whole dance moot —
+    the test asserts whichever branch this interpreter actually runs.
+    """
+
+    def _supports_track_kwarg(self) -> bool:
+        import inspect
+
+        params = inspect.signature(shared_memory.SharedMemory.__init__).parameters
+        return "track" in params
+
+    def test_tracker_name_restores_posix_slash(self):
+        from repro.utils.shared_plane import _tracker_name
+
+        plane = ProblemPlane()
+        try:
+            handle = plane.publish(make_problem())
+            shm = shared_memory.SharedMemory(name=handle.shm_name)
+            try:
+                derived = _tracker_name(shm)
+                if os.name == "posix":
+                    assert derived.startswith("/")
+                    assert derived == "/" + shm.name
+                    # The registered key is the private _name; the public
+                    # derivation must agree with it exactly.
+                    assert derived == shm._name
+                else:  # pragma: no cover - windows
+                    assert derived == shm.name
+            finally:
+                shm.close()
+        finally:
+            plane.close()
+
+    def test_attach_branch_matches_interpreter(self, monkeypatch):
+        """<3.13: a standalone attach unregisters under the tracker's own
+        key. 3.13+: ``track=False`` is used and no unregister happens."""
+        import repro.utils.shared_plane as sp
+        from multiprocessing import resource_tracker
+
+        calls: list[tuple[str, str]] = []
+        real_unregister = resource_tracker.unregister
+
+        def spy(name: str, rtype: str) -> None:
+            calls.append((name, rtype))
+            real_unregister(name, rtype)
+
+        monkeypatch.setattr(resource_tracker, "unregister", spy)
+
+        plane = ProblemPlane()
+        try:
+            handle = plane.publish(make_problem())
+            # The test process owns the plane's segment; hide that ownership
+            # (after publish, which registers it) so the attach takes the
+            # standalone-attacher path under test.
+            monkeypatch.setattr(sp, "_OWNED_NAMES", set())
+            shm = sp._attach_segment(handle.shm_name)
+            try:
+                assert bytes(shm.buf[:1])  # segment is readable
+                if self._supports_track_kwarg():
+                    assert calls == []  # track=False: nothing to undo
+                else:
+                    assert len(calls) == 1
+                    name, rtype = calls[0]
+                    assert rtype == "shared_memory"
+                    assert name == sp._tracker_name(shm)
+                    if os.name == "posix":
+                        assert name.startswith("/")
+            finally:
+                shm.close()
+        finally:
+            # Restore the tracker entry the spied unregister removed, so the
+            # plane's final unlink stays warning-free on <3.13.
+            if calls and not self._supports_track_kwarg():
+                try:
+                    resource_tracker.register(calls[0][0], "shared_memory")
+                except Exception:
+                    pass
+            plane.close()
+
+
+class TestHeartbeatClockDomain:
+    """Liveness stamps and deadline math live on CLOCK_MONOTONIC: a wall
+    clock stepped by NTP (or an operator) must not move any deadline."""
+
+    def test_wall_clock_jump_cannot_age_a_heartbeat(self, monkeypatch):
+        import time as time_module
+
+        from repro.utils.shared_plane import HeartbeatBoard
+
+        board = HeartbeatBoard.create(2)
+        try:
+            board.mark(0, attempt=0)
+            stamped = board.started_at(0, attempt=0)
+            assert stamped > 0.0
+            # Step the wall clock a year into the future.
+            real_time = time_module.time
+            monkeypatch.setattr(
+                time_module, "time", lambda: real_time() + 365 * 86400.0
+            )
+            # The stamp is monotonic: elapsed time stays sub-second, so no
+            # deadline monitor computing now - started_at() can fire early.
+            now = time_module.monotonic()  # repro: noqa[wallclock] -- asserting the stamp's clock domain
+            assert board.started_at(0, attempt=0) == stamped
+            assert 0.0 <= now - stamped < 60.0
+        finally:
+            board.close()
+
+    def test_salvage_deadlines_survive_wall_clock_jump(self, monkeypatch):
+        """End-to-end: a dispatch with a cell timeout under a stepped wall
+        clock neither kills workers nor burns retries."""
+        import time as time_module
+
+        real_time = time_module.time
+        monkeypatch.setattr(time_module, "time", lambda: real_time() + 1e9)
+        with WorkerPool(2) as pool:
+            report = pool.map_salvage(
+                _double, list(range(6)), policy=_fast_timeout_policy()
+            )
+        assert report.ok
+        assert report.results == [0, 2, 4, 6, 8, 10]
+        assert report.n_retries == 0  # no spurious deadline expiry
+
+
+def _double(x: int) -> int:
+    return 2 * x
+
+
+def _fast_timeout_policy():
+    from repro.utils.parallel import RetryPolicy
+
+    return RetryPolicy(max_retries=1, cell_timeout=30.0, backoff_base=0.01)
